@@ -1,0 +1,239 @@
+package xorbp
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation (DESIGN.md §4). Each benchmark runs its
+// experiment at BenchScale and prints the same rows/series the paper
+// reports. Regenerate everything at full scale with:
+//
+//	go run ./cmd/bpsim -scale full
+//	go run ./cmd/attacksim
+//	go run ./cmd/hwcost
+//
+// The benchmarks report ns/op for one full experiment regeneration;
+// the rendered tables go to stdout on the first iteration.
+
+import (
+	"fmt"
+	"testing"
+
+	"xorbp/internal/attack"
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/hwcost"
+	"xorbp/internal/report"
+	"xorbp/internal/workload"
+)
+
+// benchTable runs one experiment per b.N iteration, printing the table
+// once.
+func benchTable(b *testing.B, name string, run func() *report.Table) {
+	b.Helper()
+	printed := false
+	for i := 0; i < b.N; i++ {
+		t := run()
+		if !printed {
+			fmt.Printf("\n%s\n", t.Render())
+			printed = true
+		}
+	}
+}
+
+// session returns a fresh memoizing session at bench scale.
+func session() *experiment.Session {
+	return experiment.NewSession(experiment.BenchScale())
+}
+
+// BenchmarkFigure1 regenerates Figure 1: Complete Flush overhead on the
+// single-threaded core at the three flush periods.
+func BenchmarkFigure1(b *testing.B) {
+	benchTable(b, "fig1", func() *report.Table { return session().Figure1() })
+}
+
+// BenchmarkFigure2 regenerates Figure 2: Complete Flush overhead on SMT-2
+// and SMT-4.
+func BenchmarkFigure2(b *testing.B) {
+	benchTable(b, "fig2", func() *report.Table { return session().Figure2() })
+}
+
+// BenchmarkFigure3 regenerates Figure 3: Complete vs Precise Flush on
+// SMT-2.
+func BenchmarkFigure3(b *testing.B) {
+	benchTable(b, "fig3", func() *report.Table { return session().Figure3() })
+}
+
+// BenchmarkFigure7 regenerates Figure 7: XOR-BTB / Noisy-XOR-BTB
+// overhead per case and timer period.
+func BenchmarkFigure7(b *testing.B) {
+	benchTable(b, "fig7", func() *report.Table { return session().Figure7() })
+}
+
+// BenchmarkFigure8 regenerates Figure 8: XOR-PHT / Noisy-XOR-PHT
+// overhead.
+func BenchmarkFigure8(b *testing.B) {
+	benchTable(b, "fig8", func() *report.Table { return session().Figure8() })
+}
+
+// BenchmarkFigure9 regenerates Figure 9: the combined XOR-BP /
+// Noisy-XOR-BP overhead.
+func BenchmarkFigure9(b *testing.B) {
+	benchTable(b, "fig9", func() *report.Table { return session().Figure9() })
+}
+
+// BenchmarkFigure10 regenerates Figure 10: three isolation mechanisms
+// across four predictors on SMT-2.
+func BenchmarkFigure10(b *testing.B) {
+	benchTable(b, "fig10", func() *report.Table { return session().Figure10() })
+}
+
+// BenchmarkTable1 regenerates the Table 1 security matrix from the PoC
+// attacks.
+func BenchmarkTable1(b *testing.B) {
+	benchTable(b, "table1", func() *report.Table {
+		return attack.Table1(attack.QuickConfig())
+	})
+}
+
+// BenchmarkTable2 renders the processor configurations.
+func BenchmarkTable2(b *testing.B) {
+	benchTable(b, "table2", experiment.Table2)
+}
+
+// BenchmarkTable3 renders the benchmark sets.
+func BenchmarkTable3(b *testing.B) {
+	benchTable(b, "table3", experiment.Table3)
+}
+
+// BenchmarkTable4 regenerates Table 4: privilege switches per Mcycle.
+func BenchmarkTable4(b *testing.B) {
+	benchTable(b, "table4", func() *report.Table { return session().Table4() })
+}
+
+// BenchmarkTable5 regenerates Table 5: area and timing overhead.
+func BenchmarkTable5(b *testing.B) {
+	benchTable(b, "table5", hwcost.Table5)
+}
+
+// BenchmarkPoCAccuracy regenerates the §5.5(3) training-accuracy
+// comparison (96.5%/97.2% baseline anchors).
+func BenchmarkPoCAccuracy(b *testing.B) {
+	benchTable(b, "poc", func() *report.Table {
+		return attack.PoCAccuracy(attack.QuickConfig())
+	})
+}
+
+// BenchmarkMPKI regenerates the §6.3 baseline MPKI anchors per predictor.
+func BenchmarkMPKI(b *testing.B) {
+	benchTable(b, "mpki", func() *report.Table { return session().MPKI() })
+}
+
+// ---- ablation benches (DESIGN.md §5) ----
+
+// ablationOverhead measures one single-core configuration's overhead.
+func ablationOverhead(opts core.Options) float64 {
+	scale := experiment.BenchScale()
+	measure := func(o core.Options) uint64 {
+		ctrl := core.NewController(o, scale.Seed)
+		dir := experiment.NewDirPredictor("tage", ctrl)
+		c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(scale.TimerPeriods[1]), ctrl, dir)
+		c.Assign(
+			workload.NewGenerator(workload.MustByName("gcc"), 1000),
+			workload.NewGenerator(workload.MustByName("calculix"), 1001),
+		)
+		c.RunTargetInstructions(scale.WarmupInstr)
+		c.ResetStats()
+		c.RunTargetInstructions(scale.MeasureInstr)
+		return c.ThreadCyclesOf(0, 0)
+	}
+	base := measure(core.OptionsFor(core.Baseline))
+	return experiment.Overhead(measure(opts), base)
+}
+
+// BenchmarkAblationRotateOnPrivilege compares key rotation on privilege
+// changes (the paper's design) against per-level stable keys — the
+// design choice behind the Table 4 discussion.
+func BenchmarkAblationRotateOnPrivilege(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := core.OptionsFor(core.NoisyXOR)
+		off := on
+		off.RotateOnPrivilege = false
+		if i == 0 {
+			fmt.Printf("\nAblation: rotate-on-privilege on=%+.2f%% off=%+.2f%%\n",
+				ablationOverhead(on)*100, ablationOverhead(off)*100)
+		}
+	}
+}
+
+// BenchmarkAblationEnhancedPHT compares plain XOR-PHT (entry-width key)
+// against the Enhanced word-key schedule (§5.2).
+func BenchmarkAblationEnhancedPHT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		enh := core.OptionsFor(core.NoisyXOR)
+		plain := enh
+		plain.EnhancedPHT = false
+		if i == 0 {
+			fmt.Printf("\nAblation: Enhanced-XOR-PHT on=%+.2f%% plain=%+.2f%%\n",
+				ablationOverhead(enh)*100, ablationOverhead(plain)*100)
+		}
+	}
+}
+
+// BenchmarkAblationCodec compares the XOR codec against the strengthened
+// rotate+XOR codec (§5.4).
+func BenchmarkAblationCodec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		xor := core.OptionsFor(core.NoisyXOR)
+		rot := xor
+		rot.Codec = core.RotXORCodec{}
+		if i == 0 {
+			fmt.Printf("\nAblation: codec xor=%+.2f%% rotxor=%+.2f%%\n",
+				ablationOverhead(xor)*100, ablationOverhead(rot)*100)
+		}
+	}
+}
+
+// BenchmarkAblationScrambler compares the XOR index scrambler against the
+// two-round Feistel extension (§5.4 "small lookup tables").
+func BenchmarkAblationScrambler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		xor := core.OptionsFor(core.NoisyXOR)
+		feistel := xor
+		feistel.Scrambler = core.FeistelScrambler{}
+		if i == 0 {
+			fmt.Printf("\nAblation: scrambler xor=%+.2f%% feistel=%+.2f%%\n",
+				ablationOverhead(xor)*100, ablationOverhead(feistel)*100)
+		}
+	}
+}
+
+// ---- microbenchmarks of the hot paths ----
+
+// BenchmarkPredictorLookup measures raw predict+update throughput per
+// predictor under Noisy-XOR-BP (the simulator's hot path).
+func BenchmarkPredictorLookup(b *testing.B) {
+	for _, name := range experiment.PredictorNames() {
+		b.Run(name, func(b *testing.B) {
+			ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 1)
+			dir := experiment.NewDirPredictor(name, ctrl)
+			d := core.Domain{Thread: 0, Priv: core.User}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pc := uint64(0x400000 + (i%509)*4)
+				taken := i%3 != 0
+				dir.Predict(d, pc)
+				dir.Update(d, pc, taken)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated instructions
+// per second for the FPGA configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 1)
+	dir := experiment.NewDirPredictor("tage", ctrl)
+	c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(1_000_000), ctrl, dir)
+	c.Assign(workload.NewGenerator(workload.MustByName("gcc"), 1))
+	b.ResetTimer()
+	c.RunTargetInstructions(uint64(b.N))
+}

@@ -1,0 +1,44 @@
+// Command attacksim runs the paper's proof-of-concept attacks and
+// regenerates the security comparison (Table 1) and the §5.5(3) training
+// accuracy numbers.
+//
+// Usage:
+//
+//	attacksim [-table1] [-poc] [-quick] [-seed N]
+//
+// Without flags both experiments run at paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"xorbp/internal/attack"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "run only the Table 1 matrix")
+	poc := flag.Bool("poc", false, "run only the PoC accuracy experiment")
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := attack.DefaultConfig()
+	if *quick {
+		cfg = attack.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	runAll := !*table1 && !*poc
+	if *poc || runAll {
+		start := time.Now()
+		fmt.Println(attack.PoCAccuracy(cfg).Render())
+		fmt.Printf("[poc completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *table1 || runAll {
+		start := time.Now()
+		fmt.Println(attack.Table1(cfg).Render())
+		fmt.Printf("[table1 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

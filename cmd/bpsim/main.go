@@ -1,0 +1,90 @@
+// Command bpsim regenerates the paper's performance tables and figures.
+//
+// Usage:
+//
+//	bpsim -exp fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|table3|table4|mpki|residency|all
+//	      [-scale full|bench] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/hwcost"
+	"xorbp/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig1, fig2, fig3, fig7, fig8, fig9, fig10, table2, table3, table4, table5, mpki, residency, workloads, all)")
+	scaleName := flag.String("scale", "full", "simulation scale: full or bench")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiment.FullScale()
+	case "bench":
+		scale = experiment.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "bpsim: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+	s := experiment.NewSession(scale)
+
+	runners := map[string]func() *experiment.Table{
+		"fig1":      s.Figure1,
+		"fig2":      s.Figure2,
+		"fig3":      s.Figure3,
+		"fig7":      s.Figure7,
+		"fig8":      s.Figure8,
+		"fig9":      s.Figure9,
+		"fig10":     s.Figure10,
+		"table2":    experiment.Table2,
+		"table3":    experiment.Table3,
+		"table4":    s.Table4,
+		"table5":    hwcost.Table5,
+		"mpki":      s.MPKI,
+		"residency": s.BTBResidency,
+		"workloads": func() *experiment.Table {
+			t, err := workload.CharacterizationTable(400_000, *seed)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		},
+	}
+	order := []string{"table2", "table3", "workloads", "fig1", "fig2", "fig3",
+		"fig7", "fig8", "fig9", "fig10", "table4", "table5", "mpki", "residency"}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = order
+	}
+	for _, name := range names {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bpsim: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := r()
+		if *asJSON {
+			out, err := json.MarshalIndent(map[string]any{"experiment": name, "table": tab}, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

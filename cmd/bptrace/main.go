@@ -1,0 +1,97 @@
+// Command bptrace records synthetic benchmark branch traces to the
+// compact XBPT format and inspects existing traces.
+//
+// Usage:
+//
+//	bptrace -record gcc -n 1000000 -o gcc.xbpt [-seed N]
+//	bptrace -stat gcc.xbpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xorbp/internal/predictor"
+	"xorbp/internal/trace"
+	"xorbp/internal/workload"
+)
+
+func main() {
+	record := flag.String("record", "", "benchmark to record (see workload registry)")
+	n := flag.Int("n", 1_000_000, "events to record")
+	out := flag.String("o", "", "output trace file")
+	stat := flag.String("stat", "", "trace file to summarize")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if *out == "" {
+			log.Fatal("bptrace: -record requires -o")
+		}
+		prof, err := workload.ByName(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := trace.Record(workload.NewGenerator(prof, *seed), *n, f); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := f.Stat()
+		fmt.Printf("recorded %d events of %s to %s (%d bytes, %.2f B/event)\n",
+			*n, *record, *out, info.Size(), float64(info.Size())/float64(*n))
+
+	case *stat != "":
+		f, err := os.Open(*stat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ev workload.BranchEvent
+		var events, instr, taken, syscalls uint64
+		classes := map[predictor.Class]uint64{}
+		for {
+			err := r.Next(&ev)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			events++
+			instr += uint64(ev.Gap) + 1
+			classes[ev.Class]++
+			if ev.Taken {
+				taken++
+			}
+			if ev.Syscall {
+				syscalls++
+			}
+		}
+		fmt.Printf("%s: %d branch events, %d instructions\n", *stat, events, instr)
+		fmt.Printf("  branch ratio: %.1f%%  taken: %.1f%%  syscalls: %d\n",
+			float64(events)/float64(instr)*100, float64(taken)/float64(events)*100, syscalls)
+		for _, c := range []predictor.Class{predictor.CondDirect, predictor.UncondDirect,
+			predictor.Indirect, predictor.Call, predictor.IndirectCall, predictor.Return} {
+			if classes[c] > 0 {
+				fmt.Printf("  %-6s %9d (%.1f%%)\n", c, classes[c],
+					float64(classes[c])/float64(events)*100)
+			}
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+// Command diag prints per-benchmark calibration diagnostics: MPKI under
+// the FPGA TAGE and gem5 Gshare predictors, IPC, BTB hit rate, and
+// privilege-switch rate. Used to tune workload profiles against the
+// paper's anchors (gcc 90.1% PHT accuracy, Table 4 rates, §6.3 MPKI).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/workload"
+)
+
+func bench(name, pred string) (mpki, ipc, btbHit, privPerM, acc float64) {
+	ctrl := core.NewController(core.OptionsFor(core.Baseline), 1)
+	dir := experiment.NewDirPredictor(pred, ctrl)
+	c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(1_000_000), ctrl, dir)
+	c.Assign(workload.NewGenerator(workload.MustByName(name), 1000))
+	c.RunTargetInstructions(1_000_000)
+	c.ResetStats()
+	c.RunTargetInstructions(4_000_000)
+	st := c.ThreadStatsOf(0, 0)
+	cyc := c.ThreadCyclesOf(0, 0)
+	_, priv, _, _ := ctrl.Stats()
+	acc = 1 - float64(st.DirMisp)/float64(st.CondBranches)
+	return st.MPKI(), float64(st.Instructions) / float64(cyc),
+		c.BTBUnit().HitRate(), float64(priv) / float64(c.Cycles()) * 1e6, acc
+}
+
+func main() {
+	recovery := flag.Bool("recovery", false, "print per-predictor SMT flush/rotation recovery detail")
+	scramble := flag.Bool("scramble", false, "verify XOR vs Noisy-XOR BTB cycle equivalence")
+	flag.Parse()
+	if *recovery {
+		checkRecovery()
+		return
+	}
+	if *scramble {
+		checkScramble()
+		return
+	}
+
+	names := workload.Names()
+	sort.Strings(names)
+	fmt.Printf("%-14s %7s %7s %6s %7s %7s %8s\n",
+		"benchmark", "tMPKI", "gMPKI", "IPC", "PHTacc", "BTBhit", "priv/Mc")
+	for _, n := range names {
+		tm, ipc, hit, priv, acc := bench(n, "tage")
+		gm, _, _, _, _ := bench(n, "gshare")
+		fmt.Printf("%-14s %7.2f %7.2f %6.2f %6.1f%% %6.1f%% %8.1f\n",
+			n, tm, gm, ipc, acc*100, hit*100, priv)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/workload"
+)
+
+// checkRecovery prints MPKI in consecutive windows after warmup for
+// baseline vs CompleteFlush vs NoisyXOR, per predictor, SMT-2 case5.
+func checkRecovery() {
+	pair := workload.SMTPairs()[4] // dealII+sjeng
+	for _, pred := range []string{"gshare", "tournament", "ltage", "tage_sc_l"} {
+		for _, m := range []core.Mechanism{core.Baseline, core.CompleteFlush, core.NoisyXOR} {
+			ctrl := core.NewController(core.OptionsFor(m), 1)
+			dir := experiment.NewDirPredictor(pred, ctrl)
+			c := cpu.New(cpu.Gem5Config(2), cpu.DefaultScheduler(1_000_000), ctrl, dir)
+			c.Assign(
+				workload.NewGenerator(workload.MustByName(pair.First), 1000),
+				workload.NewGenerator(workload.MustByName(pair.Second), 1001),
+			)
+			c.RunTotalInstructions(3_000_000)
+			c.ResetStats()
+			cyc := c.RunTotalInstructions(12_000_000)
+			var misp, instr, eff uint64
+			for hw := 0; hw < 2; hw++ {
+				st := c.ThreadStatsOf(hw, 0)
+				misp += st.DirMisp
+				instr += st.Instructions
+				eff += st.EffMisp
+			}
+			_, priv, fl, _ := ctrl.Stats()
+			fmt.Printf("%-11s %-14s cyc=%-9d MPKI=%5.2f effMPKI=%5.2f priv/Mc=%4.1f flush/Mc=%4.1f\n",
+				pred, m, cyc, float64(misp)/float64(instr)*1000,
+				float64(eff)/float64(instr)*1000,
+				float64(priv)/float64(cyc)*1e6, float64(fl)/float64(cyc)*1e6)
+		}
+	}
+}

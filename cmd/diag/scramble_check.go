@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/tage"
+	"xorbp/internal/workload"
+)
+
+// checkScramble compares XOR-BTB vs Noisy-XOR-BTB cycle-for-cycle.
+func checkScramble() {
+	for _, m := range []core.Mechanism{core.XOR, core.NoisyXOR} {
+		o := core.OptionsFor(m)
+		o.Scope = core.StructBTB
+		ctrl := core.NewController(o, 1)
+		dir := tage.New(tage.FPGAConfig(), ctrl)
+		c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(1_000_000), ctrl, dir)
+		c.Assign(
+			workload.NewGenerator(workload.MustByName("gcc"), 1000),
+			workload.NewGenerator(workload.MustByName("calculix"), 1001),
+		)
+		c.RunTargetInstructions(1_000_000)
+		c.ResetStats()
+		c.RunTargetInstructions(2_000_000)
+		fmt.Printf("%-14s scope=BTB cycles=%d btbHit=%.4f\n", m, c.ThreadCyclesOf(0, 0), c.BTBUnit().HitRate())
+	}
+}

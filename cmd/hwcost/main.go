@@ -1,0 +1,12 @@
+// Command hwcost prints the Table 5 area/timing overhead estimation.
+package main
+
+import (
+	"fmt"
+
+	"xorbp/internal/hwcost"
+)
+
+func main() {
+	fmt.Println(hwcost.Table5().Render())
+}

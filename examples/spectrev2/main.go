@@ -1,0 +1,38 @@
+// Spectre-V2-style malicious BTB training (the paper's Listing 1): an
+// attacker thread repeatedly installs its own target for a shared
+// indirect branch, then lets the victim run. On the unprotected baseline
+// the victim's front end speculatively jumps to the attacker's gadget;
+// under XOR-BTB the stored tag and target decode to noise for the
+// victim's key and the hijack collapses to the measurement-noise floor.
+package main
+
+import (
+	"fmt"
+
+	"xorbp/internal/attack"
+	"xorbp/internal/core"
+)
+
+func main() {
+	const iterations = 10000
+
+	fmt.Println("Spectre-V2-style BTB training, 10000 iterations (Listing 1)")
+	fmt.Println()
+	for _, m := range []core.Mechanism{core.Baseline, core.CompleteFlush,
+		core.XOR, core.NoisyXOR} {
+		rate := attack.BTBTraining(core.OptionsFor(m), attack.SingleThreaded,
+			iterations, 1)
+		fmt.Printf("  %-16s hijack success: %6.2f%%\n", m, rate*100)
+	}
+	fmt.Println()
+	fmt.Println("Same attack across SMT threads (no switches between phases):")
+	for _, m := range []core.Mechanism{core.Baseline, core.CompleteFlush,
+		core.XOR, core.NoisyXOR} {
+		rate := attack.BTBTraining(core.OptionsFor(m), attack.SMT,
+			iterations, 1)
+		fmt.Printf("  %-16s hijack success: %6.2f%%\n", m, rate*100)
+	}
+	fmt.Println()
+	fmt.Println("Paper anchors: 96.5% on the unprotected prototype, < 1% with")
+	fmt.Println("XOR-based isolation; flushing cannot protect SMT (Table 1).")
+}

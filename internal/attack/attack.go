@@ -1,0 +1,276 @@
+// Package attack implements the paper's proof-of-concept attacks (§2,
+// §5.5 and Listings 1–2) against the same predictor stack the performance
+// experiments use, and the Defend/Mitigate/NoProtection classifier that
+// regenerates Table 1.
+//
+// The attacks drive the BTB and direction predictor directly with the
+// exact access sequences of the listings; OS interactions (the sleep(1)
+// context switch, single-stepping interrupts) are modelled as the
+// corresponding isolation-controller events. The cache side channel the
+// listings use for observation is modelled as a noisy Boolean channel
+// (DESIGN.md §2): the paper itself attributes its 96.5%/97.2% baseline
+// rates and ~1% residual rate to Flush+Reload measurement noise on the
+// RISC-V platform (§5.5 footnote 1), so the channel's false-negative and
+// false-positive rates are set to land in that regime.
+package attack
+
+import (
+	"xorbp/internal/btb"
+	"xorbp/internal/core"
+	"xorbp/internal/gshare"
+	"xorbp/internal/predictor"
+	"xorbp/internal/rng"
+)
+
+// Channel noise of the modelled Flush+Reload observation (§5.5 footnote:
+// whole-cache eviction on RISC-V is imprecise).
+const (
+	// falseNegative is the probability a real signal is missed.
+	falseNegative = 0.035
+	// falsePositive is the probability noise looks like a signal.
+	falsePositive = 0.008
+)
+
+// Scenario selects the core arrangement: attacker and victim time-sharing
+// one hardware thread (context switches between phases) or running
+// concurrently on two SMT threads (no switches between phases).
+type Scenario int
+
+// Scenarios.
+const (
+	// SingleThreaded: attacker and victim share hardware thread 0 and the
+	// OS switches between them (the Listing 1/2 "sleep(1)" scenario).
+	SingleThreaded Scenario = iota
+	// SMT: attacker on hardware thread 0, victim on hardware thread 1,
+	// running concurrently.
+	SMT
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	if s == SMT {
+		return "SMT"
+	}
+	return "single"
+}
+
+// env bundles the structures under attack.
+type env struct {
+	ctrl *core.Controller
+	btb  *btb.BTB
+	dir  predictor.DirPredictor
+	rng  *rng.Xoshiro256
+
+	attacker core.Domain
+	victim   core.Domain
+	scenario Scenario
+}
+
+// newEnv builds the attacked system. The direction predictor is the FPGA
+// prototype's base configuration reduced to its PHT essence (a bimodal
+// table), matching the BranchScope model of a directional predictor.
+func newEnv(opts core.Options, sc Scenario, seed uint64) *env {
+	ctrl := core.NewController(opts, seed)
+	e := &env{
+		ctrl:     ctrl,
+		btb:      btb.New(btb.FPGAConfig(), ctrl),
+		dir:      gshare.New(gshare.Config{IndexBits: 12, HistoryBits: 0}, ctrl),
+		rng:      rng.NewXoshiro256(rng.Mix64(seed ^ 0xa77ac)),
+		scenario: sc,
+	}
+	e.attacker = core.Domain{Thread: 0, Priv: core.User}
+	if sc == SMT {
+		e.victim = core.Domain{Thread: 1, Priv: core.User}
+	} else {
+		e.victim = core.Domain{Thread: 0, Priv: core.User}
+	}
+	return e
+}
+
+// switchToVictim models the OS handing the core to the victim (Listing
+// 1/2 "sleep(1)"): on a single-threaded core this is a context switch; on
+// SMT the victim is already running.
+func (e *env) switchToVictim() {
+	if e.scenario == SingleThreaded {
+		e.ctrl.ContextSwitch(0)
+	}
+}
+
+// switchToAttacker models the switch back for the probe phase.
+func (e *env) switchToAttacker() {
+	if e.scenario == SingleThreaded {
+		e.ctrl.ContextSwitch(0)
+	}
+}
+
+// singleStep models the attacker forcing one victim instruction via
+// interrupts (the BranchScope technique, §3): each step is a kernel
+// round-trip on the victim's hardware thread.
+func (e *env) singleStep() {
+	e.ctrl.PrivilegeChange(e.victim.Thread, core.Kernel)
+	e.ctrl.PrivilegeChange(e.victim.Thread, core.User)
+}
+
+// observe passes a true signal through the noisy side channel.
+func (e *env) observe(signal bool) bool {
+	if signal {
+		return !e.rng.Bool(falseNegative)
+	}
+	return e.rng.Bool(falsePositive)
+}
+
+// Shared virtual addresses of the PoC listings.
+const (
+	sharedIndirectPC = 0x40_0800 // shared_interface's p() call site
+	attackerFn       = 0xbad000  // attacker_function
+	victimFn         = 0x600100  // victim_function
+	sharedCondPC     = 0x40_0c00 // Listing 2's bounds check
+)
+
+// BTBTraining runs the Listing 1 attack: the attacker trains the shared
+// indirect branch to attacker_function; success means the victim's
+// next execution of shared_interface speculatively jumps there. Returns
+// the success rate over iterations.
+func BTBTraining(opts core.Options, sc Scenario, iterations int, seed uint64) float64 {
+	e := newEnv(opts, sc, seed)
+	successes := 0
+	for i := 0; i < iterations; i++ {
+		// Attacker: p points at attacker_function; execute the call.
+		for r := 0; r < 4; r++ {
+			e.btb.Update(e.attacker, sharedIndirectPC, attackerFn, predictor.Indirect)
+		}
+		e.switchToVictim()
+		// Victim executes shared_interface(); the front end predicts the
+		// indirect target from the BTB under the victim's keys.
+		tgt, hit := e.btb.Lookup(e.victim, sharedIndirectPC)
+		hijacked := hit && tgt == attackerFn
+		// The victim resolves the real target and updates.
+		e.btb.Update(e.victim, sharedIndirectPC, victimFn, predictor.Indirect)
+		if e.observe(hijacked) {
+			successes++
+		}
+		e.switchToAttacker()
+	}
+	return float64(successes) / float64(iterations)
+}
+
+// PHTTraining runs the Listing 2 attack: the attacker trains the shared
+// bounds check not-taken; an iteration is `attempts` victim executions
+// and the attack succeeds if more than 90% of them follow the trained
+// direction (the paper's decision rule). Returns the success rate over
+// iterations.
+func PHTTraining(opts core.Options, sc Scenario, iterations, attempts int, seed uint64) float64 {
+	e := newEnv(opts, sc, seed)
+	const trainedDirection = false // attacker trains Not-Taken
+	successes := 0
+	for i := 0; i < iterations; i++ {
+		followed := 0
+		for a := 0; a < attempts; a++ {
+			// Train: shared_interface(i) with i >= array_size, 32 times
+			// (enough to saturate any counter on the path).
+			for r := 0; r < 32; r++ {
+				e.dir.Predict(e.attacker, sharedCondPC)
+				e.dir.Update(e.attacker, sharedCondPC, trainedDirection)
+			}
+			e.switchToVictim()
+			pred := e.dir.Predict(e.victim, sharedCondPC)
+			// The victim's in-bounds access is architecturally taken.
+			e.dir.Update(e.victim, sharedCondPC, true)
+			if e.observe(pred == trainedDirection) {
+				followed++
+			}
+			e.switchToAttacker()
+		}
+		if followed*10 > attempts*9 {
+			successes++
+		}
+	}
+	return float64(successes) / float64(iterations)
+}
+
+// BranchScope runs the §2.1 perception attack: the attacker primes the
+// victim branch's PHT entry to a weak state, single-steps the victim
+// through one execution of its secret-dependent branch, then probes the
+// entry and infers the secret direction from its own (mis)prediction.
+// Returns the inference accuracy over secret bits (0.5 = chance).
+func BranchScope(opts core.Options, sc Scenario, bits int, seed uint64) float64 {
+	e := newEnv(opts, sc, seed)
+	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5ec))
+	correct := 0
+	for i := 0; i < bits; i++ {
+		secret := secrets.Bool(0.5)
+
+		// Prime: drive the shared entry to weak-taken (T,T,N from any
+		// state lands on 2 for a 2-bit counter).
+		for _, t := range []bool{true, true, false} {
+			e.dir.Predict(e.attacker, sharedCondPC)
+			e.dir.Update(e.attacker, sharedCondPC, t)
+		}
+
+		// Victim executes its branch once under single-step control.
+		e.singleStep()
+		e.switchToVictim()
+		e.dir.Predict(e.victim, sharedCondPC)
+		e.dir.Update(e.victim, sharedCondPC, secret)
+		e.switchToAttacker()
+		e.singleStep()
+
+		// Probe: from weak-taken (2), a taken secret moved the counter to
+		// 3 and a not-taken secret to 1, so the attacker's not-taken
+		// probe mispredicts exactly when the secret was taken.
+		probePred := e.dir.Predict(e.attacker, sharedCondPC)
+		e.dir.Update(e.attacker, sharedCondPC, false)
+		inferredTaken := e.observe(probePred)
+		if inferredTaken == secret {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bits)
+}
+
+// SBPAContention runs the §2.1 contention attack: the attacker occupies
+// every way of the BTB set congruent with the victim's target branch,
+// lets the victim run, then probes its own entries; an eviction reveals
+// that the victim's branch was taken. Returns the inference accuracy over
+// trials (0.5 = chance).
+func SBPAContention(opts core.Options, sc Scenario, trials int, seed uint64) float64 {
+	e := newEnv(opts, sc, seed)
+	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5b9a))
+	cfg := e.btb.Config()
+	// Attacker branches congruent with the victim branch's set: same
+	// index bits, different tags.
+	victimPC := uint64(0x40_1000)
+	prime := make([]uint64, cfg.Ways)
+	for w := range prime {
+		prime[w] = victimPC + uint64(w+1)*uint64(cfg.Sets)*4
+	}
+	correct := 0
+	for i := 0; i < trials; i++ {
+		secret := secrets.Bool(0.5) // was the victim branch taken?
+
+		// Prime: fill the set.
+		for _, pc := range prime {
+			e.btb.Update(e.attacker, pc, pc+16, predictor.UncondDirect)
+		}
+		e.switchToVictim()
+		if secret {
+			// Taken branches allocate in the BTB ("the BTB will be
+			// updated if and only if the target branch is Taken", §2.1).
+			e.btb.Update(e.victim, victimPC, victimPC+64, predictor.CondDirect)
+		}
+		e.switchToAttacker()
+
+		// Probe: count misses among the attacker's primed branches.
+		misses := 0
+		for _, pc := range prime {
+			if _, hit := e.btb.Lookup(e.attacker, pc); !hit {
+				misses++
+			}
+		}
+		inferredTaken := e.observe(misses > 0)
+		if inferredTaken == secret {
+			correct++
+		}
+	}
+	return float64(correct) / float64(trials)
+}

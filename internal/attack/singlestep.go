@@ -1,0 +1,50 @@
+package attack
+
+import (
+	"xorbp/internal/core"
+	"xorbp/internal/rng"
+)
+
+// BranchScopeWithDetector reruns the BranchScope perception attack
+// against a system equipped with the §5.5 scenario 3 single-step
+// detector: the OS notices that the victim is being driven one
+// instruction at a time and bypasses predictor updates for the starved
+// thread, so the attacker's probe sees no victim-dependent state at all —
+// independent of the encoding mechanism (it defends even the baseline).
+// Returns the inference accuracy over bits (0.5 = chance).
+func BranchScopeWithDetector(opts core.Options, bits int, seed uint64) float64 {
+	e := newEnv(opts, SingleThreaded, seed)
+	det := core.NewSingleStepDetector()
+	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5ed))
+	correct := 0
+	for i := 0; i < bits; i++ {
+		secret := secrets.Bool(0.5)
+
+		for _, t := range []bool{true, true, false} {
+			e.dir.Predict(e.attacker, sharedCondPC)
+			e.dir.Update(e.attacker, sharedCondPC, t)
+		}
+
+		// Single-step: each kernel entry observes the victim's starvation
+		// (one instruction per round-trip).
+		e.singleStep()
+		det.KernelEntry(1)
+		e.switchToVictim()
+		e.dir.Predict(e.victim, sharedCondPC)
+		if !det.Bypass() {
+			// Updates are architecturally bypassed while the detector is
+			// tripped.
+			e.dir.Update(e.victim, sharedCondPC, secret)
+		}
+		e.switchToAttacker()
+		e.singleStep()
+		det.KernelEntry(1)
+
+		probePred := e.dir.Predict(e.attacker, sharedCondPC)
+		e.dir.Update(e.attacker, sharedCondPC, false)
+		if e.observe(probePred) == secret {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bits)
+}

@@ -1,0 +1,273 @@
+package attack
+
+import (
+	"fmt"
+
+	"xorbp/internal/core"
+	"xorbp/internal/report"
+)
+
+// Verdict is the Table 1 classification.
+type Verdict int
+
+// Verdicts, ordered from strongest protection to none.
+const (
+	Defend Verdict = iota
+	Mitigate
+	NoProtection
+	NotApplicable
+)
+
+// String renders the verdict with the paper's vocabulary.
+func (v Verdict) String() string {
+	switch v {
+	case Defend:
+		return "Defend"
+	case Mitigate:
+		return "Mitigate"
+	case NoProtection:
+		return "No Protection"
+	default:
+		return "n/a"
+	}
+}
+
+// worse returns the weaker of two verdicts.
+func worse(a, b Verdict) Verdict {
+	if b > a && b != NotApplicable {
+		return b
+	}
+	if a == NotApplicable {
+		return b
+	}
+	return a
+}
+
+// classifyRate classifies a success-rate metric (training attacks, floor
+// near 0) against the measured baseline rate.
+func classifyRate(rate, baseline float64) Verdict {
+	switch {
+	case rate < 0.05:
+		return Defend
+	case rate > 0.8*baseline:
+		return NoProtection
+	default:
+		return Mitigate
+	}
+}
+
+// classifyAccuracy classifies an inference-accuracy metric (perception
+// and contention attacks, chance = 0.5).
+func classifyAccuracy(acc, baseline float64) Verdict {
+	excess := acc - 0.5
+	baseExcess := baseline - 0.5
+	switch {
+	case excess < 0.08:
+		return Defend
+	case baseExcess > 0 && excess > 0.8*baseExcess:
+		return NoProtection
+	default:
+		return Mitigate
+	}
+}
+
+// capMitigate caps a conditional attack's contribution: succeeding via a
+// precondition-laden channel (a usable reference branch, blanket priming
+// that only reveals "some taken branch ran") demonstrates residual
+// leakage, not full compromise.
+func capMitigate(v Verdict) Verdict {
+	if v == NoProtection {
+		return Mitigate
+	}
+	return v
+}
+
+// PHTSteering measures the attacker's ability to *choose* the victim's
+// predicted direction: an iteration succeeds only if the attacker can
+// steer the victim branch both taken and not-taken on demand (>90% of
+// attempts each). This separates real influence from coincidence with the
+// predictor's reset state.
+func PHTSteering(opts core.Options, sc Scenario, iterations, attempts int, seed uint64) float64 {
+	e := newEnv(opts, sc, seed)
+	successes := 0
+	for i := 0; i < iterations; i++ {
+		ok := true
+		for _, dir := range []bool{true, false} {
+			followed := 0
+			for a := 0; a < attempts; a++ {
+				for r := 0; r < 32; r++ {
+					e.dir.Predict(e.attacker, sharedCondPC)
+					e.dir.Update(e.attacker, sharedCondPC, dir)
+				}
+				e.switchToVictim()
+				pred := e.dir.Predict(e.victim, sharedCondPC)
+				e.dir.Update(e.victim, sharedCondPC, !dir) // architecturally opposite
+				if e.observe(pred == dir) {
+					followed++
+				}
+				e.switchToAttacker()
+			}
+			if followed*10 <= attempts*9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			successes++
+		}
+	}
+	return float64(successes) / float64(iterations)
+}
+
+// Config sizes the Table 1 / PoC experiments.
+type Config struct {
+	// Iterations for the training attacks (the paper uses 10000).
+	Iterations int
+	// Attempts per PHT-training iteration (the paper uses 100).
+	Attempts int
+	// Bits/trials for perception and contention attacks.
+	Trials int
+	// Seed for determinism.
+	Seed uint64
+}
+
+// DefaultConfig returns paper-equivalent sizes.
+func DefaultConfig() Config {
+	return Config{Iterations: 10000, Attempts: 100, Trials: 4000, Seed: 1}
+}
+
+// QuickConfig returns reduced sizes for tests and benches.
+func QuickConfig() Config {
+	return Config{Iterations: 300, Attempts: 40, Trials: 600, Seed: 1}
+}
+
+// mechanism option sets for the Table 1 rows.
+func btbRows() []struct {
+	name string
+	opts core.Options
+} {
+	mk := func(m core.Mechanism) core.Options {
+		o := core.OptionsFor(m)
+		o.Scope = core.StructBTB
+		return o
+	}
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"Complete Flush", mk(core.CompleteFlush)},
+		{"Precise Flush", mk(core.PreciseFlush)},
+		{"XOR-BTB", mk(core.XOR)},
+		{"Noisy-XOR-BTB", mk(core.NoisyXOR)},
+	}
+}
+
+func phtRows() []struct {
+	name string
+	opts core.Options
+} {
+	mk := func(m core.Mechanism, enhanced bool) core.Options {
+		o := core.OptionsFor(m)
+		o.Scope = core.StructPHT
+		o.EnhancedPHT = enhanced
+		return o
+	}
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"Complete Flush", mk(core.CompleteFlush, false)},
+		{"Precise Flush", mk(core.PreciseFlush, false)},
+		{"XOR-PHT", mk(core.XOR, false)},
+		{"Enhanced-XOR-PHT", mk(core.XOR, true)},
+		{"Noisy-XOR-PHT", mk(core.NoisyXOR, true)},
+	}
+}
+
+// Table1 regenerates the paper's security comparison by running every
+// attack against every mechanism on both core arrangements and
+// classifying the measured rates.
+func Table1(cfg Config) *report.Table {
+	t := &report.Table{
+		Title: "Table 1: security comparison (measured)",
+		Header: []string{"structure", "mechanism",
+			"single/reuse", "single/contention", "SMT/reuse", "SMT/contention"},
+		Caption: "Verdicts derived from measured attack success; 'Mitigate' marks\n" +
+			"residual conditional leakage (reference-branch decode for plain\n" +
+			"XOR-PHT, blanket-priming detection for Noisy-XOR-BTB on SMT).\n" +
+			"PHT contention is n/a: PHT updates overwrite rather than evict\n" +
+			"(§2.1), so no contention channel exists.\n" +
+			"Known deltas vs the paper's analytic grades: (1) SMT/reuse under\n" +
+			"the XOR mechanisms is graded Mitigate there via the unbounded-\n" +
+			"retry 2^-(N+T) bound; the measured single-shot rate rounds to\n" +
+			"Defend. (2) The paper's Precise Flush PHT row assumes per-entry\n" +
+			"thread IDs even for 2-bit counters (its own footnote calls that\n" +
+			"cost prohibitive); this PHT carries none, so PF measures\n" +
+			"No Protection against SMT reuse.",
+	}
+	base := core.OptionsFor(core.Baseline)
+
+	// Baseline reference rates.
+	btbTrainBase := BTBTraining(base, SingleThreaded, cfg.Iterations, cfg.Seed)
+	sbpaBase := SBPAContention(base, SingleThreaded, cfg.Trials, cfg.Seed)
+	phtSteerBase := PHTSteering(base, SingleThreaded, cfg.Iterations/10, cfg.Attempts, cfg.Seed)
+	bsBase := BranchScope(base, SingleThreaded, cfg.Trials, cfg.Seed)
+
+	for _, row := range btbRows() {
+		cells := []string{"BTB", row.name}
+		for _, sc := range []Scenario{SingleThreaded, SMT} {
+			// Reuse: malicious training.
+			v := classifyRate(BTBTraining(row.opts, sc, cfg.Iterations, cfg.Seed), btbTrainBase)
+			cells = append(cells, v.String())
+			// Contention: targeted SBPA, with the blanket variant as the
+			// conditional fallback.
+			cv := classifyAccuracy(SBPAContention(row.opts, sc, cfg.Trials, cfg.Seed), sbpaBase)
+			if cv == Defend {
+				blanket := classifyAccuracy(SBPABlanket(row.opts, sc, cfg.Trials/4, cfg.Seed), sbpaBase)
+				cv = worse(cv, capMitigate(blanket))
+			}
+			cells = append(cells, cv.String())
+		}
+		// Reorder: single/reuse, single/cont, smt/reuse, smt/cont already.
+		t.AddRow(cells...)
+	}
+
+	for _, row := range phtRows() {
+		cells := []string{"PHT", row.name}
+		for _, sc := range []Scenario{SingleThreaded, SMT} {
+			// Reuse: steering + perception, plus the reference-branch
+			// corner case on the single-threaded core.
+			v := classifyRate(PHTSteering(row.opts, sc, cfg.Iterations/10, cfg.Attempts, cfg.Seed), phtSteerBase)
+			v = worse(v, classifyAccuracy(BranchScope(row.opts, sc, cfg.Trials, cfg.Seed), bsBase))
+			if sc == SingleThreaded {
+				ref := classifyAccuracy(ReferencePerception(row.opts, cfg.Trials, cfg.Seed), 1.0-falseNegative)
+				v = worse(v, capMitigate(ref))
+			}
+			cells = append(cells, v.String(), NotApplicable.String())
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// PoCAccuracy reproduces the §5.5(3) experiment: training success against
+// BTB and PHT for the baseline and the XOR-based isolation, with the
+// paper's anchors (96.5% / 97.2% baseline, <1% protected).
+func PoCAccuracy(cfg Config) *report.Table {
+	t := &report.Table{
+		Title:  "PoC attack accuracy (Section 5.5(3))",
+		Header: []string{"attack", "Baseline", "Noisy-XOR-BP"},
+		Caption: "Paper anchors: baseline 96.5% (BTB) / 97.2% (PHT); with\n" +
+			"XOR-based isolation both fall below 1%.",
+	}
+	base := core.OptionsFor(core.Baseline)
+	nxor := core.OptionsFor(core.NoisyXOR)
+	fmtPct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	t.AddRow("BTB training (Listing 1)",
+		fmtPct(BTBTraining(base, SingleThreaded, cfg.Iterations, cfg.Seed)),
+		fmtPct(BTBTraining(nxor, SingleThreaded, cfg.Iterations, cfg.Seed)))
+	t.AddRow("PHT training (Listing 2)",
+		fmtPct(PHTTraining(base, SingleThreaded, cfg.Iterations, cfg.Attempts, cfg.Seed)),
+		fmtPct(PHTTraining(nxor, SingleThreaded, cfg.Iterations, cfg.Attempts, cfg.Seed)))
+	return t
+}

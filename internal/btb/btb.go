@@ -1,0 +1,232 @@
+// Package btb implements the Branch Target Buffer and Return Address
+// Stack with the paper's isolation hooks: BTB tags and targets pass
+// through the content codec (XOR-BTB, §5.1) and the set index through the
+// index scrambler (Noisy-XOR-BTB, §5.3).
+package btb
+
+import (
+	"xorbp/internal/bitutil"
+	"xorbp/internal/core"
+	"xorbp/internal/predictor"
+)
+
+// pcShift drops the instruction alignment bits before indexing (4-byte
+// RISC-V / fixed-width fetch granule).
+const pcShift = 2
+
+// Config sizes a BTB.
+type Config struct {
+	// Sets is the number of sets (power of two).
+	Sets uint
+	// Ways is the set associativity.
+	Ways uint
+	// TagBits is the stored partial-tag width.
+	TagBits uint
+	// TargetBits is the stored target width (low bits of the target
+	// address; commercial BTBs store partial targets).
+	TargetBits uint
+}
+
+// FPGAConfig is the paper's FPGA prototype BTB: 256 sets × 2 ways
+// (Table 2, "256 × 2-way").
+func FPGAConfig() Config {
+	return Config{Sets: 256, Ways: 2, TagBits: 12, TargetBits: 32}
+}
+
+// Gem5Config is the paper's gem5 SMT model BTB: 1024 sets × 4 ways.
+func Gem5Config() Config {
+	return Config{Sets: 1024, Ways: 4, TagBits: 14, TargetBits: 32}
+}
+
+// entry is one BTB way. Tag and target are stored *encoded*; valid, class
+// and owner are architectural control state (the paper encodes tag and
+// target: "both the tag and the target address are encoded ... lest an
+// attacker could use performance counters as a covert channel", §5.1).
+type entry struct {
+	valid  bool
+	owner  core.HWThread
+	class  predictor.Class
+	lru    uint8
+	tag    uint64
+	target uint64
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	cfg       Config
+	guard     *core.Guard
+	indexBits uint
+	sets      [][]entry
+
+	// stats
+	lookups uint64
+	hits    uint64
+}
+
+// New builds a BTB and registers it with the controller for flush events.
+func New(cfg Config, ctrl *core.Controller) *BTB {
+	if !bitutil.IsPow2(uint64(cfg.Sets)) {
+		panic("btb: sets must be a power of two")
+	}
+	if cfg.Ways == 0 {
+		panic("btb: zero ways")
+	}
+	b := &BTB{
+		cfg:       cfg,
+		guard:     ctrl.Guard(0xb7b, core.StructBTB),
+		indexBits: bitutil.Log2(uint64(cfg.Sets)),
+		sets:      make([][]entry, cfg.Sets),
+	}
+	for i := range b.sets {
+		b.sets[i] = make([]entry, cfg.Ways)
+	}
+	ctrl.Register(b, core.StructBTB)
+	return b
+}
+
+// index computes the physical set index for pc under domain d, applying
+// the Noisy-XOR index encoding when active.
+func (b *BTB) index(d core.Domain, pc uint64) uint64 {
+	logical := (pc >> pcShift) & bitutil.Mask(b.indexBits)
+	return b.guard.ScrambleIndex(logical, d, b.indexBits)
+}
+
+// tagOf extracts the logical (unencoded) tag of pc.
+func (b *BTB) tagOf(pc uint64) uint64 {
+	return (pc >> (pcShift + b.indexBits)) & bitutil.Mask(b.cfg.TagBits)
+}
+
+// Lookup predicts the target of the branch at pc. The stored tags are
+// decoded with d's content key before comparison, so an entry written by
+// another domain (or before a key rotation) matches only with probability
+// 2^-TagBits — the content-isolation property. On a hit the stored target
+// is decoded with the same key; a false hit therefore yields a garbage
+// target, which the pipeline discovers at execute as a misprediction.
+func (b *BTB) Lookup(d core.Domain, pc uint64) (target uint64, hit bool) {
+	b.lookups++
+	set := b.sets[b.index(d, pc)]
+	want := b.tagOf(pc)
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			continue
+		}
+		// Precise Flush carries a thread ID per entry; the same ID gates
+		// lookups, which is what defends SMT reuse attacks in Table 1
+		// ("attaching the thread ID to each entry can help eliminate
+		// malicious reuse across threads", §4.1).
+		if b.guard.TracksOwners() && e.owner != d.Thread {
+			continue
+		}
+		got := b.guard.Decode(e.tag, d) & bitutil.Mask(b.cfg.TagBits)
+		if got == want {
+			b.hits++
+			b.touch(set, i)
+			return b.guard.Decode(e.target, d) & bitutil.Mask(b.cfg.TargetBits), true
+		}
+	}
+	return 0, false
+}
+
+// Update records a taken branch's target. Existing matching entries are
+// refreshed; otherwise the LRU way is replaced. Tag and target are
+// encoded with d's content key before being stored.
+func (b *BTB) Update(d core.Domain, pc uint64, target uint64, class predictor.Class) {
+	set := b.sets[b.index(d, pc)]
+	want := b.tagOf(pc)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && b.guard.Decode(e.tag, d)&bitutil.Mask(b.cfg.TagBits) == want &&
+			(!b.guard.TracksOwners() || e.owner == d.Thread) {
+			victim = i
+			goto write
+		}
+		if !e.valid {
+			victim = i
+		} else if set[victim].valid && e.lru < set[victim].lru {
+			victim = i
+		}
+	}
+write:
+	e := &set[victim]
+	e.valid = true
+	e.owner = d.Thread
+	e.class = class
+	e.tag = b.guard.Encode(want, d)
+	e.target = b.guard.Encode(target&bitutil.Mask(b.cfg.TargetBits), d)
+	b.touch(set, victim)
+}
+
+// touch bumps way i to most-recently-used by aging the others.
+func (b *BTB) touch(set []entry, i int) {
+	for j := range set {
+		if set[j].lru > 0 {
+			set[j].lru--
+		}
+	}
+	set[i].lru = uint8(len(set))
+}
+
+// FlushAll invalidates every entry (Complete Flush).
+func (b *BTB) FlushAll() {
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			b.sets[s][w] = entry{}
+		}
+	}
+}
+
+// FlushThread invalidates entries owned by t (Precise Flush). Ownership is
+// tracked unconditionally in the BTB because, unlike the PHT, BTB entries
+// are wide enough that a thread-ID field is plausible (§4.1).
+func (b *BTB) FlushThread(t core.HWThread) {
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			if b.sets[s][w].valid && b.sets[s][w].owner == t {
+				b.sets[s][w] = entry{}
+			}
+		}
+	}
+}
+
+// OccupancyOf counts valid entries owned by thread t — used to reproduce
+// the paper's residual-entry analysis for Figure 7 (gobmk+libquantum
+// retain 500–800 entries across switches).
+func (b *BTB) OccupancyOf(t core.HWThread) int {
+	n := 0
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			if b.sets[s][w].valid && b.sets[s][w].owner == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// ResetStats clears the hit/lookup counters (e.g. after warmup).
+func (b *BTB) ResetStats() { b.lookups, b.hits = 0, 0 }
+
+// StorageBits reports the modelled SRAM payload: valid + class(3) +
+// tag + target per entry (owner/LRU bookkeeping is costed separately by
+// the hardware model when Precise Flush is configured).
+func (b *BTB) StorageBits() uint64 {
+	per := uint64(1 + 3 + b.cfg.TagBits + b.cfg.TargetBits)
+	return uint64(b.cfg.Sets) * uint64(b.cfg.Ways) * per
+}
+
+// Entries reports the entry count (for the Precise Flush walk cost
+// model).
+func (b *BTB) Entries() uint64 { return uint64(b.cfg.Sets) * uint64(b.cfg.Ways) }
+
+// Config returns the geometry.
+func (b *BTB) Config() Config { return b.cfg }

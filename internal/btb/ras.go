@@ -1,0 +1,80 @@
+package btb
+
+import "xorbp/internal/core"
+
+// RAS is a return address stack. Commercial SMT processors already keep
+// the RAS thread-private (§3), which this type models by default; the
+// paper notes the XOR mechanism "still applies to shared RAS", so a
+// shared, content-encoded variant is available for the ablation study.
+type RAS struct {
+	shared bool
+	guard  *core.Guard
+	stacks [core.MaxHWThreads][]uint64
+	tops   [core.MaxHWThreads]int
+	depth  int
+}
+
+// NewRAS returns a per-thread-private RAS of the given depth.
+func NewRAS(depth int, ctrl *core.Controller) *RAS {
+	r := &RAS{depth: depth, guard: ctrl.Guard(0x4a5, core.StructRAS)}
+	for i := range r.stacks {
+		r.stacks[i] = make([]uint64, depth)
+	}
+	ctrl.Register(r, core.StructRAS)
+	return r
+}
+
+// NewSharedRAS returns a RAS where all hardware threads share one stack,
+// with entries content-encoded per domain — the §3 extension. Sharing a
+// speculative stack across threads corrupts it constantly; the type exists
+// to demonstrate that the encoding still isolates the *contents*.
+func NewSharedRAS(depth int, ctrl *core.Controller) *RAS {
+	r := NewRAS(depth, ctrl)
+	r.shared = true
+	return r
+}
+
+func (r *RAS) stack(t core.HWThread) ([]uint64, *int) {
+	if r.shared {
+		return r.stacks[0], &r.tops[0]
+	}
+	return r.stacks[t], &r.tops[t]
+}
+
+// Push records a return address for a call executed by d.
+func (r *RAS) Push(d core.Domain, retAddr uint64) {
+	s, top := r.stack(d.Thread)
+	s[*top%r.depth] = r.guard.Encode(retAddr, d)
+	*top++
+}
+
+// Pop predicts the target of a return executed by d. ok is false when the
+// stack has underflowed.
+func (r *RAS) Pop(d core.Domain) (retAddr uint64, ok bool) {
+	s, top := r.stack(d.Thread)
+	if *top == 0 {
+		return 0, false
+	}
+	*top--
+	return r.guard.Decode(s[*top%r.depth], d), true
+}
+
+// Depth returns the stack capacity.
+func (r *RAS) Depth() int { return r.depth }
+
+// FlushAll clears all stacks.
+func (r *RAS) FlushAll() {
+	for i := range r.tops {
+		r.tops[i] = 0
+	}
+}
+
+// FlushThread clears thread t's stack (for the shared variant this clears
+// the common stack, the conservative behaviour).
+func (r *RAS) FlushThread(t core.HWThread) {
+	if r.shared {
+		r.tops[0] = 0
+		return
+	}
+	r.tops[t] = 0
+}

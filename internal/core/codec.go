@@ -1,0 +1,153 @@
+package core
+
+import "math/bits"
+
+// Key is a thread-private random number used for content or index
+// encoding. In hardware it lives in a dedicated register per hardware
+// thread, invisible to software (§5.4). 64 bits covers the widest word any
+// table in this repository encodes.
+type Key uint64
+
+// Codec is the reversible, lightweight encoding applied to table contents.
+// The paper's only requirement is that encode/decode "are easily
+// reversible ... lightweight enough to not cause critical path timing
+// problems" (§5.4). Encode and Decode must be exact inverses for every
+// (value, key) pair; values wider than the table's physical word are
+// masked by the caller.
+type Codec interface {
+	// Encode transforms a raw value with the key before it is stored.
+	Encode(v uint64, k Key) uint64
+	// Decode inverts Encode after a value is read.
+	Decode(v uint64, k Key) uint64
+	// Name identifies the codec in reports.
+	Name() string
+}
+
+// XORCodec is the paper's running example: a plain XOR with the key.
+// Encoding and decoding are the same operation.
+type XORCodec struct{}
+
+// Encode XORs v with k.
+func (XORCodec) Encode(v uint64, k Key) uint64 { return v ^ uint64(k) }
+
+// Decode XORs v with k (XOR is an involution).
+func (XORCodec) Decode(v uint64, k Key) uint64 { return v ^ uint64(k) }
+
+// Name returns "xor".
+func (XORCodec) Name() string { return "xor" }
+
+// RotXORCodec implements the strengthened option from §5.4 ("Adding
+// shifting and/or scrambling in the process"): the value is rotated by a
+// key-dependent amount and then XORed with the key. Still a single-cycle
+// friendly operation (a barrel rotate plus an XOR), but the bit positions
+// no longer line up between domains, which defeats the reference-branch
+// corner case of §5.5 scenario 4 for narrow fields.
+type RotXORCodec struct{}
+
+// rotAmount derives a 6-bit rotate distance from the key's high bits so it
+// is independent of the XOR mask bits used for low-width fields.
+func rotAmount(k Key) int { return int(uint64(k)>>58) & 63 }
+
+// Encode rotates v left by a key-derived amount, then XORs with k.
+func (RotXORCodec) Encode(v uint64, k Key) uint64 {
+	return bits.RotateLeft64(v, rotAmount(k)) ^ uint64(k)
+}
+
+// Decode inverts Encode: XOR first, then rotate right.
+func (RotXORCodec) Decode(v uint64, k Key) uint64 {
+	return bits.RotateLeft64(v^uint64(k), -rotAmount(k))
+}
+
+// Name returns "rotxor".
+func (RotXORCodec) Name() string { return "rotxor" }
+
+// IdentityCodec stores values unmodified. It is the baseline (no
+// protection) configuration and is also useful in tests.
+type IdentityCodec struct{}
+
+// Encode returns v unchanged.
+func (IdentityCodec) Encode(v uint64, _ Key) uint64 { return v }
+
+// Decode returns v unchanged.
+func (IdentityCodec) Decode(v uint64, _ Key) uint64 { return v }
+
+// Name returns "identity".
+func (IdentityCodec) Name() string { return "identity" }
+
+// Scrambler is the index encoding of Noisy-XOR-BP (§5.3): a bijection over
+// table indices parameterized by the thread-private index key. Bijectivity
+// is required so distinct branches cannot be made to share an entry by the
+// scrambling itself (capacity is preserved; only the mapping moves).
+type Scrambler interface {
+	// Scramble maps idx (already reduced to nbits) to the physical index,
+	// using key k. The result must stay within nbits.
+	Scramble(idx uint64, k Key, nbits uint) uint64
+	// Name identifies the scrambler in reports.
+	Name() string
+}
+
+// XORScrambler is the paper's index encoding: "The index key is XORed with
+// the lower part of the PC to generate the index" (§5.3).
+type XORScrambler struct{}
+
+// Scramble XORs the index with the low bits of the key.
+func (XORScrambler) Scramble(idx uint64, k Key, nbits uint) uint64 {
+	return (idx ^ uint64(k)) & mask(nbits)
+}
+
+// Name returns "xor".
+func (XORScrambler) Name() string { return "xor" }
+
+// FeistelScrambler is a two-round Feistel network over the index bits,
+// keyed by the index key. It is a stronger bijection than XOR (an attacker
+// observing collisions cannot linearly recover the key) at the cost of two
+// small round functions — still trivially pipeline-friendly. Included as
+// the "small lookup tables are all possible options" extension of §5.4.
+type FeistelScrambler struct{}
+
+// Scramble applies two Feistel rounds. For odd widths the left half gets
+// the extra bit.
+func (FeistelScrambler) Scramble(idx uint64, k Key, nbits uint) uint64 {
+	if nbits < 2 {
+		return (idx ^ uint64(k)) & mask(nbits)
+	}
+	lw := (nbits + 1) / 2 // left half width (gets the extra bit)
+	rw := nbits - lw      // right half width
+	k0 := uint64(k)
+	k1 := uint64(k) >> 32
+	left, right := idx>>rw, idx&mask(rw)
+	// Unbalanced Feistel without a final swap: each step is invertible by
+	// re-deriving the round function from the already-known half.
+	left = (left ^ feistelF(right, k0)) & mask(lw)
+	right = (right ^ feistelF(left, k1)) & mask(rw)
+	return (left<<rw | right) & mask(nbits)
+}
+
+// feistelF is the round function: a cheap nonlinear mix of half-index and
+// key material.
+func feistelF(x, k uint64) uint64 {
+	x = x*0x9e3779b97f4a7c15 + k
+	return x ^ (x >> 29)
+}
+
+// Name returns "feistel".
+func (FeistelScrambler) Name() string { return "feistel" }
+
+// IdentityScrambler performs no index encoding (XOR-BP without the noisy
+// index, and the baseline).
+type IdentityScrambler struct{}
+
+// Scramble returns idx unchanged (masked to nbits).
+func (IdentityScrambler) Scramble(idx uint64, _ Key, nbits uint) uint64 {
+	return idx & mask(nbits)
+}
+
+// Name returns "identity".
+func (IdentityScrambler) Name() string { return "identity" }
+
+func mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}

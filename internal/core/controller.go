@@ -1,0 +1,239 @@
+package core
+
+import "xorbp/internal/rng"
+
+// Flusher is implemented by every predictor table so the flush mechanisms
+// can clear state. FlushThread is only meaningful for structures that
+// track per-entry owners (Precise Flush); owner-less structures fall back
+// to FlushAll, matching the paper's note that thread-ID tagging a 2-bit
+// PHT is prohibitively expensive (§4.1 observation 3 footnote).
+type Flusher interface {
+	// FlushAll clears the whole structure.
+	FlushAll()
+	// FlushThread clears entries owned by hardware thread t.
+	FlushThread(t HWThread)
+}
+
+// registered pairs a table with its structure class for scoped flushes.
+type registered struct {
+	f    Flusher
+	kind Structure
+}
+
+// Controller is the isolation event hub. The CPU model reports scheduling
+// events; the controller applies the active mechanism: rotating keys for
+// the encoding mechanisms, flushing registered tables for the flush
+// mechanisms, and nothing for the baseline. The mechanism only touches
+// structures within Options.Scope (Figures 7–9 isolate the BTB and PHT
+// independently).
+//
+// Every secured structure holds a *Guard obtained from the controller,
+// through which it reads keys and codec/scrambler configuration.
+type Controller struct {
+	opts Options
+	keys *KeyFile
+
+	tables []registered
+
+	// statistics
+	contextSwitches uint64
+	privSwitches    uint64
+	flushes         uint64
+}
+
+// NewController builds a controller for the given options. The seed feeds
+// the hardware RNG model that generates keys.
+func NewController(opts Options, seed uint64) *Controller {
+	o := opts.normalized()
+	return &Controller{
+		opts: o,
+		keys: NewKeyFile(rng.NewHWRNG(seed), o.RotateOnPrivilege),
+	}
+}
+
+// Options returns the normalized options in effect.
+func (c *Controller) Options() Options { return c.opts }
+
+// Register adds a table of the given structure class to the flush
+// broadcast list.
+func (c *Controller) Register(f Flusher, kind Structure) {
+	c.tables = append(c.tables, registered{f: f, kind: kind})
+}
+
+// inScope reports whether the mechanism applies to the structure class.
+func (c *Controller) inScope(kind Structure) bool {
+	return c.opts.Scope&kind != 0
+}
+
+// ContextSwitch reports that hardware thread t is being handed a new
+// software thread. For encoding mechanisms this rotates t's keys; for
+// flush mechanisms it flushes (whole tables for CompleteFlush, only t's
+// entries for PreciseFlush) — in-scope structures only.
+func (c *Controller) ContextSwitch(t HWThread) {
+	c.contextSwitches++
+	switch {
+	case c.opts.Mechanism.Encodes():
+		c.keys.OnContextSwitch(t)
+	case c.opts.Mechanism == CompleteFlush:
+		c.flushAll()
+	case c.opts.Mechanism == PreciseFlush:
+		c.flushThread(t)
+	}
+}
+
+// PrivilegeChange reports that hardware thread t is entering privilege
+// level 'to'. Encoding mechanisms rotate the destination domain's keys
+// when RotateOnPrivilege is set; flush mechanisms flush when
+// FlushOnPrivilege is set.
+func (c *Controller) PrivilegeChange(t HWThread, to Privilege) {
+	c.privSwitches++
+	switch {
+	case c.opts.Mechanism.Encodes():
+		c.keys.OnPrivilegeChange(t, to)
+	case c.opts.Mechanism == CompleteFlush:
+		if c.opts.FlushOnPrivilege {
+			c.flushAll()
+		}
+	case c.opts.Mechanism == PreciseFlush:
+		if c.opts.FlushOnPrivilege {
+			c.flushThread(t)
+		}
+	}
+}
+
+// PeriodicFlush forces a flush event independent of scheduling, modelling
+// the paper's Figure 1 experiment ("the predictor is flushed every 4
+// million cycles"). It is a no-op for non-flush mechanisms.
+func (c *Controller) PeriodicFlush() {
+	switch c.opts.Mechanism {
+	case CompleteFlush:
+		c.flushAll()
+	case PreciseFlush:
+		c.flushAll() // periodic flush has no single victim thread
+	}
+}
+
+func (c *Controller) flushAll() {
+	c.flushes++
+	for _, r := range c.tables {
+		if c.inScope(r.kind) {
+			r.f.FlushAll()
+		}
+	}
+}
+
+func (c *Controller) flushThread(t HWThread) {
+	c.flushes++
+	for _, r := range c.tables {
+		if c.inScope(r.kind) {
+			r.f.FlushThread(t)
+		}
+	}
+}
+
+// Stats reports event counts: context switches, privilege switches, flush
+// broadcasts and key rotations.
+func (c *Controller) Stats() (ctx, priv, flushes, rotations uint64) {
+	return c.contextSwitches, c.privSwitches, c.flushes, c.keys.Rotations()
+}
+
+// Guard returns the access-time view of the isolation configuration used
+// by a secured table of the given structure class. A Guard is cheap and
+// immutable; tables keep one. Structures outside the mechanism's scope
+// receive a pass-through guard.
+func (c *Controller) Guard(salt uint64, kind Structure) *Guard {
+	return &Guard{
+		ctrl:    c,
+		salt:    rng.Mix64(salt),
+		active:  c.inScope(kind),
+		encode:  c.inScope(kind) && c.opts.Mechanism.Encodes(),
+		scramix: c.inScope(kind) && c.opts.Mechanism.ScramblesIndex(),
+	}
+}
+
+// Guard is what a secured table consults on every access. The salt
+// diversifies keys per table so two tables indexed by the same PC bits do
+// not share effective keys ("each table can also have their own index key
+// and content key", Figure 6 caption).
+type Guard struct {
+	ctrl    *Controller
+	salt    uint64
+	active  bool // structure is in the mechanism's scope
+	encode  bool // content encoding applies
+	scramix bool // index encoding applies
+}
+
+// ContentKey returns the effective content key for a domain, or 0 when
+// content encoding does not apply to this structure.
+func (g *Guard) ContentKey(d Domain) Key {
+	if !g.encode {
+		return 0
+	}
+	return g.ctrl.keys.Content(d) ^ Key(g.salt)
+}
+
+// IndexKey returns the effective index key for a domain, or 0 when index
+// encoding does not apply to this structure.
+func (g *Guard) IndexKey(d Domain) Key {
+	if !g.scramix {
+		return 0
+	}
+	return g.ctrl.keys.Index(d) ^ Key(g.salt)
+}
+
+// Encode applies the content codec (identity when out of scope).
+func (g *Guard) Encode(v uint64, d Domain) uint64 {
+	if !g.encode {
+		return v
+	}
+	return g.ctrl.opts.Codec.Encode(v, g.ContentKey(d))
+}
+
+// Decode inverts Encode.
+func (g *Guard) Decode(v uint64, d Domain) uint64 {
+	if !g.encode {
+		return v
+	}
+	return g.ctrl.opts.Codec.Decode(v, g.ContentKey(d))
+}
+
+// EncodeWord encodes v with a word-indexed key derived from the domain
+// key: the Enhanced-XOR-PHT schedule ("different logical entries nearby in
+// the PHT can use different keys", §5.2). Identity when out of scope.
+func (g *Guard) EncodeWord(v uint64, d Domain, word uint64) uint64 {
+	if !g.encode {
+		return v
+	}
+	return g.ctrl.opts.Codec.Encode(v, g.wordKey(d, word))
+}
+
+// DecodeWord inverts EncodeWord.
+func (g *Guard) DecodeWord(v uint64, d Domain, word uint64) uint64 {
+	if !g.encode {
+		return v
+	}
+	return g.ctrl.opts.Codec.Decode(v, g.wordKey(d, word))
+}
+
+func (g *Guard) wordKey(d Domain, word uint64) Key {
+	base := g.ContentKey(d)
+	if !g.ctrl.opts.EnhancedPHT {
+		return base
+	}
+	return Key(rng.Mix64(uint64(base) + word*0x9e3779b97f4a7c15))
+}
+
+// ScrambleIndex applies the index encoding (identity unless the mechanism
+// is NoisyXOR and the structure is in scope).
+func (g *Guard) ScrambleIndex(idx uint64, d Domain, nbits uint) uint64 {
+	if !g.scramix {
+		return idx & mask(nbits)
+	}
+	return g.ctrl.opts.Scrambler.Scramble(idx&mask(nbits), g.IndexKey(d), nbits)
+}
+
+// TracksOwners reports whether tables should maintain per-entry owner
+// thread IDs (needed by Precise Flush).
+func (g *Guard) TracksOwners() bool {
+	return g.active && g.ctrl.opts.Mechanism == PreciseFlush
+}

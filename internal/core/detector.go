@@ -1,0 +1,55 @@
+package core
+
+// SingleStepDetector implements the countermeasure sketched in §5.5
+// scenario 3 for attacks that bypass encoding entirely by single-stepping
+// the victim (e.g. priming the whole BTB and sensing *any* update): "a
+// reasonable counter measure is for the system to detect extreme
+// reduction of execution speed, and subsequently bypass update of any
+// microarchitectural resources completely as these updates are unlikely
+// to matter for execution speed."
+//
+// The detector watches the number of user instructions retired between
+// consecutive kernel entries on a hardware thread. A run of Window
+// kernel round-trips each covering fewer than MinProgress instructions
+// is the single-step signature; while it persists, predictor updates are
+// bypassed.
+type SingleStepDetector struct {
+	// MinProgress is the user-instruction count below which an interval
+	// looks single-stepped.
+	MinProgress uint64
+	// Window is the number of consecutive starved intervals required
+	// before updates are bypassed.
+	Window int
+
+	starved int
+}
+
+// NewSingleStepDetector returns a detector with the default calibration:
+// fewer than 200 instructions per kernel round-trip, eight times in a
+// row. Normal syscall-heavy code executes tens of thousands of
+// instructions per trip (Table 4: a few trips per Mcycle).
+func NewSingleStepDetector() *SingleStepDetector {
+	return &SingleStepDetector{MinProgress: 200, Window: 8}
+}
+
+// KernelEntry reports a kernel entry after userInstructions retired since
+// the previous one, and returns whether update bypass is (now) active.
+func (d *SingleStepDetector) KernelEntry(userInstructions uint64) bool {
+	if userInstructions < d.MinProgress {
+		if d.starved < d.Window {
+			d.starved++
+		}
+	} else {
+		d.starved = 0
+	}
+	return d.Bypass()
+}
+
+// Bypass reports whether predictor updates should currently be
+// suppressed.
+func (d *SingleStepDetector) Bypass() bool {
+	return d.Window > 0 && d.starved >= d.Window
+}
+
+// Reset clears the detector (e.g. on a context switch).
+func (d *SingleStepDetector) Reset() { d.starved = 0 }

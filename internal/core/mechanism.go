@@ -1,0 +1,150 @@
+package core
+
+import "fmt"
+
+// Mechanism selects which isolation defense the predictor stack applies.
+// The values cover every configuration evaluated in the paper.
+type Mechanism int
+
+// The isolation mechanisms of §4 and §5.
+const (
+	// Baseline: shared tables, no isolation (the vulnerable design).
+	Baseline Mechanism = iota
+	// CompleteFlush: flush every table on a switch event (§4.1).
+	CompleteFlush
+	// PreciseFlush: per-entry thread IDs; flush only the switching
+	// thread's entries (§4.1 observation 3).
+	PreciseFlush
+	// XOR: content encoding only (XOR-BP, §5.1–5.2).
+	XOR
+	// NoisyXOR: content encoding plus randomized index (Noisy-XOR-BP,
+	// §5.3). This is the paper's full proposal.
+	NoisyXOR
+)
+
+// String returns the paper's name for the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case Baseline:
+		return "Baseline"
+	case CompleteFlush:
+		return "CompleteFlush"
+	case PreciseFlush:
+		return "PreciseFlush"
+	case XOR:
+		return "XOR-BP"
+	case NoisyXOR:
+		return "Noisy-XOR-BP"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Encodes reports whether the mechanism applies content encoding.
+func (m Mechanism) Encodes() bool { return m == XOR || m == NoisyXOR }
+
+// ScramblesIndex reports whether the mechanism applies index encoding.
+func (m Mechanism) ScramblesIndex() bool { return m == NoisyXOR }
+
+// Flushes reports whether the mechanism clears table state on switches.
+func (m Mechanism) Flushes() bool {
+	return m == CompleteFlush || m == PreciseFlush
+}
+
+// Structure identifies a class of predictor tables for scoping the
+// mechanism. The paper evaluates BTB-only isolation (XOR-BTB, Figure 7),
+// PHT-only isolation (XOR-PHT, Figure 8) and the combination (XOR-BP,
+// Figure 9).
+type Structure uint8
+
+// Structure classes.
+const (
+	// StructBTB covers the branch target buffer.
+	StructBTB Structure = 1 << iota
+	// StructPHT covers every direction-predictor table.
+	StructPHT
+	// StructRAS covers the return address stack.
+	StructRAS
+	// StructAll covers everything (the default scope).
+	StructAll = StructBTB | StructPHT | StructRAS
+)
+
+// String names the structure set.
+func (s Structure) String() string {
+	switch s {
+	case StructBTB:
+		return "BTB"
+	case StructPHT:
+		return "PHT"
+	case StructRAS:
+		return "RAS"
+	case StructAll:
+		return "BP"
+	default:
+		return fmt.Sprintf("Structure(%#x)", uint8(s))
+	}
+}
+
+// Options configures the isolation stack. The zero value is the insecure
+// baseline; DefaultOptions returns the paper's recommended configuration.
+type Options struct {
+	// Mechanism selects the defense.
+	Mechanism Mechanism
+	// Scope limits which structures the mechanism protects (0 means
+	// StructAll). XOR-BTB alone is Scope: StructBTB; XOR-PHT alone is
+	// Scope: StructPHT.
+	Scope Structure
+	// EnhancedPHT applies the word-granularity key schedule to direction
+	// tables (Enhanced-XOR-PHT, §5.2). Without it, PHT entries are XORed
+	// with a key truncated to the entry width, which §5.5 shows is only a
+	// mitigation. Ignored by non-encoding mechanisms.
+	EnhancedPHT bool
+	// RotateOnPrivilege regenerates keys on privilege changes (syscalls,
+	// interrupts), the paper's design. Disabling it is an ablation: each
+	// privilege level keeps its own stable key within a quantum.
+	RotateOnPrivilege bool
+	// FlushOnPrivilege makes the flush mechanisms act on privilege changes
+	// as well as context switches. The paper's Figure 1 experiment flushes
+	// only on the periodic timer; the SMT comparisons (Figures 2, 3, 10)
+	// require privilege-event flushes for equivalent protection.
+	FlushOnPrivilege bool
+	// Codec is the content encoding; nil selects XORCodec.
+	Codec Codec
+	// Scrambler is the index encoding; nil selects XORScrambler.
+	Scrambler Scrambler
+}
+
+// DefaultOptions returns the paper's full proposal: Noisy-XOR-BP with
+// Enhanced-XOR-PHT content encoding and key rotation on privilege changes.
+func DefaultOptions() Options {
+	return Options{
+		Mechanism:         NoisyXOR,
+		EnhancedPHT:       true,
+		RotateOnPrivilege: true,
+		FlushOnPrivilege:  true,
+		Codec:             XORCodec{},
+		Scrambler:         XORScrambler{},
+	}
+}
+
+// OptionsFor returns Options configured for a named mechanism with the
+// paper's defaults for everything else.
+func OptionsFor(m Mechanism) Options {
+	o := DefaultOptions()
+	o.Mechanism = m
+	return o
+}
+
+// normalized fills in nil interface fields with the paper defaults.
+func (o Options) normalized() Options {
+	if o.Codec == nil {
+		o.Codec = XORCodec{}
+	}
+	if o.Scrambler == nil {
+		o.Scrambler = XORScrambler{}
+	}
+	if o.Scope == 0 {
+		o.Scope = StructAll
+	}
+	return o
+}

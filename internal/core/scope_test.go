@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+func TestScopeLimitsEncoding(t *testing.T) {
+	// XOR-BTB alone: BTB guards encode, PHT guards pass through.
+	o := OptionsFor(XOR)
+	o.Scope = StructBTB
+	c := NewController(o, 1)
+	gb := c.Guard(1, StructBTB)
+	gp := c.Guard(2, StructPHT)
+	d := Domain{Thread: 0, Priv: User}
+	if gb.Encode(42, d) == 42 {
+		t.Fatal("BTB guard should encode under Scope=BTB")
+	}
+	if gp.Encode(42, d) != 42 {
+		t.Fatal("PHT guard must pass through under Scope=BTB")
+	}
+}
+
+func TestScopeLimitsFlush(t *testing.T) {
+	o := OptionsFor(CompleteFlush)
+	o.Scope = StructPHT
+	c := NewController(o, 1)
+	fb := &fakeTable{}
+	fp := &fakeTable{}
+	c.Register(fb, StructBTB)
+	c.Register(fp, StructPHT)
+	c.ContextSwitch(0)
+	if fb.all != 0 {
+		t.Fatal("out-of-scope BTB was flushed")
+	}
+	if fp.all != 1 {
+		t.Fatal("in-scope PHT was not flushed")
+	}
+}
+
+func TestScopeZeroMeansAll(t *testing.T) {
+	c := NewController(OptionsFor(NoisyXOR), 1)
+	if c.Options().Scope != StructAll {
+		t.Fatalf("normalized scope = %v, want StructAll", c.Options().Scope)
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if StructBTB.String() != "BTB" || StructPHT.String() != "PHT" || StructAll.String() != "BP" {
+		t.Fatal("structure names wrong")
+	}
+}

@@ -1,0 +1,499 @@
+// Package cpu provides the deterministic, cycle-approximate processor
+// model on which every experiment runs. It substitutes for the paper's
+// FPGA BOOM prototype and gem5 SMT model (DESIGN.md §2): all reported
+// numbers in the paper are relative overheads driven by branch
+// mispredictions and front-end redirects, which this model simulates
+// structurally:
+//
+//   - a fetch-width-limited front end where taken branches end the fetch
+//     group;
+//   - a full pipeline-flush penalty on direction/target mispredictions
+//     and a short decode-redirect penalty on direct-branch BTB misses
+//     (the prototype "simply reverts to fall-through prediction when the
+//     target is unavailable" — §6.2.1, the mechanism behind case2's
+//     negative overhead);
+//   - SMT fetch arbitration: each cycle one ready hardware thread fetches
+//     a full group, round-robin, so a stalled thread donates bandwidth;
+//   - an OS model: timer interrupts (context switches between software
+//     threads sharing a hardware context) and per-benchmark syscalls,
+//     both of which execute a synthetic kernel handler at kernel
+//     privilege and fire the isolation controller's events.
+package cpu
+
+import (
+	"xorbp/internal/btb"
+	"xorbp/internal/core"
+	"xorbp/internal/predictor"
+	"xorbp/internal/rng"
+	"xorbp/internal/workload"
+)
+
+// Config is the core microarchitecture (Table 2).
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// FetchWidth is the front-end width (instructions per cycle).
+	FetchWidth int
+	// MispredictPenalty is the pipeline-flush cost in cycles (≈ depth).
+	MispredictPenalty uint64
+	// BTBMissPenalty is the decode-redirect cost for direct taken
+	// branches whose target missed in the BTB.
+	BTBMissPenalty uint64
+	// BTB is the target buffer geometry.
+	BTB btb.Config
+	// RASDepth is the return address stack depth.
+	RASDepth int
+	// HWThreads is the number of hardware thread contexts (SMT ways).
+	HWThreads int
+}
+
+// FPGAConfig is the paper's FPGA RISC-V BOOM prototype: 4-wide, 10-stage
+// (Table 2).
+func FPGAConfig() Config {
+	return Config{
+		Name:              "fpga-boom",
+		FetchWidth:        4,
+		MispredictPenalty: 12,
+		BTBMissPenalty:    3,
+		BTB:               btb.FPGAConfig(),
+		RASDepth:          16,
+		HWThreads:         1,
+	}
+}
+
+// Gem5Config is the paper's gem5 SMT model after Sunny Cove: 8-wide,
+// 19-stage (Table 2).
+func Gem5Config(smtThreads int) Config {
+	return Config{
+		Name:              "gem5-sunnycove",
+		FetchWidth:        8,
+		MispredictPenalty: 20,
+		BTBMissPenalty:    4,
+		BTB:               btb.Gem5Config(),
+		RASDepth:          32,
+		HWThreads:         smtThreads,
+	}
+}
+
+// SchedulerConfig is the OS model.
+type SchedulerConfig struct {
+	// TimerPeriod is the cycles between timer interrupts per hardware
+	// thread. The paper's 250 Hz Linux at 2 GHz is 8 Mcycles; the
+	// experiments sweep 4M/8M/12M (scaled in the harness, see
+	// EXPERIMENTS.md).
+	TimerPeriod uint64
+	// KernelBranches is the mean number of branch events the synthetic
+	// kernel handler executes per privilege entry.
+	KernelBranches int
+	// Seed drives kernel-footprint draws.
+	Seed uint64
+}
+
+// DefaultScheduler returns the scheduler model used across experiments.
+func DefaultScheduler(timerPeriod uint64) SchedulerConfig {
+	return SchedulerConfig{TimerPeriod: timerPeriod, KernelBranches: 120, Seed: 0x05}
+}
+
+// ThreadStats accumulates per-software-thread measurements.
+type ThreadStats struct {
+	Instructions uint64 // user instructions retired
+	Branches     uint64
+	CondBranches uint64
+	DirMisp      uint64 // direction-predictor mispredictions
+	EffMisp      uint64 // effective (pipeline-flushing) mispredictions
+	TargMisp     uint64 // target mispredictions (BTB/RAS)
+	DecodeRedir  uint64 // cheap decode redirects (direct BTB misses)
+	Syscalls     uint64
+}
+
+// MPKI returns direction mispredictions per kilo-instruction.
+func (s ThreadStats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.DirMisp) / float64(s.Instructions) * 1000
+}
+
+// swThread is one software thread: a program plus its fetch cursor.
+type swThread struct {
+	prog     workload.Program
+	stats    ThreadStats
+	ev       workload.BranchEvent
+	gapLeft  int
+	evLoaded bool
+	kernel   bool // kernel handler pseudo-thread
+	// activeCycles counts cycles attributed to this thread: on a
+	// single-threaded core, every cycle (fetching, stalled, or in a
+	// syscall on its behalf) belongs to the scheduled software thread.
+	// This is the denoised single-core performance metric: wall time
+	// includes the co-scheduled benchmark's slices, whose boundary
+	// quantization would otherwise dominate scaled-down runs.
+	activeCycles uint64
+}
+
+// hwContext is one hardware thread (SMT way).
+type hwContext struct {
+	id         core.HWThread
+	sw         []*swThread
+	cur        int
+	priv       core.Privilege
+	stallUntil uint64
+	nextTimer  uint64
+	kernel     *swThread
+	kernelLeft int
+	pendingCtx bool // context switch due at kernel exit
+}
+
+// active returns the stream the context is fetching from.
+func (hc *hwContext) active() *swThread {
+	if hc.kernelLeft > 0 {
+		return hc.kernel
+	}
+	return hc.sw[hc.cur]
+}
+
+// Core is the simulated processor.
+type Core struct {
+	cfg   Config
+	sched SchedulerConfig
+	ctrl  *core.Controller
+	dir   predictor.DirPredictor
+	btb   *btb.BTB
+	ras   *btb.RAS
+
+	hw    []*hwContext
+	cycle uint64
+	rr    int // SMT fetch round-robin pointer
+	krng  *rng.Xoshiro256
+
+	// pfWalkCycles is the cost of one Precise Flush: unlike Complete
+	// Flush's bulk flash-clear, a precise flush must walk every row
+	// comparing stored thread IDs (the "complex hardware implementations"
+	// of §4.1 observation 3). Modelled as a predictor-port stall of
+	// rows/8 cycles; zero for every other mechanism.
+	pfWalkCycles uint64
+}
+
+// New builds a core. The predictor must have been constructed against the
+// same controller so flush/rotation events reach it.
+func New(cfg Config, sched SchedulerConfig, ctrl *core.Controller, dir predictor.DirPredictor) *Core {
+	if cfg.HWThreads < 1 || cfg.HWThreads > core.MaxHWThreads {
+		panic("cpu: invalid hardware thread count")
+	}
+	c := &Core{
+		cfg:   cfg,
+		sched: sched,
+		ctrl:  ctrl,
+		dir:   dir,
+		btb:   btb.New(cfg.BTB, ctrl),
+		ras:   btb.NewRAS(cfg.RASDepth, ctrl),
+		krng:  rng.NewXoshiro256(rng.Mix64(sched.Seed ^ 0xc0de)),
+	}
+	if ctrl.Options().Mechanism == core.PreciseFlush {
+		entries := dir.StorageBits() / 8 // fallback: ~8 bits per entry
+		if ec, ok := dir.(interface{ Entries() uint64 }); ok {
+			entries = ec.Entries()
+		}
+		entries += c.btb.Entries()
+		// A thread-ID-matching walk at 16 entries per cycle.
+		c.pfWalkCycles = entries / 16
+	}
+	for i := 0; i < cfg.HWThreads; i++ {
+		hc := &hwContext{
+			id:   core.HWThread(i),
+			priv: core.User,
+			// Stagger timers so SMT threads do not flush synchronously.
+			nextTimer: sched.TimerPeriod + uint64(i)*sched.TimerPeriod/uint64(cfg.HWThreads),
+			kernel: &swThread{
+				prog:   workload.NewGenerator(workload.KernelProfile(), sched.Seed),
+				kernel: true,
+			},
+		}
+		c.hw = append(c.hw, hc)
+	}
+	return c
+}
+
+// Assign places programs on hardware contexts: programs[i] goes to
+// context i%HWThreads, so a single-threaded core time-shares all of them
+// and an SMT core runs one (or more) per way.
+func (c *Core) Assign(programs ...workload.Program) {
+	for i, p := range programs {
+		hc := c.hw[i%c.cfg.HWThreads]
+		hc.sw = append(hc.sw, &swThread{prog: p})
+	}
+	for _, hc := range c.hw {
+		if len(hc.sw) == 0 {
+			panic("cpu: hardware context without software thread")
+		}
+	}
+}
+
+// BTBUnit exposes the BTB for residency diagnostics.
+func (c *Core) BTBUnit() *btb.BTB { return c.btb }
+
+// Controller exposes the isolation controller for event statistics.
+func (c *Core) Controller() *core.Controller { return c.ctrl }
+
+// Cycles returns the global cycle counter.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// ThreadStatsOf returns a copy of the stats of software thread idx on
+// hardware context hw.
+func (c *Core) ThreadStatsOf(hw, idx int) ThreadStats { return c.hw[hw].sw[idx].stats }
+
+// ThreadCyclesOf returns the cycles attributed to software thread idx on
+// hardware context hw (single-core attribution; see swThread).
+func (c *Core) ThreadCyclesOf(hw, idx int) uint64 { return c.hw[hw].sw[idx].activeCycles }
+
+// KernelStatsOf returns the kernel pseudo-thread stats of context hw.
+func (c *Core) KernelStatsOf(hw int) ThreadStats { return c.hw[hw].kernel.stats }
+
+// ResetStats zeroes all thread statistics and the BTB counters (cycle and
+// scheduler state keep running) — call after warmup.
+func (c *Core) ResetStats() {
+	for _, hc := range c.hw {
+		for _, t := range hc.sw {
+			t.stats = ThreadStats{}
+			t.activeCycles = 0
+		}
+		hc.kernel.stats = ThreadStats{}
+	}
+	c.btb.ResetStats()
+}
+
+// step advances one cycle: the next hardware context in strict round-
+// robin order receives the fetch slot. A context inside its misprediction
+// window still consumes its turn — the front end is fetching the wrong
+// path on its behalf — so one thread's mispredictions cost the whole SMT
+// core bandwidth rather than being silently absorbed by its siblings.
+// Returns the number of user instructions retired this cycle.
+func (c *Core) step() uint64 {
+	c.cycle++
+	if len(c.hw) == 1 {
+		// Single hardware context: the cycle belongs to the scheduled
+		// software thread whether it fetches or stalls.
+		c.hw[0].sw[c.hw[0].cur].activeCycles++
+	}
+	hc := c.hw[c.rr]
+	c.rr = (c.rr + 1) % len(c.hw)
+	if hc.stallUntil > c.cycle {
+		return 0 // wrong-path fetch: the slot is burned
+	}
+	return c.fetchGroup(hc)
+}
+
+// fetchGroup fetches up to FetchWidth instructions for hc, stopping at a
+// taken branch or a stall. Returns user instructions retired.
+func (c *Core) fetchGroup(hc *hwContext) uint64 {
+	// Timer interrupts are taken at user-mode fetch boundaries.
+	if hc.kernelLeft == 0 && c.cycle >= hc.nextTimer {
+		hc.nextTimer += c.sched.TimerPeriod
+		c.enterKernel(hc)
+		hc.pendingCtx = len(hc.sw) > 1
+		return 0
+	}
+	var user uint64
+	w := c.cfg.FetchWidth
+	for w > 0 {
+		t := hc.active()
+		if !t.evLoaded {
+			t.prog.Next(&t.ev)
+			t.gapLeft = int(t.ev.Gap)
+			t.evLoaded = true
+		}
+		if t.gapLeft > 0 {
+			take := t.gapLeft
+			if take > w {
+				take = w
+			}
+			t.gapLeft -= take
+			w -= take
+			t.stats.Instructions += uint64(take)
+			if !t.kernel {
+				user += uint64(take)
+			}
+			continue
+		}
+		// The branch instruction itself.
+		w--
+		t.stats.Instructions++
+		t.stats.Branches++
+		if !t.kernel {
+			user++
+		}
+		redirect, stall := c.resolve(hc, t)
+		t.evLoaded = false
+		syscall := t.ev.Syscall && !t.kernel
+		kernelExit := false
+		if t.kernel {
+			hc.kernelLeft--
+			kernelExit = hc.kernelLeft == 0
+		}
+		if stall > 0 {
+			hc.stallUntil = c.cycle + stall
+		}
+		if kernelExit {
+			c.exitKernel(hc)
+		}
+		if syscall {
+			c.enterKernel(hc)
+		}
+		// A stall, privilege transition, or taken branch ends the group.
+		if stall > 0 || kernelExit || syscall || redirect {
+			break
+		}
+	}
+	return user
+}
+
+// enterKernel models a privilege switch into the kernel: the isolation
+// event fires and the synthetic handler is scheduled.
+func (c *Core) enterKernel(hc *hwContext) {
+	hc.priv = core.Kernel
+	c.ctrl.PrivilegeChange(hc.id, core.Kernel)
+	c.chargeFlushWalk(hc, true)
+	// Handler length varies around the configured mean.
+	mean := c.sched.KernelBranches
+	hc.kernelLeft = mean/2 + c.krng.Intn(mean+1)
+	cur := hc.sw[hc.cur]
+	if !cur.kernel {
+		cur.stats.Syscalls++
+	}
+}
+
+// exitKernel returns to user mode, firing the privilege event (fresh user
+// key under the encoding mechanisms — the §5.5 scenario 5 property), and
+// performs any pending context switch.
+func (c *Core) exitKernel(hc *hwContext) {
+	if hc.pendingCtx {
+		hc.pendingCtx = false
+		hc.cur = (hc.cur + 1) % len(hc.sw)
+		c.ctrl.ContextSwitch(hc.id)
+		c.chargeFlushWalk(hc, false)
+	}
+	hc.priv = core.User
+	c.ctrl.PrivilegeChange(hc.id, core.User)
+	c.chargeFlushWalk(hc, true)
+}
+
+// chargeFlushWalk stalls the context for the Precise Flush row walk when
+// the event actually flushed.
+func (c *Core) chargeFlushWalk(hc *hwContext, privEvent bool) {
+	if c.pfWalkCycles == 0 {
+		return
+	}
+	if privEvent && !c.ctrl.Options().FlushOnPrivilege {
+		return
+	}
+	if until := c.cycle + c.pfWalkCycles; until > hc.stallUntil {
+		hc.stallUntil = until
+	}
+}
+
+// resolve predicts and immediately resolves one branch, returning whether
+// fetch redirects (taken) and the stall penalty in cycles.
+func (c *Core) resolve(hc *hwContext, t *swThread) (redirect bool, stall uint64) {
+	d := core.Domain{Thread: hc.id, Priv: hc.priv}
+	ev := &t.ev
+	switch ev.Class {
+	case predictor.CondDirect:
+		predTaken := c.dir.Predict(d, ev.PC)
+		c.dir.Update(d, ev.PC, ev.Taken)
+		t.stats.CondBranches++
+		if predTaken != ev.Taken {
+			t.stats.DirMisp++
+		}
+		effTaken := predTaken
+		var predTarget uint64
+		if predTaken {
+			tgt, hit := c.btb.Lookup(d, ev.PC)
+			if hit {
+				predTarget = tgt
+			} else {
+				// No target available: the front end falls through.
+				effTaken = false
+			}
+		}
+		switch {
+		case effTaken != ev.Taken:
+			t.stats.EffMisp++
+			stall = c.cfg.MispredictPenalty
+		case effTaken && predTarget != ev.Target&targetMask:
+			// False hit produced a garbage target.
+			t.stats.TargMisp++
+			stall = c.cfg.MispredictPenalty
+		}
+		if ev.Taken {
+			c.btb.Update(d, ev.PC, ev.Target, ev.Class)
+			redirect = true
+		}
+
+	case predictor.UncondDirect, predictor.Call:
+		tgt, hit := c.btb.Lookup(d, ev.PC)
+		if !hit || tgt != ev.Target&targetMask {
+			// Direct target recomputed at decode: short redirect.
+			t.stats.DecodeRedir++
+			stall = c.cfg.BTBMissPenalty
+		}
+		c.btb.Update(d, ev.PC, ev.Target, ev.Class)
+		if ev.Class == predictor.Call {
+			c.ras.Push(d, ev.PC+4)
+		}
+		redirect = true
+
+	case predictor.Indirect, predictor.IndirectCall:
+		tgt, hit := c.btb.Lookup(d, ev.PC)
+		if !hit || tgt != ev.Target&targetMask {
+			// Indirect targets resolve at execute: full penalty.
+			t.stats.TargMisp++
+			t.stats.EffMisp++
+			stall = c.cfg.MispredictPenalty
+		}
+		c.btb.Update(d, ev.PC, ev.Target, ev.Class)
+		if ev.Class == predictor.IndirectCall {
+			c.ras.Push(d, ev.PC+4)
+		}
+		redirect = true
+
+	case predictor.Return:
+		tgt, ok := c.ras.Pop(d)
+		if !ok || tgt != ev.Target {
+			t.stats.TargMisp++
+			t.stats.EffMisp++
+			stall = c.cfg.MispredictPenalty
+		}
+		redirect = true
+	}
+	return redirect, stall
+}
+
+// targetMask reflects the BTB's partial-target storage (32 bits in both
+// configurations).
+const targetMask = (1 << 32) - 1
+
+// RunTargetInstructions runs until software thread 0 on hardware context
+// 0 (the "target benchmark") retires n more user instructions, the
+// paper's single-threaded measurement. It returns the elapsed cycles.
+func (c *Core) RunTargetInstructions(n uint64) uint64 {
+	start := c.cycle
+	target := c.hw[0].sw[0]
+	goal := target.stats.Instructions + n
+	for target.stats.Instructions < goal {
+		c.step()
+	}
+	return c.cycle - start
+}
+
+// RunTotalInstructions runs until n more user instructions retire across
+// all threads, the paper's SMT measurement ("the execution cycles of the
+// next two billion instructions executed by either thread"). It returns
+// the elapsed cycles.
+func (c *Core) RunTotalInstructions(n uint64) uint64 {
+	start := c.cycle
+	var done uint64
+	for done < n {
+		done += c.step()
+	}
+	return c.cycle - start
+}

@@ -1,0 +1,216 @@
+package cpu
+
+import (
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/gshare"
+	"xorbp/internal/tage"
+	"xorbp/internal/workload"
+)
+
+// build wires a core with the FPGA configuration and a given mechanism.
+func build(m core.Mechanism, timerPeriod uint64, progs ...workload.Program) *Core {
+	ctrl := core.NewController(core.OptionsFor(m), 42)
+	dir := tage.New(tage.FPGAConfig(), ctrl)
+	c := New(FPGAConfig(), DefaultScheduler(timerPeriod), ctrl, dir)
+	c.Assign(progs...)
+	return c
+}
+
+func progs(names ...string) []workload.Program {
+	var out []workload.Program
+	for i, n := range names {
+		out = append(out, workload.NewGenerator(workload.MustByName(n), uint64(100+i)))
+	}
+	return out
+}
+
+func TestRunRetiresInstructions(t *testing.T) {
+	c := build(core.Baseline, 200000, progs("gcc", "calculix")...)
+	cycles := c.RunTargetInstructions(500000)
+	if cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	st := c.ThreadStatsOf(0, 0)
+	if st.Instructions < 500000 {
+		t.Fatalf("target retired %d instructions, want >= 500000", st.Instructions)
+	}
+	// IPC must be positive and below the fetch width.
+	ipc := float64(st.Instructions) / float64(cycles)
+	if ipc <= 0.1 || ipc >= 4 {
+		t.Fatalf("implausible wall IPC %.2f for a time-shared 4-wide core", ipc)
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	run := func() uint64 {
+		c := build(core.NoisyXOR, 100000, progs("gcc", "calculix")...)
+		return c.RunTargetInstructions(300000)
+	}
+	if run() != run() {
+		t.Fatal("simulation is not cycle-deterministic")
+	}
+}
+
+func TestContextSwitchesHappen(t *testing.T) {
+	c := build(core.Baseline, 50000, progs("gcc", "calculix")...)
+	c.RunTargetInstructions(400000)
+	ctx, priv, _, _ := c.Controller().Stats()
+	if ctx == 0 {
+		t.Fatal("no context switches despite two time-shared threads")
+	}
+	if priv == 0 {
+		t.Fatal("no privilege switches despite syscalls and timers")
+	}
+	// Both threads must have made progress.
+	if c.ThreadStatsOf(0, 1).Instructions == 0 {
+		t.Fatal("background thread never ran")
+	}
+}
+
+func TestPrivilegeSwitchesDominateContextSwitches(t *testing.T) {
+	// The paper's Table 4 observation: syscall-driven privilege changes
+	// far outnumber timer context switches. (Timer interrupts themselves
+	// contribute two privilege changes each, so the floor is 2x; the
+	// syscall traffic must lift it well beyond that.)
+	c := build(core.Baseline, 1000000, progs("gcc", "calculix")...)
+	c.RunTargetInstructions(6000000)
+	ctx, priv, _, _ := c.Controller().Stats()
+	if priv < 4*ctx {
+		t.Fatalf("privilege switches (%d) should dominate context switches (%d)", priv, ctx)
+	}
+}
+
+func TestKernelRunsOnSyscall(t *testing.T) {
+	c := build(core.Baseline, 10000000, progs("povray", "gcc")...)
+	c.RunTargetInstructions(1000000)
+	if c.KernelStatsOf(0).Instructions == 0 {
+		t.Fatal("kernel handler never executed")
+	}
+	if c.ThreadStatsOf(0, 0).Syscalls == 0 {
+		t.Fatal("no syscalls recorded for a syscall-heavy benchmark")
+	}
+}
+
+func TestIsolationCostsCycles(t *testing.T) {
+	// Noisy-XOR must cost something relative to baseline (key rotations
+	// invalidate state) but only a few percent (the paper's headline).
+	base := build(core.Baseline, 500000, progs("gcc", "calculix")...)
+	nxor := build(core.NoisyXOR, 500000, progs("gcc", "calculix")...)
+	const warm = 2000000
+	const meas = 4000000
+	base.RunTargetInstructions(warm)
+	nxor.RunTargetInstructions(warm)
+	base.ResetStats()
+	nxor.ResetStats()
+	base.RunTargetInstructions(meas)
+	nxor.RunTargetInstructions(meas)
+	// Compare target-attributed cycles: wall time at this scale is
+	// dominated by scheduler-slice quantization.
+	cb := base.ThreadCyclesOf(0, 0)
+	cx := nxor.ThreadCyclesOf(0, 0)
+	over := float64(cx)/float64(cb) - 1
+	if over < -0.01 {
+		t.Fatalf("Noisy-XOR faster than baseline by %.2f%%?", -over*100)
+	}
+	if over > 0.15 {
+		t.Fatalf("Noisy-XOR overhead %.1f%% is implausibly high", over*100)
+	}
+}
+
+func TestCompleteFlushWorseThanBaselineSMT(t *testing.T) {
+	mk := func(m core.Mechanism) *Core {
+		ctrl := core.NewController(core.OptionsFor(m), 7)
+		dir := gshare.New(gshare.Gem5Config(), ctrl)
+		c := New(Gem5Config(2), DefaultScheduler(500000), ctrl, dir)
+		c.Assign(progs("zeusmp", "lbm")...)
+		return c
+	}
+	base := mk(core.Baseline)
+	cf := mk(core.CompleteFlush)
+	base.RunTotalInstructions(1000000)
+	cf.RunTotalInstructions(1000000)
+	cb := base.RunTotalInstructions(3000000)
+	cc := cf.RunTotalInstructions(3000000)
+	if cc <= cb {
+		t.Fatalf("CompleteFlush (%d cycles) should cost more than baseline (%d)", cc, cb)
+	}
+}
+
+func TestSMTSharesFetchBandwidth(t *testing.T) {
+	// Two SMT threads must both retire instructions, and total throughput
+	// must stay below the fetch width.
+	ctrl := core.NewController(core.OptionsFor(core.Baseline), 7)
+	dir := gshare.New(gshare.Gem5Config(), ctrl)
+	c := New(Gem5Config(2), DefaultScheduler(500000), ctrl, dir)
+	c.Assign(progs("zeusmp", "lbm")...)
+	cycles := c.RunTotalInstructions(2000000)
+	s0 := c.ThreadStatsOf(0, 0)
+	s1 := c.ThreadStatsOf(1, 0)
+	if s0.Instructions == 0 || s1.Instructions == 0 {
+		t.Fatal("an SMT thread starved")
+	}
+	ipc := float64(s0.Instructions+s1.Instructions) / float64(cycles)
+	if ipc > 8 {
+		t.Fatalf("total IPC %.1f exceeds the fetch width", ipc)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	c := build(core.Baseline, 100000, progs("gcc", "calculix")...)
+	c.RunTargetInstructions(100000)
+	c.ResetStats()
+	if c.ThreadStatsOf(0, 0).Instructions != 0 {
+		t.Fatal("ResetStats left instruction counts")
+	}
+	c.RunTargetInstructions(50000)
+	if c.ThreadStatsOf(0, 0).Instructions < 50000 {
+		t.Fatal("stats did not resume accumulating")
+	}
+}
+
+func TestMispredictionsArePenalized(t *testing.T) {
+	// A hard-to-predict workload must have lower IPC than a predictable
+	// one on the same core.
+	easy := build(core.Baseline, 10000000, progs("lbm", "lbm")...)
+	hard := build(core.Baseline, 10000000, progs("mcf", "mcf")...)
+	ce := easy.RunTargetInstructions(1000000)
+	ch := hard.RunTargetInstructions(1000000)
+	ipcE := 1e6 / float64(ce)
+	ipcH := 1e6 / float64(ch)
+	if ipcE <= ipcH {
+		t.Fatalf("predictable lbm IPC %.2f should exceed mcf IPC %.2f", ipcE, ipcH)
+	}
+}
+
+func TestBTBFillsUp(t *testing.T) {
+	c := build(core.Baseline, 10000000, progs("gobmk", "libquantum")...)
+	c.RunTargetInstructions(2000000)
+	if occ := c.BTBUnit().OccupancyOf(0); occ < 100 {
+		t.Fatalf("BTB occupancy %d after 2M instructions of gobmk, want > 100", occ)
+	}
+}
+
+func TestMPKIComputation(t *testing.T) {
+	s := ThreadStats{Instructions: 2000, DirMisp: 9}
+	if got := s.MPKI(); got != 4.5 {
+		t.Fatalf("MPKI = %v, want 4.5", got)
+	}
+	var empty ThreadStats
+	if empty.MPKI() != 0 {
+		t.Fatal("empty MPKI should be 0")
+	}
+}
+
+func TestPanicsWithoutPrograms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assign with a starved context did not panic")
+		}
+	}()
+	ctrl := core.NewController(core.OptionsFor(core.Baseline), 1)
+	dir := gshare.New(gshare.Gem5Config(), ctrl)
+	c := New(Gem5Config(2), DefaultScheduler(1000), ctrl, dir)
+	c.Assign(progs("gcc")...) // second context starves
+}

@@ -1,0 +1,218 @@
+// Package experiment contains one runner per table and figure in the
+// paper's evaluation (§6). Each runner builds the matching processor
+// configuration, executes the Table 3 workloads under the mechanisms the
+// figure compares, and renders the same rows/series the paper reports.
+//
+// Runs are deterministic for a given Scale and seed.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/gshare"
+	"xorbp/internal/predictor"
+	"xorbp/internal/report"
+	"xorbp/internal/tage"
+	"xorbp/internal/tagescl"
+	"xorbp/internal/tournament"
+	"xorbp/internal/workload"
+)
+
+// Scale sets simulation sizes. The paper runs billions of instructions on
+// real SPEC; the harness scales budgets and timer periods together so the
+// ratios that drive every result (warm-up cost per isolation event vs
+// cycles between events) are preserved. See EXPERIMENTS.md.
+type Scale struct {
+	// WarmupInstr and MeasureInstr are per-run instruction budgets for
+	// single-core runs.
+	WarmupInstr, MeasureInstr uint64
+	// SMTWarmupInstr and SMTMeasureInstr are the (larger) budgets for SMT
+	// runs: isolation events arrive per Mcycle, and an SMT window must
+	// contain enough of them for a stable flush-cost estimate.
+	SMTWarmupInstr, SMTMeasureInstr uint64
+	// TimerPeriods are the scaled flush/switch periods standing in for
+	// the paper's 4M/8M/12M cycles (labels keep the paper's names).
+	TimerPeriods [3]uint64
+	// TimerLabels are the paper's names for the three periods.
+	TimerLabels [3]string
+	// Seed diversifies the whole experiment deterministically.
+	Seed uint64
+}
+
+// FullScale is the configuration used by cmd/bpsim: large enough for
+// stable estimates (tens of isolation events per run).
+func FullScale() Scale {
+	return Scale{
+		WarmupInstr:     4_000_000,
+		MeasureInstr:    16_000_000,
+		SMTWarmupInstr:  8_000_000,
+		SMTMeasureInstr: 48_000_000,
+		TimerPeriods:    [3]uint64{1_000_000, 2_000_000, 3_000_000},
+		TimerLabels:     [3]string{"4M", "8M", "12M"},
+		Seed:            1,
+	}
+}
+
+// BenchScale is a reduced configuration for `go test -bench`: same
+// structure, noisier estimates.
+func BenchScale() Scale {
+	return Scale{
+		WarmupInstr:     1_000_000,
+		MeasureInstr:    4_000_000,
+		SMTWarmupInstr:  2_000_000,
+		SMTMeasureInstr: 14_000_000,
+		TimerPeriods:    [3]uint64{500_000, 1_000_000, 1_500_000},
+		TimerLabels:     [3]string{"4M", "8M", "12M"},
+		Seed:            1,
+	}
+}
+
+// PredictorNames lists the gem5 predictors of Figure 10 in the paper's
+// accuracy order (least accurate first).
+func PredictorNames() []string {
+	return []string{"gshare", "tournament", "ltage", "tage_sc_l"}
+}
+
+// NewDirPredictor constructs a named predictor against a controller.
+// Valid names: gshare, tournament, ltage, tage_sc_l (gem5 set) and tage
+// (the FPGA prototype predictor).
+func NewDirPredictor(name string, ctrl *core.Controller) predictor.DirPredictor {
+	switch name {
+	case "gshare":
+		return gshare.New(gshare.Gem5Config(), ctrl)
+	case "tournament":
+		return tournament.New(tournament.Gem5Config(), ctrl)
+	case "ltage":
+		return tage.New(tage.LTAGEConfig(), ctrl)
+	case "tage_sc_l":
+		return tagescl.New(tagescl.Gem5Config(), ctrl)
+	case "tage":
+		return tage.New(tage.FPGAConfig(), ctrl)
+	default:
+		panic(fmt.Sprintf("experiment: unknown predictor %q", name))
+	}
+}
+
+// RunResult is one simulation's measurement window.
+type RunResult struct {
+	Cycles       uint64
+	Target       cpu.ThreadStats
+	Others       []cpu.ThreadStats
+	PrivSwitches uint64
+	CtxSwitches  uint64
+	BTBHitRate   float64
+}
+
+// PrivPerMcycle returns privilege switches per million cycles.
+func (r RunResult) PrivPerMcycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.PrivSwitches) / float64(r.Cycles) * 1e6
+}
+
+// CtxPerMcycle returns context switches per million cycles.
+func (r RunResult) CtxPerMcycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.CtxSwitches) / float64(r.Cycles) * 1e6
+}
+
+// runSpec fully describes one simulation.
+type runSpec struct {
+	opts     core.Options
+	predName string
+	cfg      cpu.Config
+	timer    uint64
+	names    []string // software threads, first = target
+	scale    Scale
+}
+
+// run executes one simulation: warmup, stat reset, measurement.
+func run(s runSpec) RunResult {
+	ctrl := core.NewController(s.opts, s.scale.Seed)
+	dir := NewDirPredictor(s.predName, ctrl)
+	c := cpu.New(s.cfg, cpu.DefaultScheduler(s.timer), ctrl, dir)
+	var progs []workload.Program
+	for i, n := range s.names {
+		progs = append(progs, workload.NewGenerator(workload.MustByName(n), s.scale.Seed*1000+uint64(i)))
+	}
+	c.Assign(progs...)
+
+	smt := s.cfg.HWThreads > 1
+	if smt {
+		c.RunTotalInstructions(s.scale.SMTWarmupInstr)
+	} else {
+		c.RunTargetInstructions(s.scale.WarmupInstr)
+	}
+	c.ResetStats()
+	ctx0, priv0, _, _ := ctrl.Stats()
+
+	var cycles uint64
+	if smt {
+		cycles = c.RunTotalInstructions(s.scale.SMTMeasureInstr)
+	} else {
+		// Single core: measure cycles attributed to the target thread
+		// (scheduler-slice quantization would dominate wall time at
+		// simulation scale — see swThread.activeCycles).
+		c.RunTargetInstructions(s.scale.MeasureInstr)
+		cycles = c.ThreadCyclesOf(0, 0)
+	}
+	ctx1, priv1, _, _ := ctrl.Stats()
+
+	res := RunResult{
+		Cycles:       cycles,
+		Target:       c.ThreadStatsOf(0, 0),
+		PrivSwitches: priv1 - priv0,
+		CtxSwitches:  ctx1 - ctx0,
+		BTBHitRate:   c.BTBUnit().HitRate(),
+	}
+	if smt {
+		for hw := 1; hw < s.cfg.HWThreads; hw++ {
+			res.Others = append(res.Others, c.ThreadStatsOf(hw, 0))
+		}
+	} else {
+		for i := 1; i < len(s.names); i++ {
+			res.Others = append(res.Others, c.ThreadStatsOf(0, i))
+		}
+	}
+	return res
+}
+
+// Overhead is the normalized performance overhead of a mechanism run
+// relative to a baseline run on identical workloads.
+func Overhead(mechCycles, baseCycles uint64) float64 {
+	return float64(mechCycles)/float64(baseCycles) - 1
+}
+
+// Table is the shared aligned-text table type (see internal/report).
+type Table = report.Table
+
+// pct formats a ratio as a signed percentage.
+func pct(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }
+
+// mean averages a slice.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// sortedKeys returns map keys in order (for deterministic rendering).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

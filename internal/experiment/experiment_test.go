@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/workload"
+)
+
+// tinyScale keeps integration tests fast; the assertions only check
+// structure and gross shape, not calibrated magnitudes.
+func tinyScale() Scale {
+	return Scale{
+		WarmupInstr:     300_000,
+		MeasureInstr:    1_200_000,
+		SMTWarmupInstr:  600_000,
+		SMTMeasureInstr: 4_000_000,
+		TimerPeriods:    [3]uint64{200_000, 400_000, 600_000},
+		TimerLabels:     [3]string{"4M", "8M", "12M"},
+		Seed:            1,
+	}
+}
+
+func TestNewDirPredictorNames(t *testing.T) {
+	ctrl := core.NewController(core.OptionsFor(core.Baseline), 1)
+	for _, n := range append(PredictorNames(), "tage") {
+		p := NewDirPredictor(n, ctrl)
+		if p.Name() != n {
+			t.Errorf("predictor %q reports name %q", n, p.Name())
+		}
+		if p.StorageBits() == 0 {
+			t.Errorf("predictor %q reports zero storage", n)
+		}
+	}
+}
+
+func TestNewDirPredictorUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown predictor did not panic")
+		}
+	}()
+	NewDirPredictor("perceptron", core.NewController(core.OptionsFor(core.Baseline), 1))
+}
+
+func TestRunSingleProducesStats(t *testing.T) {
+	s := runSpec{
+		opts:     core.OptionsFor(core.Baseline),
+		predName: "tage",
+		cfg:      cpu.FPGAConfig(),
+		timer:    300_000,
+		names:    []string{"gcc", "calculix"},
+		scale:    tinyScale(),
+	}
+	r := run(s)
+	if r.Cycles == 0 || r.Target.Instructions == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.Target.MPKI() <= 0 {
+		t.Fatal("zero MPKI")
+	}
+}
+
+func TestSessionMemoizes(t *testing.T) {
+	s := NewSession(tinyScale())
+	spec := singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000)
+	a := s.run(spec)
+	b := s.run(spec)
+	if a.Cycles != b.Cycles || a.Target != b.Target {
+		t.Fatal("memoized runs differ")
+	}
+	if len(s.cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(s.cache))
+	}
+}
+
+func TestSessionCacheKeysDistinguishMechanisms(t *testing.T) {
+	s := NewSession(tinyScale())
+	pair := workload.SingleCorePairs()[0]
+	s.run(singleSpec(scopedOpts(core.XOR, core.StructBTB), pair, 300_000))
+	s.run(singleSpec(scopedOpts(core.NoisyXOR, core.StructBTB), pair, 300_000))
+	if len(s.cache) != 2 {
+		t.Fatalf("cache has %d entries, want 2 (mechanisms must not collide)", len(s.cache))
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	tab := NewSession(tinyScale()).Figure1()
+	if len(tab.Rows) != 13 { // 12 cases + average
+		t.Fatalf("Figure 1 has %d rows, want 13", len(tab.Rows))
+	}
+	if tab.Rows[12][0] != "average" {
+		t.Fatal("last row should be the average")
+	}
+	if len(tab.Header) != 4 {
+		t.Fatalf("Figure 1 has %d columns, want 4", len(tab.Header))
+	}
+}
+
+func TestFigure10Structure(t *testing.T) {
+	// Structural check only at tiny scale (two cases would be enough, but
+	// the runner covers all 12; keep the tiny scale cheap).
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	tab := NewSession(tinyScale()).Figure10()
+	if len(tab.Rows) != 13 {
+		t.Fatalf("Figure 10 has %d rows, want 13", len(tab.Rows))
+	}
+	if len(tab.Header) != 1+4*3 {
+		t.Fatalf("Figure 10 has %d columns, want 13", len(tab.Header))
+	}
+}
+
+func TestTable2And3Static(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) < 6 {
+		t.Fatalf("Table 2 too small: %d rows", len(t2.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 12 {
+		t.Fatalf("Table 3 has %d rows, want 12", len(t3.Rows))
+	}
+	if !strings.Contains(t3.Rows[0][1], "gcc") {
+		t.Fatalf("Table 3 case1 should contain gcc: %v", t3.Rows[0])
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	if Overhead(110, 100) < 0.099 || Overhead(110, 100) > 0.101 {
+		t.Fatal("Overhead(110,100) != ~0.10")
+	}
+	if Overhead(95, 100) > -0.04 {
+		t.Fatal("negative overhead lost")
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+	}
+	tab.AddRow("xxx", "y")
+	out := tab.Render()
+	if !strings.Contains(out, "xxx") || !strings.Contains(out, "---") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+}
+
+func TestMeanAndPct(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Fatal("mean(nil) != 0")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if pct(0.0123) != "+1.23%" {
+		t.Fatalf("pct formatting: %q", pct(0.0123))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	ks := sortedKeys(m)
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("sortedKeys wrong: %v", ks)
+	}
+}
+
+func TestBaselineFasterThanFlushSingleCore(t *testing.T) {
+	// Gross shape at tiny scale: periodic Complete Flush must cost
+	// something on the single-threaded core, but very little.
+	s := NewSession(tinyScale())
+	pair := workload.SingleCorePairs()[2]
+	base := s.run(singleSpec(baselineOpts(), pair, 300_000))
+	cf := s.run(singleSpec(figure1CF(), pair, 300_000))
+	over := Overhead(cf.Cycles, base.Cycles)
+	if over < -0.01 {
+		t.Fatalf("flush run faster than baseline by %.2f%%", -over*100)
+	}
+	if over > 0.10 {
+		t.Fatalf("periodic flush overhead %.1f%% implausibly high", over*100)
+	}
+}

@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"fmt"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/workload"
+)
+
+// Session memoizes simulation runs so figures sharing baselines (7/8/9)
+// do not recompute them.
+type Session struct {
+	scale Scale
+	cache map[string]RunResult
+}
+
+// NewSession creates a session at the given scale.
+func NewSession(scale Scale) *Session {
+	return &Session{scale: scale, cache: make(map[string]RunResult)}
+}
+
+// Scale returns the session's scale.
+func (s *Session) Scale() Scale { return s.scale }
+
+func (s *Session) run(spec runSpec) RunResult {
+	spec.scale = s.scale
+	key := fmt.Sprintf("%+v|%s|%s|%d|%v|%d", spec.opts, spec.predName,
+		spec.cfg.Name, spec.cfg.HWThreads, spec.names, spec.timer)
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	r := run(spec)
+	s.cache[key] = r
+	return r
+}
+
+// baselineOpts is the unprotected configuration.
+func baselineOpts() core.Options { return core.OptionsFor(core.Baseline) }
+
+// figure1CF is Complete Flush as evaluated in Figure 1: flushed only at
+// the periodic timer switch, not on syscalls.
+func figure1CF() core.Options {
+	o := core.OptionsFor(core.CompleteFlush)
+	o.FlushOnPrivilege = false
+	return o
+}
+
+// scopedOpts returns an encoding mechanism limited to a structure set.
+func scopedOpts(m core.Mechanism, scope core.Structure) core.Options {
+	o := core.OptionsFor(m)
+	o.Scope = scope
+	return o
+}
+
+// singleSpec builds an FPGA single-core run over a Table 3 pair.
+func singleSpec(opts core.Options, pair workload.Pair, timer uint64) runSpec {
+	return runSpec{
+		opts:     opts,
+		predName: "tage",
+		cfg:      cpu.FPGAConfig(),
+		timer:    timer,
+		names:    []string{pair.First, pair.Second},
+	}
+}
+
+// smt2Spec builds a gem5 SMT-2 run.
+func smt2Spec(opts core.Options, predName string, pair workload.Pair, timer uint64) runSpec {
+	return runSpec{
+		opts:     opts,
+		predName: predName,
+		cfg:      cpu.Gem5Config(2),
+		timer:    timer,
+		names:    []string{pair.First, pair.Second},
+	}
+}
+
+// smt4Spec builds a gem5 SMT-4 run.
+func smt4Spec(opts core.Options, predName string, quad workload.Quad, timer uint64) runSpec {
+	return runSpec{
+		opts:     opts,
+		predName: predName,
+		cfg:      cpu.Gem5Config(4),
+		timer:    timer,
+		names:    quad.Names[:],
+	}
+}
+
+// Figure1 reproduces "Performance overhead of flushing branch predictor
+// on single-threaded processor" — Complete Flush at the three timer
+// periods, averaged over the 12 single-core cases. Paper: all bars below
+// ~1%, decreasing with the period.
+func (s *Session) Figure1() *Table {
+	t := &Table{
+		Title:  "Figure 1: Complete Flush overhead, single-threaded core",
+		Header: []string{"case", "flush-4M", "flush-8M", "flush-12M"},
+		Caption: "Normalized performance overhead vs baseline (no isolation).\n" +
+			"Paper shape: average < 1%, shrinking as the flush period grows.",
+	}
+	var avg [3][]float64
+	for _, pair := range workload.SingleCorePairs() {
+		row := []string{pair.ID}
+		for i, period := range s.scale.TimerPeriods {
+			base := s.run(singleSpec(baselineOpts(), pair, period))
+			cf := s.run(singleSpec(figure1CF(), pair, period))
+			ov := Overhead(cf.Cycles, base.Cycles)
+			avg[i] = append(avg[i], ov)
+			row = append(row, pct(ov))
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("average", pct(mean(avg[0])), pct(mean(avg[1])), pct(mean(avg[2])))
+	return t
+}
+
+// Figure2 reproduces "Performance overhead of flushing branch history on
+// an SMT core": Complete Flush (context + privilege switches) on SMT-2
+// and SMT-4. Paper shape: far worse than Figure 1; SMT-4 worse than
+// SMT-2.
+func (s *Session) Figure2() *Table {
+	t := &Table{
+		Title:  "Figure 2: Complete Flush overhead on an SMT core",
+		Header: []string{"config", "overhead"},
+		Caption: "LTAGE predictor, flush on context and privilege switches.\n" +
+			"Paper shape: several percent on SMT-2, higher on SMT-4.",
+	}
+	period := s.scale.TimerPeriods[1]
+	var smt2 []float64
+	for _, pair := range workload.SMTPairs() {
+		base := s.run(smt2Spec(baselineOpts(), "ltage", pair, period))
+		cf := s.run(smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period))
+		smt2 = append(smt2, Overhead(cf.Cycles, base.Cycles))
+	}
+	var smt4 []float64
+	for _, quad := range workload.SMTQuads() {
+		base := s.run(smt4Spec(baselineOpts(), "ltage", quad, period))
+		cf := s.run(smt4Spec(core.OptionsFor(core.CompleteFlush), "ltage", quad, period))
+		smt4 = append(smt4, Overhead(cf.Cycles, base.Cycles))
+	}
+	t.AddRow("SMT-2", pct(mean(smt2)))
+	t.AddRow("SMT-4", pct(mean(smt4)))
+	return t
+}
+
+// Figure3 reproduces "Comparison between Complete Flush and Precise Flush
+// in SMT-2". Paper shape: Precise Flush lower but still elevated.
+func (s *Session) Figure3() *Table {
+	t := &Table{
+		Title:  "Figure 3: Complete vs Precise Flush, SMT-2",
+		Header: []string{"case", "CompleteFlush", "PreciseFlush"},
+		Caption: "LTAGE predictor. Paper shape: PF < CF, both well above\n" +
+			"the single-threaded core's cost.",
+	}
+	period := s.scale.TimerPeriods[1]
+	var cfAll, pfAll []float64
+	for _, pair := range workload.SMTPairs() {
+		base := s.run(smt2Spec(baselineOpts(), "ltage", pair, period))
+		cf := s.run(smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period))
+		pf := s.run(smt2Spec(core.OptionsFor(core.PreciseFlush), "ltage", pair, period))
+		co := Overhead(cf.Cycles, base.Cycles)
+		po := Overhead(pf.Cycles, base.Cycles)
+		cfAll = append(cfAll, co)
+		pfAll = append(pfAll, po)
+		t.AddRow(pair.ID, pct(co), pct(po))
+	}
+	t.AddRow("average", pct(mean(cfAll)), pct(mean(pfAll)))
+	return t
+}
+
+// figureScoped runs the Figure 7/8/9 family: XOR and Noisy-XOR limited to
+// a structure scope on the FPGA core, per case and timer period.
+func (s *Session) figureScoped(title string, scope core.Structure, shape string) *Table {
+	label := scope.String()
+	t := &Table{
+		Title: title,
+		Header: []string{"case",
+			"XOR-" + label + "-4M", "XOR-" + label + "-8M", "XOR-" + label + "-12M",
+			"Noisy-XOR-" + label + "-4M", "Noisy-XOR-" + label + "-8M", "Noisy-XOR-" + label + "-12M"},
+		Caption: shape,
+	}
+	var avgs [6][]float64
+	for _, pair := range workload.SingleCorePairs() {
+		row := []string{pair.ID}
+		col := 0
+		for _, mech := range []core.Mechanism{core.XOR, core.NoisyXOR} {
+			for _, period := range s.scale.TimerPeriods {
+				base := s.run(singleSpec(baselineOpts(), pair, period))
+				m := s.run(singleSpec(scopedOpts(mech, scope), pair, period))
+				ov := Overhead(m.Cycles, base.Cycles)
+				avgs[col] = append(avgs[col], ov)
+				row = append(row, pct(ov))
+				col++
+			}
+		}
+		t.AddRow(row...)
+	}
+	avgRow := []string{"average"}
+	for col := 0; col < 6; col++ {
+		avgRow = append(avgRow, pct(mean(avgs[col])))
+	}
+	t.AddRow(avgRow...)
+	return t
+}
+
+// Figure7 reproduces "Performance overhead of XOR-BTB and Noisy-XOR-BTB".
+// Paper shape: average < 0.2%, worst ≈ 1% (case6), case2 slightly
+// negative.
+func (s *Session) Figure7() *Table {
+	return s.figureScoped(
+		"Figure 7: XOR-BTB / Noisy-XOR-BTB overhead (single-threaded core)",
+		core.StructBTB,
+		"Paper shape: average < 0.2%; case6 worst (~1%); case2 can go negative\n"+
+			"(BTB loss overturns wrong direction predictions via fall-through).")
+}
+
+// Figure8 reproduces "Performance overhead of XOR-PHT and Noisy-XOR-PHT".
+// Paper shape: average < 1.1%, case1 worst (~2.5%), decreasing slightly
+// with longer switch periods.
+func (s *Session) Figure8() *Table {
+	return s.figureScoped(
+		"Figure 8: XOR-PHT / Noisy-XOR-PHT overhead (single-threaded core)",
+		core.StructPHT,
+		"Paper shape: average < 1.1%; case1 worst (~2.5%).")
+}
+
+// Figure9 reproduces "Performance overhead of XOR-BP and Noisy-XOR-BP"
+// (both structures protected). Paper shape: average < 1.3%, worst ≈ 2.5%
+// (case1), largely insensitive to the timer period because privilege
+// switches dominate (Table 4).
+func (s *Session) Figure9() *Table {
+	return s.figureScoped(
+		"Figure 9: XOR-BP / Noisy-XOR-BP overhead (single-threaded core)",
+		core.StructAll,
+		"Paper shape: average < 1.3%; worst ~2.5% (case1); flat across timer\n"+
+			"periods because privilege switches dominate key rotations.")
+}
+
+// Figure10 reproduces "Performance cost of three isolation mechanisms on
+// four different predictors on an SMT core". Paper shape: Noisy-XOR-BP
+// beats both flushes (26–37% lower loss than CF on average); more
+// accurate predictors pay more on average (2.3% → 4.9%).
+func (s *Session) Figure10() *Table {
+	preds := PredictorNames()
+	header := []string{"case"}
+	for _, p := range preds {
+		header = append(header, p+"-CF", p+"-PF", p+"-NXOR")
+	}
+	t := &Table{
+		Title:  "Figure 10: isolation mechanisms x predictors, SMT-2",
+		Header: header,
+		Caption: "Overhead vs the same predictor without protection.\n" +
+			"Paper shape: NXOR < PF < CF on average; cost grows with\n" +
+			"predictor accuracy (gshare -> tage_sc_l).",
+	}
+	period := s.scale.TimerPeriods[1]
+	sums := make(map[string][]float64)
+	for _, pair := range workload.SMTPairs() {
+		row := []string{pair.ID}
+		for _, p := range preds {
+			base := s.run(smt2Spec(baselineOpts(), p, pair, period))
+			for _, mech := range []core.Mechanism{core.CompleteFlush, core.PreciseFlush, core.NoisyXOR} {
+				m := s.run(smt2Spec(core.OptionsFor(mech), p, pair, period))
+				ov := Overhead(m.Cycles, base.Cycles)
+				key := p + "-" + mech.String()
+				sums[key] = append(sums[key], ov)
+				row = append(row, pct(ov))
+			}
+		}
+		t.AddRow(row...)
+	}
+	avgRow := []string{"average"}
+	for _, p := range preds {
+		for _, mech := range []core.Mechanism{core.CompleteFlush, core.PreciseFlush, core.NoisyXOR} {
+			avgRow = append(avgRow, pct(mean(sums[p+"-"+mech.String()])))
+		}
+	}
+	t.AddRow(avgRow...)
+	return t
+}

@@ -1,0 +1,152 @@
+package gshare
+
+import (
+	"testing"
+
+	"xorbp/internal/core"
+)
+
+func ctrl(m core.Mechanism) *core.Controller {
+	return core.NewController(core.OptionsFor(m), 1)
+}
+
+func d(t core.HWThread) core.Domain { return core.Domain{Thread: t, Priv: core.User} }
+
+// train runs n (predict, update) rounds with a fixed outcome.
+func train(g *Gshare, dom core.Domain, pc uint64, taken bool, n int) {
+	for i := 0; i < n; i++ {
+		g.Predict(dom, pc)
+		g.Update(dom, pc, taken)
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	// The GHR must reach its all-taken steady state (HistoryBits rounds)
+	// before the final index stabilizes.
+	for _, m := range []core.Mechanism{core.Baseline, core.NoisyXOR} {
+		g := New(Gem5Config(), ctrl(m))
+		train(g, d(0), 0x400100, true, 20)
+		if !g.Predict(d(0), 0x400100) {
+			t.Errorf("%v: always-taken branch predicted not-taken", m)
+		}
+	}
+}
+
+func TestLearnsAlternatingPatternViaHistory(t *testing.T) {
+	// A strictly alternating branch is mispredicted by a plain bimodal
+	// counter but captured by Gshare's history-indexed counters.
+	g := New(Gem5Config(), ctrl(core.Baseline))
+	pc := uint64(0x400200)
+	taken := false
+	// Warm up.
+	for i := 0; i < 200; i++ {
+		taken = !taken
+		g.Predict(d(0), pc)
+		g.Update(d(0), pc, taken)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		taken = !taken
+		if g.Predict(d(0), pc) == taken {
+			correct++
+		}
+		g.Update(d(0), pc, taken)
+	}
+	if correct < 95 {
+		t.Fatalf("alternating pattern accuracy %d/100, want >=95", correct)
+	}
+}
+
+func TestPerThreadHistory(t *testing.T) {
+	g := New(Gem5Config(), ctrl(core.Baseline))
+	// Thread 1's updates must not disturb thread 0's history register.
+	h0 := g.ghr[0]
+	g.Predict(d(1), 0x100)
+	g.Update(d(1), 0x100, true)
+	if g.ghr[0] != h0 {
+		t.Fatal("thread 1 update changed thread 0's GHR")
+	}
+	if g.ghr[1] == h0 {
+		t.Fatal("thread 1's GHR did not record the outcome")
+	}
+}
+
+func TestKeyRotationDegradesResidualState(t *testing.T) {
+	// After a context switch under Noisy-XOR the trained state decodes as
+	// noise; the branch needs retraining (the paper's §6.2.1 effect).
+	c := ctrl(core.NoisyXOR)
+	g := New(Gem5Config(), c)
+	pc := uint64(0x400300)
+	train(g, d(0), pc, true, 20)
+	if !g.Predict(d(0), pc) {
+		t.Fatal("training failed before rotation")
+	}
+	c.ContextSwitch(0)
+	// Re-train from the garbled state: a couple of updates suffice for a
+	// 2-bit counter, proving the "short warm-up" claim.
+	train(g, d(0), pc, true, 3)
+	if !g.Predict(d(0), pc) {
+		t.Fatal("2-bit counter did not re-train within 3 updates")
+	}
+}
+
+func TestCrossThreadSharingBaselineVsXOR(t *testing.T) {
+	// Baseline: two threads at the same PC with the same history share
+	// the counter (reuse attack surface). XOR: thread 1 sees noise.
+	gb := New(Gem5Config(), ctrl(core.Baseline))
+	train(gb, d(0), 0x400400, true, 8)
+	if !gb.Predict(d(1), 0x400400) {
+		t.Fatal("baseline should leak the trained direction cross-thread")
+	}
+
+	// Under XOR the trained strongly-taken counter decodes arbitrarily
+	// for thread 1; after its own short training in the opposite
+	// direction thread 1 must win out, and thread 0's state must survive
+	// in its own view of other entries. The load-bearing check: thread
+	// 1's prediction is driven by its own key, not thread 0's writes.
+	gx := New(Gem5Config(), ctrl(core.XOR))
+	train(gx, d(0), 0x400400, true, 8)
+	train(gx, d(1), 0x400400, false, 8)
+	if gx.Predict(d(1), 0x400400) {
+		t.Fatal("thread 1 could not train its own view under XOR")
+	}
+}
+
+func TestFlushRestoresWeakState(t *testing.T) {
+	g := New(Gem5Config(), ctrl(core.CompleteFlush))
+	pc := uint64(0x400500)
+	train(g, d(0), pc, true, 20)
+	g.FlushAll()
+	// After flush the counter is weak-not-taken: a single taken update
+	// flips it to weak-taken.
+	g.Predict(d(0), pc)
+	g.Update(d(0), pc, true)
+	// Rebuild the same history state as before the check.
+	if !g.Predict(d(0), pc) {
+		t.Fatal("post-flush warmup did not behave like weak init")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	g := New(Config{IndexBits: 13, HistoryBits: 13}, ctrl(core.Baseline))
+	if g.StorageBits() != 8192*2 {
+		t.Fatalf("StorageBits = %d, want 16384 (2 KB)", g.StorageBits())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() bool {
+		g := New(Gem5Config(), ctrl(core.NoisyXOR))
+		var acc bool
+		for i := 0; i < 1000; i++ {
+			pc := uint64(0x400000 + (i%37)*4)
+			taken := i%3 != 0
+			acc = g.Predict(d(0), pc)
+			g.Update(d(0), pc, taken)
+		}
+		return acc
+	}
+	if run() != run() {
+		t.Fatal("gshare simulation is not deterministic")
+	}
+}

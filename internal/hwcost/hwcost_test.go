@@ -1,0 +1,75 @@
+package hwcost
+
+import "testing"
+
+func TestTimingOverheadRange(t *testing.T) {
+	// The paper's headline: the XOR stages stay in low single digits.
+	for _, s := range append(BTBConfigs(), PHTConfigs()...) {
+		ov := s.TimingOverhead() * 100
+		if ov <= 0 || ov > 4 {
+			t.Errorf("%s: timing overhead %.2f%%, want (0, 4]", s.Name, ov)
+		}
+	}
+}
+
+func TestAreaOverheadRange(t *testing.T) {
+	for _, s := range append(BTBConfigs(), PHTConfigs()...) {
+		ov := s.AreaOverhead() * 100
+		if ov <= 0 || ov > 0.8 {
+			t.Errorf("%s: area overhead %.3f%%, want (0, 0.8]", s.Name, ov)
+		}
+	}
+}
+
+func TestAreaShareShrinksWithSize(t *testing.T) {
+	// Fixed XOR columns against a growing array: the paper's area trend.
+	btb := BTBConfigs()
+	if !(btb[0].AreaOverhead() > btb[1].AreaOverhead() &&
+		btb[1].AreaOverhead() > btb[2].AreaOverhead()) {
+		t.Error("BTB area overhead should shrink with entries")
+	}
+	pht := PHTConfigs()
+	if !(pht[0].AreaOverhead() > pht[2].AreaOverhead()) {
+		t.Error("PHT area overhead should shrink with entries")
+	}
+}
+
+func TestBTBTimingTrendGrowsWithSize(t *testing.T) {
+	// Key-distribution buffering grows with the physical array: the
+	// paper's measured BTB trend (0.70 -> 0.94 -> 1.46).
+	btb := BTBConfigs()
+	if !(btb[0].TimingOverhead() < btb[2].TimingOverhead()) {
+		t.Error("BTB timing overhead should grow with entries")
+	}
+}
+
+func TestPHTCostsMoreTimingThanBTB(t *testing.T) {
+	// The PHT's added stage sits behind the index hash (paper: ~2% vs
+	// ~1%).
+	btb := BTBConfigs()[1]
+	pht := PHTConfigs()[1]
+	if pht.TimingOverhead() <= btb.TimingOverhead() {
+		t.Errorf("PHT timing %.2f%% should exceed BTB %.2f%%",
+			pht.TimingOverhead()*100, btb.TimingOverhead()*100)
+	}
+}
+
+func TestAccessPathMonotone(t *testing.T) {
+	small := Structure{Entries: 256, EntryBits: 48, IndexBits: 7}
+	big := Structure{Entries: 1024, EntryBits: 48, IndexBits: 9}
+	if small.AccessPS() >= big.AccessPS() {
+		t.Error("larger arrays should have longer access paths")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab := Table5()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 5 has %d rows, want 6", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != 5 {
+			t.Fatalf("row %v has %d cells, want 5", r, len(r))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package predictor defines the common vocabulary of the branch
+// prediction stack: branch classes, the direction-predictor interface
+// every predictor implements, and per-structure statistics.
+package predictor
+
+import "xorbp/internal/core"
+
+// Class categorizes a branch instruction. It determines which predictor
+// structures are consulted and how mispredictions are penalized.
+type Class uint8
+
+// Branch classes.
+const (
+	// CondDirect is a conditional direct branch (PHT + BTB).
+	CondDirect Class = iota
+	// UncondDirect is an unconditional direct jump (BTB only; a miss is a
+	// cheap decode-time redirect).
+	UncondDirect
+	// Indirect is an indirect jump (BTB provides the target; wrong target
+	// is a full misprediction).
+	Indirect
+	// Call is a direct call (BTB + pushes the RAS).
+	Call
+	// IndirectCall is an indirect call (BTB target + pushes the RAS).
+	IndirectCall
+	// Return pops the RAS.
+	Return
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case CondDirect:
+		return "cond"
+	case UncondDirect:
+		return "jmp"
+	case Indirect:
+		return "ind"
+	case Call:
+		return "call"
+	case IndirectCall:
+		return "icall"
+	case Return:
+		return "ret"
+	default:
+		return "class?"
+	}
+}
+
+// Conditional reports whether the class is direction-predicted.
+func (c Class) Conditional() bool { return c == CondDirect }
+
+// UsesBTB reports whether a taken branch of this class allocates in the
+// BTB.
+func (c Class) UsesBTB() bool { return c != Return }
+
+// PushesRAS reports whether the class pushes a return address.
+func (c Class) PushesRAS() bool { return c == Call || c == IndirectCall }
+
+// DirPredictor is the contract every direction predictor implements.
+//
+// Contract: Update must be called after Predict for the same domain with
+// no intervening Predict on that hardware thread; predictors may keep
+// per-thread scratch state between the two calls (the prediction's
+// provider metadata). The CPU model resolves each branch immediately
+// after prediction, so this holds by construction.
+type DirPredictor interface {
+	// Name returns the predictor's configuration name (e.g. "tage_sc_l").
+	Name() string
+	// Predict returns the predicted direction of the conditional branch
+	// at pc, executed by domain d.
+	Predict(d core.Domain, pc uint64) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(d core.Domain, pc uint64, taken bool)
+	// StorageBits reports the modelled SRAM payload size.
+	StorageBits() uint64
+}
+
+// Stats accumulates direction-prediction accuracy per hardware thread.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Record adds one prediction outcome.
+func (s *Stats) Record(correct bool) {
+	s.Lookups++
+	if !correct {
+		s.Mispredicts++
+	}
+}
+
+// Accuracy returns the fraction of correct predictions (1.0 when empty).
+func (s *Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1.0
+	}
+	return 1.0 - float64(s.Mispredicts)/float64(s.Lookups)
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Lookups += other.Lookups
+	s.Mispredicts += other.Mispredicts
+}

@@ -1,0 +1,54 @@
+package predictor
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	if !CondDirect.Conditional() || UncondDirect.Conditional() {
+		t.Fatal("Conditional predicate wrong")
+	}
+	if Return.UsesBTB() {
+		t.Fatal("returns must not allocate in the BTB (RAS-predicted)")
+	}
+	for _, c := range []Class{CondDirect, UncondDirect, Indirect, Call, IndirectCall} {
+		if !c.UsesBTB() {
+			t.Errorf("%v should use the BTB", c)
+		}
+	}
+	if !Call.PushesRAS() || !IndirectCall.PushesRAS() || Return.PushesRAS() {
+		t.Fatal("PushesRAS predicate wrong")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[Class]string{
+		CondDirect: "cond", UncondDirect: "jmp", Indirect: "ind",
+		Call: "call", IndirectCall: "icall", Return: "ret",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	if s.Accuracy() != 1.0 {
+		t.Fatal("empty stats accuracy should be 1.0")
+	}
+	s.Record(true)
+	s.Record(true)
+	s.Record(false)
+	if s.Lookups != 3 || s.Mispredicts != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if acc := s.Accuracy(); acc < 0.66 || acc > 0.67 {
+		t.Fatalf("accuracy = %v, want 2/3", acc)
+	}
+	var other Stats
+	other.Record(false)
+	s.Add(other)
+	if s.Lookups != 4 || s.Mispredicts != 2 {
+		t.Fatalf("Add wrong: %+v", s)
+	}
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Header:  []string{"name", "value"},
+		Caption: "a caption",
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("longer-name", "22")
+	out := tab.Render()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "longer-name", "a caption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header's second column starts where the widest
+	// cell dictates.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "longer-name") {
+			row = l
+		}
+	}
+	if strings.Index(header, "value") != strings.Index(row, "22") {
+		t.Fatalf("columns misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tab := &Table{Header: []string{"x"}}
+	tab.AddRow("1")
+	out := tab.Render()
+	if strings.Contains(out, "=") {
+		t.Fatal("untitled table should not render a title underline")
+	}
+}
+
+func TestRenderExtraCellsIgnored(t *testing.T) {
+	tab := &Table{Header: []string{"only"}}
+	tab.AddRow("a", "overflow")
+	out := tab.Render()
+	if !strings.Contains(out, "a") {
+		t.Fatal("row lost")
+	}
+}

@@ -1,0 +1,181 @@
+// Package store provides the secured storage primitives on which every
+// predictor table is built: packed arrays of n-bit logical entries whose
+// physical words pass through the isolation Guard's content codec on every
+// access, plus the per-entry owner tracking Precise Flush requires.
+//
+// The word-granularity layout mirrors the paper's observation that "the
+// physical implementation of the table using SRAM is most likely using a
+// wider row already" (§5.2): a 4K-entry 2-bit PHT is physically 128
+// 64-bit words here, and Enhanced-XOR-PHT encodes whole words with a
+// word-indexed key schedule.
+package store
+
+import (
+	"xorbp/internal/bitutil"
+	"xorbp/internal/core"
+)
+
+// WordArray is an array of 2^indexBits logical entries, each entryBits
+// wide (1..64, power-of-two packing within 64-bit words). All reads and
+// writes are mediated by the Guard: contents are encoded with the
+// accessing domain's content key (XOR-BP) and, for sub-word entries, the
+// word-indexed Enhanced schedule when enabled.
+//
+// Index scrambling is deliberately NOT applied here: tables differ in
+// which bits form the index (PC bits, history hashes, ...), so predictors
+// scramble indexes themselves via Guard.ScrambleIndex before calling Get
+// and Set. WordArray is purely the content-encoding layer.
+type WordArray struct {
+	guard     *core.Guard
+	words     []uint64
+	entryBits uint
+	perWord   uint // logical entries per 64-bit word
+	indexBits uint
+	initWords []uint64 // physical word pattern restored by a flush
+
+	// owners tracks the hardware thread that last wrote each *word* (the
+	// paper's Precise Flush augments entries with thread IDs; tracking at
+	// word granularity models the SRAM-row reality and is strictly
+	// coarser, i.e. flushes at least as much). nil unless the guard's
+	// mechanism needs it.
+	owners []core.HWThread
+	valid  []bool
+}
+
+// NewWordArray builds an array of 2^indexBits entries of entryBits bits.
+// initValue is the per-entry reset value (e.g. a weak saturating-counter
+// state); it is replicated into every word on construction and on flushes.
+func NewWordArray(guard *core.Guard, indexBits, entryBits uint, initValue uint64) *WordArray {
+	return NewWordArrayInit(guard, indexBits, entryBits,
+		func(uint64) uint64 { return initValue })
+}
+
+// NewWordArrayInit builds an array whose reset value varies per entry
+// (initFn maps entry index to reset value). Hardware uses this for
+// structures whose entries must reset to distinct values — e.g. a local
+// history table reset to the row index so freshly-flushed branches do not
+// all alias onto the zero-pattern counter.
+func NewWordArrayInit(guard *core.Guard, indexBits, entryBits uint, initFn func(idx uint64) uint64) *WordArray {
+	if entryBits == 0 || entryBits > 64 {
+		panic("store: entry width out of range")
+	}
+	// Divisor widths pack 64/entryBits entries per word; awkward widths
+	// (11, 52, ...) get one entry per word, which only costs simulator
+	// memory, not modelled SRAM bits.
+	perWord := uint(1)
+	if 64%entryBits == 0 {
+		perWord = 64 / entryBits
+	}
+	entries := uint(1) << indexBits
+	nWords := (entries + perWord - 1) / perWord
+
+	a := &WordArray{
+		guard:     guard,
+		words:     make([]uint64, nWords),
+		entryBits: entryBits,
+		perWord:   perWord,
+		indexBits: indexBits,
+		initWords: make([]uint64, nWords),
+	}
+	for idx := uint64(0); idx < uint64(entries); idx++ {
+		word, shift := a.locate(idx)
+		a.initWords[word] |= (initFn(idx) & bitutil.Mask(entryBits)) << shift
+	}
+	copy(a.words, a.initWords)
+	if guard.TracksOwners() {
+		a.owners = make([]core.HWThread, nWords)
+		a.valid = make([]bool, nWords)
+	}
+	return a
+}
+
+// Len returns the number of logical entries.
+func (a *WordArray) Len() uint64 { return 1 << a.indexBits }
+
+// IndexBits returns the index width in bits.
+func (a *WordArray) IndexBits() uint { return a.indexBits }
+
+// EntryBits returns the logical entry width in bits.
+func (a *WordArray) EntryBits() uint { return a.entryBits }
+
+// locate maps a logical index to (word, bit offset).
+func (a *WordArray) locate(idx uint64) (word uint64, shift uint) {
+	if a.perWord == 1 {
+		return idx, 0
+	}
+	return idx / uint64(a.perWord), uint(idx%uint64(a.perWord)) * a.entryBits
+}
+
+// Get reads entry idx as domain d, decoding the containing word with d's
+// content key. Reading a word written by a different domain (or before a
+// key rotation) therefore yields noise — the content-isolation property.
+func (a *WordArray) Get(d core.Domain, idx uint64) uint64 {
+	word, shift := a.locate(idx)
+	w := a.guard.DecodeWord(a.words[word], d, word)
+	return (w >> shift) & bitutil.Mask(a.entryBits)
+}
+
+// Set writes entry idx as domain d: the containing word is decoded,
+// modified, and re-encoded with d's key, modelling the hardware
+// read-modify-write of a sub-word update (§5.2 "the original counter needs
+// to be read out of the PHT (and decoded) first before being updated,
+// re-encoded, and written back").
+func (a *WordArray) Set(d core.Domain, idx uint64, v uint64) {
+	word, shift := a.locate(idx)
+	w := a.guard.DecodeWord(a.words[word], d, word)
+	m := bitutil.Mask(a.entryBits) << shift
+	w = (w &^ m) | ((v << shift) & m)
+	a.words[word] = a.guard.EncodeWord(w, d, word)
+	if a.owners != nil {
+		a.owners[word] = d.Thread
+		a.valid[word] = true
+	}
+}
+
+// Update applies fn to entry idx under domain d in one decode/encode pass.
+func (a *WordArray) Update(d core.Domain, idx uint64, fn func(uint64) uint64) {
+	word, shift := a.locate(idx)
+	w := a.guard.DecodeWord(a.words[word], d, word)
+	old := (w >> shift) & bitutil.Mask(a.entryBits)
+	v := fn(old) & bitutil.Mask(a.entryBits)
+	m := bitutil.Mask(a.entryBits) << shift
+	w = (w &^ m) | (v << shift)
+	a.words[word] = a.guard.EncodeWord(w, d, word)
+	if a.owners != nil {
+		a.owners[word] = d.Thread
+		a.valid[word] = true
+	}
+}
+
+// FlushAll resets every entry to the init value (Complete Flush).
+func (a *WordArray) FlushAll() {
+	copy(a.words, a.initWords)
+	if a.owners != nil {
+		for i := range a.valid {
+			a.valid[i] = false
+		}
+	}
+}
+
+// FlushThread resets words last written by thread t (Precise Flush). On an
+// array without owner tracking it degrades to FlushAll, mirroring the
+// paper's point that precise flushing requires the extra thread-ID state.
+func (a *WordArray) FlushThread(t core.HWThread) {
+	if a.owners == nil {
+		a.FlushAll()
+		return
+	}
+	for i := range a.words {
+		if a.valid[i] && a.owners[i] == t {
+			a.words[i] = a.initWords[i]
+			a.valid[i] = false
+		}
+	}
+}
+
+// StorageBits returns the number of SRAM bits the array occupies
+// (logical payload only, excluding owner metadata), for the hardware cost
+// model and for configuration reporting.
+func (a *WordArray) StorageBits() uint64 {
+	return uint64(a.Len()) * uint64(a.entryBits)
+}

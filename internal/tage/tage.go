@@ -1,0 +1,511 @@
+// Package tage implements the TAGE family core: a base bimodal predictor
+// plus tagged tables indexed with geometrically increasing history
+// lengths (Seznec [39]). LTAGE adds the loop predictor. The package
+// provides both the FPGA prototype configuration (Table 2: "TAGE: 33 KB,
+// 6 × 4096 entries, history length: 12, 27, 44, 63, 90, 130") and the
+// gem5 32 KB LTAGE.
+//
+// Isolation hooks follow Figure 6: every table (base, tagged, loop) is
+// accessed through its own guard — indexes scrambled with the domain's
+// index key, entries content-encoded with the domain's content key. The
+// usefulness (u) bits are replacement metadata, kept architectural
+// (unencoded) like the BTB's LRU state; only predictive payload —
+// tag and counter — is encoded.
+package tage
+
+import (
+	"xorbp/internal/bitutil"
+	"xorbp/internal/core"
+	"xorbp/internal/predictor"
+	"xorbp/internal/rng"
+	"xorbp/internal/store"
+)
+
+const pcShift = 2
+
+// Config sizes a TAGE predictor.
+type Config struct {
+	// Name is the reported predictor name ("tage", "ltage").
+	Name string
+	// BaseBits is log2 of the base bimodal table.
+	BaseBits uint
+	// TableBits[i] is log2 of tagged table i's entry count.
+	TableBits []uint
+	// TagBits[i] is tagged table i's tag width.
+	TagBits []uint
+	// HistLengths[i] is the (geometric) history length of table i,
+	// shortest first.
+	HistLengths []uint
+	// UResetPeriod is the number of updates between usefulness-bit aging
+	// passes.
+	UResetPeriod uint64
+	// Loop enables the loop predictor (LTAGE).
+	Loop *LoopConfig
+	// Seed drives the allocation tie-break randomness.
+	Seed uint64
+}
+
+// FPGAConfig is the paper's FPGA prototype direction predictor (Table 2).
+func FPGAConfig() Config {
+	return Config{
+		Name:         "tage",
+		BaseBits:     12,
+		TableBits:    []uint{12, 12, 12, 12, 12, 12},
+		TagBits:      []uint{8, 8, 9, 10, 11, 12},
+		HistLengths:  []uint{12, 27, 44, 63, 90, 130},
+		UResetPeriod: 256 * 1024,
+		Seed:         0x7a6e,
+	}
+}
+
+// LTAGEConfig is the gem5 32 KB LTAGE (Table 2).
+func LTAGEConfig() Config {
+	return Config{
+		Name:         "ltage",
+		BaseBits:     13,
+		TableBits:    []uint{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10},
+		TagBits:      []uint{7, 7, 8, 8, 9, 10, 11, 12, 12, 13, 14, 15},
+		HistLengths:  []uint{4, 6, 10, 16, 25, 40, 64, 101, 160, 254, 403, 640},
+		UResetPeriod: 256 * 1024,
+		Loop:         DefaultLoopConfig(),
+		Seed:         0x17a6e,
+	}
+}
+
+// Tagged entry word layout: [ ctr(3) | tag(n) ]. Usefulness lives in a
+// separate architectural array.
+const ctrBits = 3
+
+// threadState is the per-hardware-thread speculative state: the raw
+// history register and the folded images used for indexing and tagging.
+type threadState struct {
+	hist    *bitutil.History
+	foldIdx []*bitutil.Folded // one per tagged table (width = TableBits)
+	foldT0  []*bitutil.Folded // tag fold 1 (width = TagBits)
+	foldT1  []*bitutil.Folded // tag fold 2 (width = TagBits-1)
+}
+
+// scratch carries the prediction's provider metadata to the update.
+type scratch struct {
+	baseIdx   uint64
+	baseCtr   uint64
+	basePred  bool
+	provider  int // tagged table index, -1 = base
+	provIdx   uint64
+	provCtr   uint64
+	provPred  bool
+	altTable  int // -1 = base
+	altIdx    uint64
+	altPred   bool
+	usedAlt   bool
+	finalPred bool
+	// per-table values computed at predict time (for allocation)
+	indexes []uint64
+	tags    []uint64
+
+	loop loopScratch
+}
+
+// TAGE is the predictor.
+type TAGE struct {
+	cfg    Config
+	nTab   int
+	guards []*core.Guard // one per tagged table
+	guardB *core.Guard   // base table
+	base   *store.WordArray
+	tabs   []*store.WordArray
+	u      [][]uint8 // usefulness per physical entry (architectural)
+
+	loop *LoopPredictor
+
+	useAltOnNA bitutil.SignedCounter
+	tick       uint64
+	alloc      *rng.Xoshiro256
+
+	threads [core.MaxHWThreads]*threadState
+	scratch [core.MaxHWThreads]*scratch
+}
+
+// New builds a TAGE (or LTAGE, when cfg.Loop is set) predictor and
+// registers it for flush events.
+func New(cfg Config, ctrl *core.Controller) *TAGE {
+	n := len(cfg.TableBits)
+	if n == 0 || len(cfg.TagBits) != n || len(cfg.HistLengths) != n {
+		panic("tage: inconsistent table configuration")
+	}
+	t := &TAGE{
+		cfg:        cfg,
+		nTab:       n,
+		guardB:     ctrl.Guard(0x7a60, core.StructPHT),
+		useAltOnNA: bitutil.NewSignedCounter(4, 0),
+		alloc:      rng.NewXoshiro256(cfg.Seed),
+	}
+	t.base = store.NewWordArray(t.guardB, cfg.BaseBits, 2, 1)
+	for i := 0; i < n; i++ {
+		g := ctrl.Guard(0x7a61+uint64(i), core.StructPHT)
+		t.guards = append(t.guards, g)
+		width := cfg.TagBits[i] + ctrBits
+		t.tabs = append(t.tabs, store.NewWordArray(g, cfg.TableBits[i], width, 0))
+		t.u = append(t.u, make([]uint8, 1<<cfg.TableBits[i]))
+	}
+	if cfg.Loop != nil {
+		t.loop = NewLoopPredictor(*cfg.Loop, ctrl)
+	}
+	ctrl.Register(t, core.StructPHT)
+	return t
+}
+
+// Name implements predictor.DirPredictor.
+func (t *TAGE) Name() string { return t.cfg.Name }
+
+// maxHist returns the longest configured history.
+func (t *TAGE) maxHist() uint { return t.cfg.HistLengths[t.nTab-1] }
+
+// state returns (lazily creating) the per-thread history state.
+func (t *TAGE) state(th core.HWThread) *threadState {
+	if t.threads[th] == nil {
+		ts := &threadState{hist: bitutil.NewHistory(t.maxHist() + 1)}
+		for i := 0; i < t.nTab; i++ {
+			ts.foldIdx = append(ts.foldIdx, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TableBits[i]))
+			ts.foldT0 = append(ts.foldT0, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]))
+			ts.foldT1 = append(ts.foldT1, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]-1))
+		}
+		t.threads[th] = ts
+		t.scratch[th] = &scratch{
+			indexes: make([]uint64, t.nTab),
+			tags:    make([]uint64, t.nTab),
+		}
+	}
+	return t.threads[th]
+}
+
+// index computes tagged table i's physical index for (d, pc).
+func (t *TAGE) index(ts *threadState, d core.Domain, i int, pc uint64) uint64 {
+	bitsN := t.cfg.TableBits[i]
+	p := pc >> pcShift
+	logical := p ^ (p >> (bitsN - uint(i)%bitsN)) ^ ts.foldIdx[i].Value()
+	return t.guards[i].ScrambleIndex(logical&bitutil.Mask(bitsN), d, bitsN)
+}
+
+// tag computes tagged table i's logical tag for pc.
+func (t *TAGE) tag(ts *threadState, i int, pc uint64) uint64 {
+	p := pc >> pcShift
+	v := p ^ ts.foldT0[i].Value() ^ (ts.foldT1[i].Value() << 1)
+	return v & bitutil.Mask(t.cfg.TagBits[i])
+}
+
+// unpack splits a tagged entry word into (tag, ctr).
+func (t *TAGE) unpack(i int, w uint64) (tag, ctr uint64) {
+	tb := t.cfg.TagBits[i]
+	return w & bitutil.Mask(tb), (w >> tb) & bitutil.Mask(ctrBits)
+}
+
+// pack builds a tagged entry word.
+func (t *TAGE) pack(i int, tag, ctr uint64) uint64 {
+	tb := t.cfg.TagBits[i]
+	return (ctr << tb) | (tag & bitutil.Mask(tb))
+}
+
+// Predict implements predictor.DirPredictor.
+func (t *TAGE) Predict(d core.Domain, pc uint64) bool {
+	ts := t.state(d.Thread)
+	s := t.scratch[d.Thread]
+
+	// Base prediction.
+	baseLogical := (pc >> pcShift) & bitutil.Mask(t.cfg.BaseBits)
+	s.baseIdx = t.guardB.ScrambleIndex(baseLogical, d, t.cfg.BaseBits)
+	s.baseCtr = t.base.Get(d, s.baseIdx)
+	s.basePred = s.baseCtr >= 2
+
+	// Scan tagged tables from longest history down for the provider and
+	// the alternate.
+	s.provider, s.altTable = -1, -1
+	s.usedAlt = false
+	for i := 0; i < t.nTab; i++ {
+		s.indexes[i] = t.index(ts, d, i, pc)
+		s.tags[i] = t.tag(ts, i, pc)
+	}
+	for i := t.nTab - 1; i >= 0; i-- {
+		w := t.tabs[i].Get(d, s.indexes[i])
+		tag, ctr := t.unpack(i, w)
+		if tag != s.tags[i] {
+			continue
+		}
+		if s.provider == -1 {
+			s.provider = i
+			s.provIdx = s.indexes[i]
+			s.provCtr = ctr
+			s.provPred = ctr >= 4
+		} else {
+			s.altTable = i
+			s.altIdx = s.indexes[i]
+			s.altPred = ctr >= 4
+			break
+		}
+	}
+	if s.provider == -1 {
+		s.finalPred = s.basePred
+	} else {
+		if s.altTable == -1 {
+			s.altPred = s.basePred
+		}
+		// A "newly allocated" provider (weak counter) defers to the
+		// alternate prediction when USEALT says alternates have been more
+		// reliable.
+		weak := s.provCtr == 3 || s.provCtr == 4
+		if weak && t.useAltOnNA.Value() >= 0 {
+			s.usedAlt = true
+			s.finalPred = s.altPred
+		} else {
+			s.finalPred = s.provPred
+		}
+	}
+
+	// The loop predictor overrides TAGE when confident (LTAGE).
+	if t.loop != nil {
+		if pred, ok := t.loop.Predict(d, pc, &s.loop); ok {
+			s.finalPred = pred
+		}
+	}
+	return s.finalPred
+}
+
+// Update implements predictor.DirPredictor.
+func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
+	ts := t.state(d.Thread)
+	s := t.scratch[d.Thread]
+
+	if t.loop != nil {
+		t.loop.Update(d, pc, taken, &s.loop)
+	}
+
+	if s.provider >= 0 {
+		// Train USEALT on newly-allocated weak providers that disagreed
+		// with the alternate.
+		weak := s.provCtr == 3 || s.provCtr == 4
+		if weak && s.provPred != s.altPred {
+			t.useAltOnNA.Update(s.altPred == taken)
+		}
+		// Train the provider counter.
+		i := s.provider
+		t.tabs[i].Update(d, s.provIdx, func(w uint64) uint64 {
+			tag, ctr := t.unpack(i, w)
+			return t.pack(i, tag, bump3(ctr, taken))
+		})
+		// Usefulness: provider distinguished itself from the alternate.
+		if s.provPred != s.altPred {
+			uc := &t.u[i][s.provIdx]
+			if s.provPred == taken {
+				if *uc < 3 {
+					*uc++
+				}
+			} else if *uc > 0 {
+				*uc--
+			}
+		}
+		// When the weak provider deferred to a tagged alternate, train the
+		// alternate too.
+		if s.usedAlt && s.altTable >= 0 {
+			j := s.altTable
+			t.tabs[j].Update(d, s.altIdx, func(w uint64) uint64 {
+				tag, ctr := t.unpack(j, w)
+				return t.pack(j, tag, bump3(ctr, taken))
+			})
+		}
+		// When the alternate was the base predictor and it was consulted,
+		// train the base.
+		if s.usedAlt && s.altTable == -1 {
+			t.updateBase(d, s, taken)
+		}
+	} else {
+		t.updateBase(d, s, taken)
+	}
+
+	// Allocate on a misprediction, in a table with longer history.
+	if s.finalPred != taken && s.provider < t.nTab-1 {
+		t.allocate(d, s, taken)
+	}
+
+	// Periodic usefulness aging keeps allocation possible.
+	t.tick++
+	if t.cfg.UResetPeriod > 0 && t.tick%t.cfg.UResetPeriod == 0 {
+		t.ageUsefulness()
+	}
+
+	// Advance history: raw register first, then the folded images.
+	ts.hist.Push(taken)
+	for i := 0; i < t.nTab; i++ {
+		ts.foldIdx[i].Update(ts.hist)
+		ts.foldT0[i].Update(ts.hist)
+		ts.foldT1[i].Update(ts.hist)
+	}
+}
+
+func (t *TAGE) updateBase(d core.Domain, s *scratch, taken bool) {
+	t.base.Update(d, s.baseIdx, func(v uint64) uint64 { return bump2(v, taken) })
+}
+
+// allocate claims an entry with u==0 in a longer-history table, with a
+// random skip so consecutive allocations spread across tables (Seznec's
+// policy). When every candidate is useful, their u counters are decayed
+// instead — the anti-ping-pong rule.
+func (t *TAGE) allocate(d core.Domain, s *scratch, taken bool) {
+	start := s.provider + 1
+	// Random skip: with probability 1/2 start one table later (if room),
+	// emulating the weighted table choice of the reference code.
+	if start < t.nTab-1 && t.alloc.Uint64()&1 == 0 {
+		start++
+	}
+	for i := start; i < t.nTab; i++ {
+		idx := s.indexes[i]
+		if t.u[i][idx] == 0 {
+			ctr := uint64(3)
+			if taken {
+				ctr = 4
+			}
+			t.tabs[i].Set(d, idx, t.pack(i, s.tags[i], ctr))
+			return
+		}
+	}
+	for i := start; i < t.nTab; i++ {
+		if uc := &t.u[i][s.indexes[i]]; *uc > 0 {
+			*uc--
+		}
+	}
+}
+
+// ageUsefulness halves every u counter. The reference predictors
+// periodically reset u so stale entries can be reclaimed.
+func (t *TAGE) ageUsefulness() {
+	for i := range t.u {
+		for j := range t.u[i] {
+			t.u[i][j] >>= 1
+		}
+	}
+}
+
+// FlushAll implements core.Flusher.
+func (t *TAGE) FlushAll() {
+	t.base.FlushAll()
+	for i, tab := range t.tabs {
+		tab.FlushAll()
+		for j := range t.u[i] {
+			t.u[i][j] = 0
+		}
+	}
+	// The loop predictor registers its own flusher with the controller.
+}
+
+// FlushThread implements core.Flusher. Usefulness metadata is cleared
+// wholesale: it has no owner tags, and leaving stale high u values would
+// block the flushed thread's re-allocations (a flush must restore
+// allocatability, as a hardware flush of the metadata column would).
+func (t *TAGE) FlushThread(th core.HWThread) {
+	t.base.FlushThread(th)
+	for i, tab := range t.tabs {
+		tab.FlushThread(th)
+		for j := range t.u[i] {
+			t.u[i][j] = 0
+		}
+	}
+}
+
+// StorageBits implements predictor.DirPredictor. Usefulness bits (2 per
+// tagged entry) count toward storage.
+func (t *TAGE) StorageBits() uint64 {
+	total := t.base.StorageBits()
+	for i, tab := range t.tabs {
+		total += tab.StorageBits() + 2*uint64(len(t.u[i]))
+	}
+	if t.loop != nil {
+		total += t.loop.StorageBits()
+	}
+	return total
+}
+
+// ProviderIsLoop reports whether the last prediction on thread th was
+// overridden by the loop predictor (diagnostics, and the TAGE-SC-L
+// combination rule: a confident loop prediction is final).
+func (t *TAGE) ProviderIsLoop(th core.HWThread) bool {
+	s := t.scratch[th]
+	return s != nil && t.loop != nil && s.loop.used
+}
+
+// LastConfidence grades the last prediction on thread th: 0 (weak),
+// 1 (medium) or 2 (high), from the provider counter's distance to its
+// midpoint. The statistical corrector weighs the TAGE prediction by this
+// grade.
+func (t *TAGE) LastConfidence(th core.HWThread) int {
+	s := t.scratch[th]
+	if s == nil {
+		return 0
+	}
+	if t.loop != nil && s.loop.used {
+		return 2
+	}
+	var dist uint64
+	if s.provider >= 0 {
+		// ctr in 0..7; distance of 2*ctr+1 from the midpoint 8, in 1..7.
+		c := 2*s.provCtr + 1
+		if c >= 8 {
+			dist = c - 8
+		} else {
+			dist = 8 - c
+		}
+		switch {
+		case dist >= 5:
+			return 2
+		case dist >= 3:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Base provider: saturated counters are medium confidence at best.
+	if s.baseCtr == 0 || s.baseCtr == 3 {
+		return 1
+	}
+	return 0
+}
+
+// Entries reports the logical entry count across the base, tagged and
+// loop tables (for the Precise Flush walk cost model).
+func (t *TAGE) Entries() uint64 {
+	n := t.base.Len()
+	for _, tab := range t.tabs {
+		n += tab.Len()
+	}
+	if t.loop != nil {
+		n += t.loop.Entries()
+	}
+	return n
+}
+
+func bump2(v uint64, up bool) uint64 {
+	if up {
+		if v < 3 {
+			return v + 1
+		}
+		return v
+	}
+	if v > 0 {
+		return v - 1
+	}
+	return 0
+}
+
+func bump3(v uint64, up bool) uint64 {
+	if up {
+		if v < 7 {
+			return v + 1
+		}
+		return v
+	}
+	if v > 0 {
+		return v - 1
+	}
+	return 0
+}
+
+var _ predictor.DirPredictor = (*TAGE)(nil)
+var _ core.Flusher = (*TAGE)(nil)

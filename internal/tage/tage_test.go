@@ -1,0 +1,272 @@
+package tage
+
+import (
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/rng"
+)
+
+func ctrl(m core.Mechanism) *core.Controller {
+	return core.NewController(core.OptionsFor(m), 1)
+}
+
+func d(t core.HWThread) core.Domain { return core.Domain{Thread: t, Priv: core.User} }
+
+func train(p *TAGE, dom core.Domain, pc uint64, taken bool, n int) {
+	for i := 0; i < n; i++ {
+		p.Predict(dom, pc)
+		p.Update(dom, pc, taken)
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	for _, m := range []core.Mechanism{core.Baseline, core.NoisyXOR} {
+		p := New(FPGAConfig(), ctrl(m))
+		train(p, d(0), 0x400100, true, 10)
+		if !p.Predict(d(0), 0x400100) {
+			t.Errorf("%v: biased branch not learned", m)
+		}
+	}
+}
+
+func TestLearnsLongPeriodPattern(t *testing.T) {
+	// A periodic pattern of length 24 exceeds gshare-scale histories but
+	// fits comfortably within TAGE's 27/44-bit tables.
+	p := New(FPGAConfig(), ctrl(core.Baseline))
+	pattern := make([]bool, 24)
+	for i := range pattern {
+		pattern[i] = i%5 == 0 || i%7 == 0
+	}
+	step := 0
+	for i := 0; i < 6000; i++ {
+		taken := pattern[step%len(pattern)]
+		step++
+		p.Predict(d(0), 0x400200)
+		p.Update(d(0), 0x400200, taken)
+	}
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		taken := pattern[step%len(pattern)]
+		step++
+		if p.Predict(d(0), 0x400200) == taken {
+			correct++
+		}
+		p.Update(d(0), 0x400200, taken)
+	}
+	if correct < 950 {
+		t.Fatalf("period-24 accuracy %d/1000, want >=950", correct)
+	}
+}
+
+func TestBeatsGshareStyleOnCorrelation(t *testing.T) {
+	// Sanity: TAGE must capture a long-range correlation: branch B equals
+	// the outcome of branch A 20 dynamic branches earlier, with 19 noisy
+	// branches between them.
+	p := New(FPGAConfig(), ctrl(core.Baseline))
+	g := rng.NewXoshiro256(9)
+	window := make([]bool, 0, 32)
+	correctB := 0
+	totalB := 0
+	for i := 0; i < 30000; i++ {
+		// Branch A: random.
+		a := g.Bool(0.5)
+		p.Predict(d(0), 0x400100)
+		p.Update(d(0), 0x400100, a)
+		window = append(window, a)
+
+		// 19 noise branches, each biased taken.
+		for j := 0; j < 19; j++ {
+			pc := 0x500000 + uint64(j)*4
+			p.Predict(d(0), pc)
+			p.Update(d(0), pc, true)
+		}
+
+		// Branch B repeats A's outcome.
+		b := a
+		got := p.Predict(d(0), 0x400400)
+		if i > 20000 {
+			totalB++
+			if got == b {
+				correctB++
+			}
+		}
+		p.Update(d(0), 0x400400, b)
+	}
+	acc := float64(correctB) / float64(totalB)
+	if acc < 0.9 {
+		t.Fatalf("correlated-branch accuracy %.3f, want >=0.9", acc)
+	}
+}
+
+func TestKeyRotationForcesRetrain(t *testing.T) {
+	c := ctrl(core.NoisyXOR)
+	p := New(FPGAConfig(), c)
+	pc := uint64(0x400300)
+	train(p, d(0), pc, true, 50)
+	if !p.Predict(d(0), pc) {
+		t.Fatal("training failed")
+	}
+	c.ContextSwitch(0)
+	train(p, d(0), pc, true, 30)
+	if !p.Predict(d(0), pc) {
+		t.Fatal("did not recover after key rotation")
+	}
+}
+
+func TestCompleteFlushResets(t *testing.T) {
+	c := ctrl(core.CompleteFlush)
+	p := New(FPGAConfig(), c)
+	train(p, d(0), 0x400400, true, 100)
+	c.ContextSwitch(0)
+	// Fresh state: train the opposite direction quickly.
+	train(p, d(0), 0x400400, false, 10)
+	if p.Predict(d(0), 0x400400) {
+		t.Fatal("trained state survived a complete flush")
+	}
+}
+
+func TestPerThreadHistoryIsolation(t *testing.T) {
+	p := New(FPGAConfig(), ctrl(core.Baseline))
+	p.Predict(d(0), 0x100)
+	p.Update(d(0), 0x100, true)
+	h0 := p.threads[0].hist.Low(8)
+	p.Predict(d(1), 0x200)
+	p.Update(d(1), 0x200, true)
+	if p.threads[0].hist.Low(8) != h0 {
+		t.Fatal("thread 1 update disturbed thread 0's history")
+	}
+}
+
+func TestStorageBitsPositive(t *testing.T) {
+	p := New(LTAGEConfig(), ctrl(core.Baseline))
+	// 32 KB ballpark: between 24 KB and 40 KB.
+	kb := float64(p.StorageBits()) / 8192
+	if kb < 24 || kb > 40 {
+		t.Fatalf("LTAGE storage %.1f KB, want ~32 KB", kb)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent config did not panic")
+		}
+	}()
+	New(Config{TableBits: []uint{10}, TagBits: []uint{8, 8}, HistLengths: []uint{5}}, ctrl(core.Baseline))
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		p := New(LTAGEConfig(), ctrl(core.NoisyXOR))
+		correct := 0
+		g := rng.NewXoshiro256(4)
+		for i := 0; i < 3000; i++ {
+			pc := uint64(0x400000 + (i%71)*4)
+			taken := g.Bool(0.6)
+			if p.Predict(d(0), pc) == taken {
+				correct++
+			}
+			p.Update(d(0), pc, taken)
+		}
+		return correct
+	}
+	if run() != run() {
+		t.Fatal("TAGE simulation is not deterministic")
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	// An LTAGE must predict a fixed-trip-count loop exit once the loop
+	// predictor's confidence saturates: 37 taken iterations then one
+	// not-taken, repeatedly.
+	p := New(LTAGEConfig(), ctrl(core.Baseline))
+	pc := uint64(0x400500)
+	runLoop := func(record bool) (exitRight, exits int) {
+		for rep := 0; rep < 40; rep++ {
+			for it := 0; it < 37; it++ {
+				p.Predict(d(0), pc)
+				p.Update(d(0), pc, true)
+			}
+			got := p.Predict(d(0), pc)
+			if record {
+				exits++
+				if got == false {
+					exitRight++
+				}
+			}
+			p.Update(d(0), pc, false)
+		}
+		return
+	}
+	runLoop(false) // warm
+	right, total := runLoop(true)
+	if right < total*9/10 {
+		t.Fatalf("loop exits predicted %d/%d, want >=90%%", right, total)
+	}
+}
+
+func TestLoopPredictorCrossDomainInvisible(t *testing.T) {
+	// A confident loop entry trained by thread 0 must not provide
+	// predictions to thread 1 under XOR encoding.
+	c := ctrl(core.XOR)
+	lp := NewLoopPredictor(*DefaultLoopConfig(), c)
+	var s loopScratch
+	pc := uint64(0x400600)
+	for rep := 0; rep < 10; rep++ {
+		for it := 0; it < 5; it++ {
+			lp.Predict(d(0), pc, &s)
+			lp.Update(d(0), pc, true, &s)
+		}
+		lp.Predict(d(0), pc, &s)
+		lp.Update(d(0), pc, false, &s)
+	}
+	if _, ok := lp.Predict(d(0), pc, &s); !ok {
+		t.Fatal("loop entry did not become confident for its owner")
+	}
+	if _, ok := lp.Predict(d(1), pc, &s); ok {
+		t.Fatal("cross-domain loop entry visible under XOR")
+	}
+}
+
+func TestLoopPredictorFlush(t *testing.T) {
+	c := ctrl(core.CompleteFlush)
+	lp := NewLoopPredictor(*DefaultLoopConfig(), c)
+	var s loopScratch
+	pc := uint64(0x400700)
+	for rep := 0; rep < 10; rep++ {
+		for it := 0; it < 5; it++ {
+			lp.Predict(d(0), pc, &s)
+			lp.Update(d(0), pc, true, &s)
+		}
+		lp.Predict(d(0), pc, &s)
+		lp.Update(d(0), pc, false, &s)
+	}
+	lp.FlushAll()
+	if _, ok := lp.Predict(d(0), pc, &s); ok {
+		t.Fatal("loop entry survived flush")
+	}
+}
+
+func TestAllocationSpreadsAcrossTables(t *testing.T) {
+	// After training many conflicting patterns, at least one longer table
+	// must hold allocated (nonzero) entries.
+	p := New(FPGAConfig(), ctrl(core.Baseline))
+	g := rng.NewXoshiro256(3)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x400000 + (i%97)*4)
+		p.Predict(d(0), pc)
+		p.Update(d(0), pc, g.Bool(0.5))
+	}
+	nonzero := 0
+	for i := 1; i < p.nTab; i++ {
+		for idx := uint64(0); idx < p.tabs[i].Len(); idx++ {
+			if p.tabs[i].Get(d(0), idx) != 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("no allocations reached the longer-history tables")
+	}
+}

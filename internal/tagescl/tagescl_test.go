@@ -1,0 +1,189 @@
+package tagescl
+
+import (
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/gshare"
+	"xorbp/internal/rng"
+)
+
+func ctrl(m core.Mechanism) *core.Controller {
+	return core.NewController(core.OptionsFor(m), 1)
+}
+
+func d(t core.HWThread) core.Domain { return core.Domain{Thread: t, Priv: core.User} }
+
+func train(p *TAGESCL, dom core.Domain, pc uint64, taken bool, n int) {
+	for i := 0; i < n; i++ {
+		p.Predict(dom, pc)
+		p.Update(dom, pc, taken)
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	for _, m := range []core.Mechanism{core.Baseline, core.NoisyXOR} {
+		p := New(Gem5Config(), ctrl(m))
+		train(p, d(0), 0x400100, true, 20)
+		if !p.Predict(d(0), 0x400100) {
+			t.Errorf("%v: biased branch not learned", m)
+		}
+	}
+}
+
+func TestLoopOverride(t *testing.T) {
+	// Fixed trip-count loop: TAGE-SC-L predicts the exit once the loop
+	// predictor is confident.
+	p := New(Gem5Config(), ctrl(core.Baseline))
+	pc := uint64(0x400200)
+	exitRight, exits := 0, 0
+	for rep := 0; rep < 60; rep++ {
+		for it := 0; it < 23; it++ {
+			p.Predict(d(0), pc)
+			p.Update(d(0), pc, true)
+		}
+		got := p.Predict(d(0), pc)
+		if rep >= 20 {
+			exits++
+			if !got {
+				exitRight++
+			}
+		}
+		p.Update(d(0), pc, false)
+	}
+	if exitRight < exits*9/10 {
+		t.Fatalf("loop exits predicted %d/%d, want >=90%%", exitRight, exits)
+	}
+}
+
+func TestStatCorrectorHelpsBiasedNoise(t *testing.T) {
+	// A branch that is 80% taken with no usable pattern: the statistical
+	// corrector should converge near the bias rate rather than thrash.
+	p := New(Gem5Config(), ctrl(core.Baseline))
+	g := rng.NewXoshiro256(5)
+	pc := uint64(0x400300)
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		taken := g.Bool(0.8)
+		got := p.Predict(d(0), pc)
+		if i > 5000 {
+			total++
+			if got == taken {
+				correct++
+			}
+		}
+		p.Update(d(0), pc, taken)
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.72 {
+		t.Fatalf("accuracy %.3f on 80%%-biased noise, want >=0.72", acc)
+	}
+}
+
+func TestMoreAccurateThanGshareOnMixedWorkload(t *testing.T) {
+	// The paper's §6.3 accuracy ordering on a mixed synthetic stream:
+	// TAGE_SC_L must beat Gshare.
+	cs := ctrl(core.Baseline)
+	cg := ctrl(core.Baseline)
+	ps := New(Gem5Config(), cs)
+	pg := gshare.New(gshare.Gem5Config(), cg)
+	g := rng.NewXoshiro256(11)
+
+	missS, missG, total := 0, 0, 0
+	pattern := []bool{true, true, false, true, false, false, true, true, true, false}
+	step := 0
+	for i := 0; i < 60000; i++ {
+		var pc uint64
+		var taken bool
+		switch i % 4 {
+		case 0: // loop-ish branch, 9 taken 1 not
+			pc = 0x400100
+			taken = i%40 != 36
+		case 1: // long pattern branch
+			pc = 0x400200
+			taken = pattern[step%len(pattern)]
+			step++
+		case 2: // correlated with the pattern branch
+			pc = 0x400300
+			taken = pattern[(step+len(pattern)-1)%len(pattern)]
+		default: // biased random
+			pc = 0x400000 + uint64(g.Intn(64))*4
+			taken = g.Bool(0.7)
+		}
+		if i > 20000 {
+			total++
+			if ps.Predict(d(0), pc) != taken {
+				missS++
+			}
+			if pg.Predict(d(0), pc) != taken {
+				missG++
+			}
+		} else {
+			ps.Predict(d(0), pc)
+			pg.Predict(d(0), pc)
+		}
+		ps.Update(d(0), pc, taken)
+		pg.Update(d(0), pc, taken)
+	}
+	if missS >= missG {
+		t.Fatalf("TAGE_SC_L mispredicts %d >= Gshare %d on mixed stream", missS, missG)
+	}
+}
+
+func TestKeyRotationForcesRetrain(t *testing.T) {
+	// Training must run long enough for every corrector index to reach
+	// steady state (runLen cap 31, longest fold 33) so the garbage
+	// counters at freshly-touched indexes are all overwritten.
+	c := ctrl(core.NoisyXOR)
+	p := New(Gem5Config(), c)
+	pc := uint64(0x400400)
+	train(p, d(0), pc, true, 120)
+	if !p.Predict(d(0), pc) {
+		t.Fatal("training failed")
+	}
+	c.ContextSwitch(0)
+	train(p, d(0), pc, true, 120)
+	if !p.Predict(d(0), pc) {
+		t.Fatal("did not recover after key rotation")
+	}
+}
+
+func TestFlushViaController(t *testing.T) {
+	c := ctrl(core.CompleteFlush)
+	p := New(Gem5Config(), c)
+	train(p, d(0), 0x400500, true, 60)
+	c.ContextSwitch(0)
+	train(p, d(0), 0x400500, false, 12)
+	if p.Predict(d(0), 0x400500) {
+		t.Fatal("state survived complete flush")
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(Gem5Config(), ctrl(core.Baseline))
+	kb := float64(p.StorageBits()) / 8192
+	// Paper: 66.6 KB. Accept the ballpark.
+	if kb < 45 || kb > 90 {
+		t.Fatalf("TAGE_SC_L storage %.1f KB, want ~66 KB", kb)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		p := New(Gem5Config(), ctrl(core.NoisyXOR))
+		g := rng.NewXoshiro256(17)
+		correct := 0
+		for i := 0; i < 3000; i++ {
+			pc := uint64(0x400000 + (i%61)*4)
+			taken := g.Bool(0.6)
+			if p.Predict(d(0), pc) == taken {
+				correct++
+			}
+			p.Update(d(0), pc, taken)
+		}
+		return correct
+	}
+	if run() != run() {
+		t.Fatal("TAGE-SC-L simulation is not deterministic")
+	}
+}

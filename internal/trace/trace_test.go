@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"xorbp/internal/predictor"
+	"xorbp/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src := workload.NewGenerator(workload.MustByName("gcc"), 7)
+	var buf bytes.Buffer
+	rec, err := Record(src, 20000, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 20000 {
+		t.Fatalf("recorded %d events, want 20000", rec.Len())
+	}
+	loaded, err := Load("gcc", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 20000 {
+		t.Fatalf("loaded %d events, want 20000", loaded.Len())
+	}
+	// Replay both and compare bit-identically.
+	var a, b workload.BranchEvent
+	for i := 0; i < 40000; i++ { // loops past the end deliberately
+		rec.Next(&a)
+		loaded.Next(&b)
+		if a != b {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	src := workload.NewGenerator(workload.MustByName("libquantum"), 3)
+	var buf bytes.Buffer
+	if _, err := Record(src, 10000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / 10000
+	if perRecord > 8 {
+		t.Fatalf("%.1f bytes/record, want <= 8 (delta coding broken?)", perRecord)
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventFieldFidelity(t *testing.T) {
+	// Every class/flag combination survives the round trip.
+	events := []workload.BranchEvent{
+		{PC: 0x1000, Class: predictor.CondDirect, Taken: true, Target: 0x2000, Gap: 1},
+		{PC: 0x1004, Class: predictor.CondDirect, Taken: false, Gap: 63},
+		{PC: 0x99999999, Class: predictor.Indirect, Taken: true, Target: 0x10, Gap: 7, Syscall: true},
+		{PC: 0x8, Class: predictor.Return, Taken: true, Target: 0xffffffff, Gap: 255},
+		{PC: 0x40, Class: predictor.Call, Taken: true, Target: 0x44, Gap: 2},
+		{PC: 0x44, Class: predictor.UncondDirect, Taken: true, Target: 0x40, Gap: 12},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		var got workload.BranchEvent
+		if err := r.Next(&got); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, events[i])
+		}
+	}
+	var sentinel workload.BranchEvent
+	if err := r.Next(&sentinel); err != io.EOF {
+		t.Fatalf("expected EOF after sentinel, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0000000000000000"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("expected ErrBadMagic, got %v", err)
+	}
+}
+
+func TestCorruptCountDetected(t *testing.T) {
+	src := workload.NewGenerator(workload.MustByName("mcf"), 1)
+	var buf bytes.Buffer
+	if _, err := Record(src, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-stream: drop the last 3 bytes (sentinel + count).
+	data := buf.Bytes()[:buf.Len()-3]
+	_, err := Load("mcf", bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("truncated trace loaded without error")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ev := workload.BranchEvent{PC: 4, Gap: 1}
+	if err := w.Write(&ev); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestTraceDrivesSimulator(t *testing.T) {
+	// A replayed trace must be usable anywhere a generator is.
+	src := workload.NewGenerator(workload.MustByName("hmmer"), 5)
+	var buf bytes.Buffer
+	if _, err := Record(src, 5000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load("hmmer", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev workload.BranchEvent
+	conds := 0
+	for i := 0; i < 10000; i++ {
+		prog.Next(&ev)
+		if ev.Class == predictor.CondDirect {
+			conds++
+		}
+	}
+	if conds == 0 {
+		t.Fatal("replayed trace has no conditional branches")
+	}
+	if prog.Name() != "hmmer" {
+		t.Fatalf("name = %q", prog.Name())
+	}
+}
