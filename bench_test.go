@@ -39,7 +39,10 @@ func benchTable(b *testing.B, name string, run func() *report.Table) {
 	}
 }
 
-// session returns a fresh memoizing session at bench scale.
+// session returns a fresh memoizing session at bench scale. NewSession
+// sizes the engine's worker pool to the available CPUs; within one
+// benchmark iteration all of a figure's independent simulations run
+// concurrently.
 func session() *experiment.Session {
 	return experiment.NewSession(experiment.BenchScale())
 }
@@ -129,24 +132,16 @@ func BenchmarkMPKI(b *testing.B) {
 
 // ---- ablation benches (DESIGN.md §5) ----
 
+// ablationSession backs the ablation benchmarks with one engine-cached
+// session (Table 3 case1 on the FPGA core), so every ablation pair shares
+// the same baseline simulation instead of recomputing it.
+var ablationSession = session()
+
 // ablationOverhead measures one single-core configuration's overhead.
 func ablationOverhead(opts core.Options) float64 {
-	scale := experiment.BenchScale()
-	measure := func(o core.Options) uint64 {
-		ctrl := core.NewController(o, scale.Seed)
-		dir := experiment.NewDirPredictor("tage", ctrl)
-		c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(scale.TimerPeriods[1]), ctrl, dir)
-		c.Assign(
-			workload.NewGenerator(workload.MustByName("gcc"), 1000),
-			workload.NewGenerator(workload.MustByName("calculix"), 1001),
-		)
-		c.RunTargetInstructions(scale.WarmupInstr)
-		c.ResetStats()
-		c.RunTargetInstructions(scale.MeasureInstr)
-		return c.ThreadCyclesOf(0, 0)
-	}
-	base := measure(core.OptionsFor(core.Baseline))
-	return experiment.Overhead(measure(opts), base)
+	scale := ablationSession.Scale()
+	return ablationSession.SingleCoreOverhead(opts,
+		workload.SingleCorePairs()[0], scale.TimerPeriods[1])
 }
 
 // BenchmarkAblationRotateOnPrivilege compares key rotation on privilege

@@ -3,7 +3,11 @@
 // Usage:
 //
 //	bpsim -exp fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|table3|table4|mpki|residency|all
-//	      [-scale full|bench] [-seed N]
+//	      [-scale full|bench] [-seed N] [-workers N] [-progress]
+//
+// Simulations fan out across -workers goroutines (default: one per CPU);
+// results are deterministic for any worker count. -progress emits one
+// line per completed simulation to stderr.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"xorbp/internal/experiment"
 	"xorbp/internal/hwcost"
+	"xorbp/internal/runner"
 	"xorbp/internal/workload"
 )
 
@@ -23,6 +28,8 @@ func main() {
 	scaleName := flag.String("scale", "full", "simulation scale: full or bench")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	workers := flag.Int("workers", runner.DefaultWorkers(), "simulation worker pool size (<=0: one per CPU)")
+	progress := flag.Bool("progress", false, "emit a line per completed simulation to stderr")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -36,7 +43,11 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Seed = *seed
-	s := experiment.NewSession(scale)
+	exec := experiment.NewExecutor(*workers)
+	if *progress {
+		exec.SetProgress(os.Stderr)
+	}
+	s := experiment.NewSessionWith(scale, exec)
 
 	runners := map[string]func() *experiment.Table{
 		"fig1":      s.Figure1,

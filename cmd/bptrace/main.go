@@ -4,7 +4,11 @@
 // Usage:
 //
 //	bptrace -record gcc -n 1000000 -o gcc.xbpt [-seed N]
+//	bptrace -record all -n 1000000 -o tracedir [-workers N]
 //	bptrace -stat gcc.xbpt
+//
+// With -record all, every benchmark in the workload registry is recorded
+// to <dir>/<name>.xbpt, fanned out across -workers goroutines.
 package main
 
 import (
@@ -13,40 +17,94 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"xorbp/internal/predictor"
+	"xorbp/internal/runner"
 	"xorbp/internal/trace"
 	"xorbp/internal/workload"
 )
 
+// recordOne writes n events of one benchmark to path and returns a
+// summary line.
+func recordOne(name, path string, n int, seed uint64) (string, error) {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	// On any failure past this point, remove the output: a truncated
+	// .xbpt left on disk would pass for a valid (shorter) trace.
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	if _, err := trace.Record(workload.NewGenerator(prof, seed), n, f); err != nil {
+		return fail(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	// A buffered write can fail at close (full disk, NFS); that must not
+	// report success.
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return fmt.Sprintf("recorded %d events of %s to %s (%d bytes, %.2f B/event)",
+		n, name, path, info.Size(), float64(info.Size())/float64(n)), nil
+}
+
 func main() {
-	record := flag.String("record", "", "benchmark to record (see workload registry)")
+	record := flag.String("record", "", "benchmark to record (see workload registry), or \"all\"")
 	n := flag.Int("n", 1_000_000, "events to record")
-	out := flag.String("o", "", "output trace file")
+	out := flag.String("o", "", "output trace file (-record all: output directory)")
 	stat := flag.String("stat", "", "trace file to summarize")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	workers := flag.Int("workers", runner.DefaultWorkers(), "recording worker pool size (<=0: one per CPU)")
 	flag.Parse()
 
 	switch {
+	case *record == "all":
+		if *out == "" {
+			log.Fatal("bptrace: -record requires -o")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		names := workload.Names()
+		sort.Strings(names) // registry order is map order; keep output stable
+		type result struct {
+			line string
+			err  error
+		}
+		results := runner.Map(len(names), *workers, func(i int) result {
+			path := filepath.Join(*out, names[i]+".xbpt")
+			line, err := recordOne(names[i], path, *n, *seed)
+			return result{line, err}
+		})
+		for _, r := range results {
+			if r.err != nil {
+				log.Fatal(r.err)
+			}
+			fmt.Println(r.line)
+		}
+
 	case *record != "":
 		if *out == "" {
 			log.Fatal("bptrace: -record requires -o")
 		}
-		prof, err := workload.ByName(*record)
+		line, err := recordOne(*record, *out, *n, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if _, err := trace.Record(workload.NewGenerator(prof, *seed), *n, f); err != nil {
-			log.Fatal(err)
-		}
-		info, _ := f.Stat()
-		fmt.Printf("recorded %d events of %s to %s (%d bytes, %.2f B/event)\n",
-			*n, *record, *out, info.Size(), float64(info.Size())/float64(*n))
+		fmt.Println(line)
 
 	case *stat != "":
 		f, err := os.Open(*stat)

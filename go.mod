@@ -1,0 +1,3 @@
+module xorbp
+
+go 1.24

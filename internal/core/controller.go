@@ -44,7 +44,7 @@ type Controller struct {
 // NewController builds a controller for the given options. The seed feeds
 // the hardware RNG model that generates keys.
 func NewController(opts Options, seed uint64) *Controller {
-	o := opts.normalized()
+	o := opts.Normalized()
 	return &Controller{
 		opts: o,
 		keys: NewKeyFile(rng.NewHWRNG(seed), o.RotateOnPrivilege),

@@ -135,8 +135,11 @@ func OptionsFor(m Mechanism) Options {
 	return o
 }
 
-// normalized fills in nil interface fields with the paper defaults.
-func (o Options) normalized() Options {
+// Normalized fills in nil interface fields and a zero scope with the
+// paper defaults — the configuration the controller actually runs.
+// Callers comparing or keying Options should normalize first so
+// semantically identical configurations compare equal.
+func (o Options) Normalized() Options {
 	if o.Codec == nil {
 		o.Codec = XORCodec{}
 	}

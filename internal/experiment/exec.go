@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/runner"
+)
+
+// runKey is the comparable identity of a runSpec, used as the memo-cache
+// key. Embedding core.Options and cpu.Config as struct values (rather
+// than formatting them to a string, as the old fmt.Sprintf key did) means
+// any field added to either type automatically becomes part of the key —
+// two specs differing in a new field can never alias the same cache
+// entry.
+type runKey struct {
+	// opts holds the spec's options with the Codec and Scrambler
+	// interface fields blanked; their identities live in codec/scrambler
+	// below. Keying the interfaces by dynamic type name keeps runKey
+	// usable as a map key even if a future Codec carries un-comparable
+	// state (every current implementation is a stateless struct).
+	opts      core.Options
+	codec     string
+	scrambler string
+	predName  string
+	cfg       cpu.Config
+	timer     uint64
+	// names is the software-thread list joined with NUL (workload names
+	// never contain NUL); a variable-length slice cannot sit in a
+	// comparable struct directly.
+	names string
+	scale Scale
+}
+
+// specKey builds the cache key for a fully-populated spec (scale set).
+// Options are normalized first, so a zero Scope/Codec/Scrambler and the
+// explicit paper defaults — which the controller runs identically — map
+// to the same cache entry.
+func specKey(s runSpec) runKey {
+	o := s.opts.Normalized()
+	k := runKey{
+		opts:      o,
+		codec:     fmt.Sprintf("%T", o.Codec),
+		scrambler: fmt.Sprintf("%T", o.Scrambler),
+		predName:  s.predName,
+		cfg:       s.cfg,
+		timer:     s.timer,
+		names:     strings.Join(s.names, "\x00"),
+		scale:     s.scale,
+	}
+	k.opts.Codec, k.opts.Scrambler = nil, nil
+	return k
+}
+
+// Executor runs batches of simulations across a bounded worker pool with
+// a thread-safe memo cache. One Executor can back several Sessions (the
+// figures sharing baselines, Table 4's longer-window session) so a spec
+// simulated for one figure is never recomputed for another.
+type Executor struct {
+	workers int
+	// sem bounds simulations in flight across ALL concurrent RunBatch
+	// calls — the worker limit is per executor, not per batch.
+	sem      chan struct{}
+	progress io.Writer
+	pmu      sync.Mutex // serializes progress lines
+
+	mu    sync.Mutex
+	cache map[runKey]RunResult
+	// inflight marks specs claimed by a running batch; a concurrent batch
+	// needing the same spec waits on the channel instead of simulating it
+	// a second time.
+	inflight map[runKey]chan struct{}
+
+	runs atomic.Uint64 // simulations executed (cache misses)
+}
+
+// NewExecutor creates an executor with the given worker-pool size.
+// workers <= 0 selects one worker per available CPU.
+func NewExecutor(workers int) *Executor {
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+	return &Executor{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		cache:    make(map[runKey]RunResult),
+		inflight: make(map[runKey]chan struct{}),
+	}
+}
+
+// Workers returns the worker-pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// SetProgress makes the executor emit one line per completed simulation
+// to w (pass nil to disable). Lines are serialized; safe with any worker
+// count.
+func (e *Executor) SetProgress(w io.Writer) { e.progress = w }
+
+// Runs returns how many simulations have actually executed — cache hits
+// and within-batch duplicates are not counted.
+func (e *Executor) Runs() uint64 { return e.runs.Load() }
+
+// CacheSize returns the number of distinct specs resolved so far.
+func (e *Executor) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// RunBatch resolves a batch of specs and returns their results in spec
+// order. Specs already in the cache are served from it; the remainder are
+// deduplicated (a spec appearing twice simulates once, including across
+// concurrent batches) and fanned out across the worker pool. Every
+// simulation is a pure function of its spec, so the results — and any
+// report rendered from them — are identical for every worker count.
+func (e *Executor) RunBatch(specs []runSpec) []RunResult {
+	keys := make([]runKey, len(specs))
+	for i, s := range specs {
+		keys[i] = specKey(s)
+	}
+
+	// Plan: collect the distinct cache misses. Misses already claimed by
+	// a concurrently-running batch are not simulated again; we wait for
+	// their channels before assembling.
+	var (
+		missSpecs []runSpec
+		missKeys  []runKey
+		waits     []chan struct{}
+	)
+	seen := make(map[runKey]bool)
+	e.mu.Lock()
+	for i, k := range keys {
+		if _, hit := e.cache[k]; hit || seen[k] {
+			continue
+		}
+		seen[k] = true
+		if ch, busy := e.inflight[k]; busy {
+			waits = append(waits, ch)
+			continue
+		}
+		e.inflight[k] = make(chan struct{})
+		missSpecs = append(missSpecs, specs[i])
+		missKeys = append(missKeys, k)
+	}
+	e.mu.Unlock()
+
+	// Execute: fan the misses out across the pool.
+	total := len(missSpecs)
+	var completed atomic.Uint64
+	missRes := runner.Map(total, e.workers, func(i int) RunResult {
+		e.sem <- struct{}{} // a slot is held only while simulating
+		start := time.Now()
+		r := run(missSpecs[i])
+		<-e.sem
+		e.runs.Add(1)
+		if e.progress != nil {
+			e.pmu.Lock()
+			fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)\n",
+				completed.Add(1), total, specLabel(missSpecs[i]),
+				time.Since(start).Round(time.Millisecond))
+			e.pmu.Unlock()
+		}
+		return r
+	})
+
+	// Publish our runs, then wait out any runs owned by other batches,
+	// and assemble in submission order.
+	e.mu.Lock()
+	for i, k := range missKeys {
+		e.cache[k] = missRes[i]
+		close(e.inflight[k])
+		delete(e.inflight, k)
+	}
+	e.mu.Unlock()
+	for _, ch := range waits {
+		<-ch
+	}
+	e.mu.Lock()
+	out := make([]RunResult, len(specs))
+	for i, k := range keys {
+		out[i] = e.cache[k]
+	}
+	e.mu.Unlock()
+	return out
+}
+
+// specLabel is the human-readable one-line description used by progress
+// output.
+func specLabel(s runSpec) string {
+	o := s.opts.Normalized()
+	return fmt.Sprintf("%s scope=%s pred=%s cfg=%s timer=%d threads=%s",
+		o.Mechanism, o.Scope, s.predName, s.cfg.Name, s.timer,
+		strings.Join(s.names, "+"))
+}
+
+// A batch is the planning half of the two-phase engine. Figure and table
+// runners first declare every simulation they need with add, then call
+// exec once; independent simulations — baselines for all periods, pairs
+// and predictors — resolve concurrently instead of one at a time.
+type batch struct {
+	s     *Session
+	specs []runSpec
+	res   []RunResult
+	done  bool
+}
+
+// batch starts an empty plan against the session's scale and executor.
+func (s *Session) batch() *batch { return &batch{s: s} }
+
+// add schedules one simulation and returns a handle whose result becomes
+// available after exec.
+func (b *batch) add(spec runSpec) pending {
+	spec.scale = b.s.scale
+	b.specs = append(b.specs, spec)
+	return pending{b: b, i: len(b.specs) - 1}
+}
+
+// exec resolves every scheduled simulation through the executor.
+func (b *batch) exec() {
+	b.res = b.s.exec.RunBatch(b.specs)
+	b.done = true
+}
+
+// oPair is a planned baseline/mechanism run pair resolving to one
+// normalized overhead — the shape of nearly every figure cell.
+type oPair struct{ base, mech pending }
+
+// overheadPair schedules a baseline and a mechanism run. Cache dedup
+// makes a baseline shared between several pairs free.
+func (b *batch) overheadPair(base, mech runSpec) oPair {
+	return oPair{base: b.add(base), mech: b.add(mech)}
+}
+
+// overhead resolves the pair to the mechanism's overhead vs its baseline.
+func (p oPair) overhead() float64 {
+	return Overhead(p.mech.result().Cycles, p.base.result().Cycles)
+}
+
+// pending is a handle to one scheduled simulation's future result.
+type pending struct {
+	b *batch
+	i int
+}
+
+// result returns the resolved RunResult; it panics if the batch has not
+// executed (a planning bug, not a runtime condition).
+func (p pending) result() RunResult {
+	if !p.b.done {
+		panic("experiment: pending.result read before batch.exec")
+	}
+	return p.b.res[p.i]
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/workload"
+)
+
+// TestParallelMatchesSerial is the engine's core guarantee: the same
+// figure rendered through a 1-worker executor and a many-worker executor
+// must be byte-identical, because every simulation is a pure function of
+// its spec.
+func TestParallelMatchesSerial(t *testing.T) {
+	scale := microScale()
+	serial := NewSessionWith(scale, NewExecutor(1)).Figure1().Render()
+	parallel := NewSessionWith(scale, NewExecutor(8)).Figure1().Render()
+	if serial != parallel {
+		t.Fatalf("parallel Figure 1 differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestExecutorDedupsWithinBatch: a spec submitted several times in one
+// batch simulates exactly once, and every copy gets the same result.
+func TestExecutorDedupsWithinBatch(t *testing.T) {
+	e := NewExecutor(4)
+	spec := singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000)
+	spec.scale = tinyScale()
+	res := e.RunBatch([]runSpec{spec, spec, spec})
+	if got := e.Runs(); got != 1 {
+		t.Fatalf("executor simulated %d times, want 1 (within-batch dedup)", got)
+	}
+	if res[0].Cycles == 0 || res[0].Cycles != res[2].Cycles || res[0].Target != res[2].Target {
+		t.Fatalf("duplicate specs returned different results: %+v vs %+v", res[0], res[2])
+	}
+}
+
+// TestExecutorSharesBaselinesAcrossFigures: Figures 7 and 9 both need the
+// single-core baselines for every pair and period. Running Figure 9 after
+// Figure 7 on a shared executor must add only Figure 9's mechanism runs —
+// the 36 baselines (12 pairs x 3 periods) come from cache.
+func TestExecutorSharesBaselinesAcrossFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	s := sharedSession() // warm the shared cache too, while we're at it
+	s.Figure7()
+	after7 := s.Executor().Runs()
+	s.Figure9()
+	added := s.Executor().Runs() - after7
+	// Figure 9 needs 12 pairs x 3 periods x 2 mechanisms = 72 scoped runs;
+	// its 36 baselines must all be cache hits from Figure 7.
+	if added != 72 {
+		t.Fatalf("Figure 9 after Figure 7 simulated %d new runs, want 72 (baselines must be shared)", added)
+	}
+}
+
+// TestExecutorConcurrentBatchesShareWork: two batches racing on a shared
+// executor must simulate an overlapping spec once — whichever batch
+// claims it runs it, the other waits on the in-flight marker.
+func TestExecutorConcurrentBatchesShareWork(t *testing.T) {
+	e := NewExecutor(2)
+	spec := singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000)
+	spec.scale = microScale()
+	results := make([][]RunResult, 2)
+	var wg sync.WaitGroup
+	for g := range results {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = e.RunBatch([]runSpec{spec})
+		}()
+	}
+	wg.Wait()
+	if got := e.Runs(); got != 1 {
+		t.Fatalf("concurrent batches simulated %d times, want 1", got)
+	}
+	if results[0][0].Cycles == 0 || results[0][0].Cycles != results[1][0].Cycles {
+		t.Fatalf("concurrent batches disagree: %+v vs %+v", results[0][0], results[1][0])
+	}
+}
+
+// TestRunKeyDistinguishesOptionFields guards the comparable cache key:
+// specs differing in any Options field, the timer, or the thread list map
+// to distinct keys, while an identical spec maps to the same key.
+func TestRunKeyDistinguishesOptionFields(t *testing.T) {
+	base := singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000)
+	base.scale = tinyScale()
+
+	same := base
+	if specKey(same) != specKey(base) {
+		t.Fatal("identical specs produced different keys")
+	}
+
+	variants := map[string]func(*runSpec){
+		"mechanism": func(s *runSpec) { s.opts.Mechanism = core.NoisyXOR },
+		"scope":     func(s *runSpec) { s.opts.Scope = core.StructBTB },
+		"enhanced":  func(s *runSpec) { s.opts.EnhancedPHT = !s.opts.EnhancedPHT },
+		"rotate":    func(s *runSpec) { s.opts.RotateOnPrivilege = !s.opts.RotateOnPrivilege },
+		"flushpriv": func(s *runSpec) { s.opts.FlushOnPrivilege = !s.opts.FlushOnPrivilege },
+		"codec":     func(s *runSpec) { s.opts.Codec = core.RotXORCodec{} },
+		"scrambler": func(s *runSpec) { s.opts.Scrambler = core.FeistelScrambler{} },
+		"pred":      func(s *runSpec) { s.predName = "gshare" },
+		"timer":     func(s *runSpec) { s.timer = 123_456 },
+		"names":     func(s *runSpec) { s.names = []string{"gcc", "mcf"} },
+		"seed":      func(s *runSpec) { s.scale.Seed = 99 },
+	}
+	for name, mutate := range variants {
+		v := base
+		v.names = append([]string(nil), base.names...)
+		mutate(&v)
+		if specKey(v) == specKey(base) {
+			t.Errorf("variant %q aliases the base key", name)
+		}
+	}
+}
+
+// TestRunKeyNormalizesDefaults: zero-valued Codec/Scrambler/Scope and
+// the explicit paper defaults run identically (the controller normalizes
+// them), so they must share one cache entry.
+func TestRunKeyNormalizesDefaults(t *testing.T) {
+	pair := workload.SingleCorePairs()[0]
+	implicit := singleSpec(core.OptionsFor(core.NoisyXOR), pair, 300_000) // Scope 0
+	explicit := implicit
+	explicit.opts.Scope = core.StructAll
+	explicit.opts.Codec = core.XORCodec{}
+	explicit.opts.Scrambler = core.XORScrambler{}
+	nilIfaces := implicit
+	nilIfaces.opts.Codec = nil
+	nilIfaces.opts.Scrambler = nil
+	if specKey(implicit) != specKey(explicit) || specKey(implicit) != specKey(nilIfaces) {
+		t.Fatal("semantically identical option spellings map to different cache keys")
+	}
+}
+
+// TestExecutorProgress: the progress writer gets one serialized line per
+// executed simulation, none for cache hits.
+func TestExecutorProgress(t *testing.T) {
+	e := NewExecutor(2)
+	var buf bytes.Buffer
+	e.SetProgress(&buf)
+	s := NewSessionWith(tinyScale(), e)
+	pair := workload.SingleCorePairs()[0]
+	s.run(singleSpec(baselineOpts(), pair, 300_000))
+	s.run(singleSpec(baselineOpts(), pair, 300_000)) // cache hit: no line
+	s.run(singleSpec(figure1CF(), pair, 300_000))
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("progress emitted %d lines, want 2:\n%s", lines, buf.String())
+	}
+	if !strings.Contains(buf.String(), "CompleteFlush") {
+		t.Fatalf("progress lines missing mechanism label:\n%s", buf.String())
+	}
+}
+
+// TestBatchResultBeforeExecPanics: reading a pending handle before the
+// batch executes is a planning bug and must fail loudly.
+func TestBatchResultBeforeExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pending.result before exec did not panic")
+		}
+	}()
+	s := NewSession(tinyScale())
+	b := s.batch()
+	p := b.add(singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000))
+	p.result()
+}

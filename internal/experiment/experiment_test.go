@@ -10,9 +10,11 @@ import (
 )
 
 // tinyScale keeps integration tests fast; the assertions only check
-// structure and gross shape, not calibrated magnitudes.
+// structure and gross shape, not calibrated magnitudes. Under -short the
+// budgets shrink a further 4x (ratios preserved) so `go test -short` is a
+// quick local loop.
 func tinyScale() Scale {
-	return Scale{
+	s := Scale{
 		WarmupInstr:     300_000,
 		MeasureInstr:    1_200_000,
 		SMTWarmupInstr:  600_000,
@@ -21,7 +23,39 @@ func tinyScale() Scale {
 		TimerLabels:     [3]string{"4M", "8M", "12M"},
 		Seed:            1,
 	}
+	if testing.Short() {
+		s = quarter(s)
+	}
+	return s
 }
+
+// quarter shrinks every budget and period 4x, preserving the ratios that
+// drive the results.
+func quarter(s Scale) Scale {
+	s.WarmupInstr /= 4
+	s.MeasureInstr /= 4
+	s.SMTWarmupInstr /= 4
+	s.SMTMeasureInstr /= 4
+	for i := range s.TimerPeriods {
+		s.TimerPeriods[i] /= 4
+	}
+	return s
+}
+
+// microScale is tinyScale shrunk a further 4x, for tests that assert
+// table structure or engine behavior — properties independent of the
+// simulation window, so the smallest stable scale wins.
+func microScale() Scale { return quarter(tinyScale()) }
+
+// sharedSession returns a microScale session backed by one package-wide
+// executor, so structural tests reuse each other's simulations (the same
+// dedup that lets Figures 7/8/9 share baselines). Tests that count runs
+// or cache entries create private sessions instead.
+func sharedSession() *Session {
+	return NewSessionWith(microScale(), sharedExec)
+}
+
+var sharedExec = NewExecutor(0)
 
 func TestNewDirPredictorNames(t *testing.T) {
 	ctrl := core.NewController(core.OptionsFor(core.Baseline), 1)
@@ -71,8 +105,11 @@ func TestSessionMemoizes(t *testing.T) {
 	if a.Cycles != b.Cycles || a.Target != b.Target {
 		t.Fatal("memoized runs differ")
 	}
-	if len(s.cache) != 1 {
-		t.Fatalf("cache has %d entries, want 1", len(s.cache))
+	if n := s.Executor().CacheSize(); n != 1 {
+		t.Fatalf("cache has %d entries, want 1", n)
+	}
+	if n := s.Executor().Runs(); n != 1 {
+		t.Fatalf("executor simulated %d times, want 1", n)
 	}
 }
 
@@ -81,13 +118,13 @@ func TestSessionCacheKeysDistinguishMechanisms(t *testing.T) {
 	pair := workload.SingleCorePairs()[0]
 	s.run(singleSpec(scopedOpts(core.XOR, core.StructBTB), pair, 300_000))
 	s.run(singleSpec(scopedOpts(core.NoisyXOR, core.StructBTB), pair, 300_000))
-	if len(s.cache) != 2 {
-		t.Fatalf("cache has %d entries, want 2 (mechanisms must not collide)", len(s.cache))
+	if n := s.Executor().CacheSize(); n != 2 {
+		t.Fatalf("cache has %d entries, want 2 (mechanisms must not collide)", n)
 	}
 }
 
 func TestFigure1Structure(t *testing.T) {
-	tab := NewSession(tinyScale()).Figure1()
+	tab := sharedSession().Figure1()
 	if len(tab.Rows) != 13 { // 12 cases + average
 		t.Fatalf("Figure 1 has %d rows, want 13", len(tab.Rows))
 	}
@@ -105,7 +142,7 @@ func TestFigure10Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long integration test")
 	}
-	tab := NewSession(tinyScale()).Figure10()
+	tab := sharedSession().Figure10()
 	if len(tab.Rows) != 13 {
 		t.Fatalf("Figure 10 has %d rows, want 13", len(tab.Rows))
 	}

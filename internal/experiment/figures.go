@@ -1,38 +1,58 @@
 package experiment
 
 import (
-	"fmt"
-
 	"xorbp/internal/core"
 	"xorbp/internal/cpu"
 	"xorbp/internal/workload"
 )
 
-// Session memoizes simulation runs so figures sharing baselines (7/8/9)
-// do not recompute them.
+// Session renders figures and tables at one scale against a shared
+// Executor, so figures sharing baselines (7/8/9) do not recompute them.
+// Every runner follows the engine's two-phase style: plan the full set of
+// simulations a figure needs into a batch, execute the batch (cache-
+// deduplicated, fanned across the worker pool), then render rows from the
+// resolved results.
 type Session struct {
 	scale Scale
-	cache map[string]RunResult
+	exec  *Executor
 }
 
-// NewSession creates a session at the given scale.
+// NewSession creates a session at the given scale with its own executor
+// sized to the available CPUs.
 func NewSession(scale Scale) *Session {
-	return &Session{scale: scale, cache: make(map[string]RunResult)}
+	return NewSessionWith(scale, NewExecutor(0))
+}
+
+// NewSessionWith creates a session backed by an existing executor.
+// Sessions sharing an executor share its memo cache: a spec simulated for
+// one session is served from cache for every other.
+func NewSessionWith(scale Scale, exec *Executor) *Session {
+	return &Session{scale: scale, exec: exec}
 }
 
 // Scale returns the session's scale.
 func (s *Session) Scale() Scale { return s.scale }
 
+// Executor returns the session's run engine.
+func (s *Session) Executor() *Executor { return s.exec }
+
+// run resolves a single spec immediately — the one-off convenience path;
+// figure runners plan batches instead.
 func (s *Session) run(spec runSpec) RunResult {
 	spec.scale = s.scale
-	key := fmt.Sprintf("%+v|%s|%s|%d|%v|%d", spec.opts, spec.predName,
-		spec.cfg.Name, spec.cfg.HWThreads, spec.names, spec.timer)
-	if r, ok := s.cache[key]; ok {
-		return r
-	}
-	r := run(spec)
-	s.cache[key] = r
-	return r
+	return s.exec.RunBatch([]runSpec{spec})[0]
+}
+
+// SingleCoreOverhead measures the overhead of opts relative to the
+// unprotected baseline for one Table 3 pair on the FPGA single core —
+// the engine-cached entry point for one-off comparisons (ablations,
+// exploratory sweeps). Both runs resolve through the session's executor,
+// so repeated calls share the baseline.
+func (s *Session) SingleCoreOverhead(opts core.Options, pair workload.Pair, timer uint64) float64 {
+	b := s.batch()
+	p := b.overheadPair(singleSpec(baselineOpts(), pair, timer), singleSpec(opts, pair, timer))
+	b.exec()
+	return p.overhead()
 }
 
 // baselineOpts is the unprotected configuration.
@@ -97,13 +117,23 @@ func (s *Session) Figure1() *Table {
 		Caption: "Normalized performance overhead vs baseline (no isolation).\n" +
 			"Paper shape: average < 1%, shrinking as the flush period grows.",
 	}
-	var avg [3][]float64
-	for _, pair := range workload.SingleCorePairs() {
-		row := []string{pair.ID}
+	pairs := workload.SingleCorePairs()
+	b := s.batch()
+	plan := make([][3]oPair, len(pairs))
+	for pi, pair := range pairs {
 		for i, period := range s.scale.TimerPeriods {
-			base := s.run(singleSpec(baselineOpts(), pair, period))
-			cf := s.run(singleSpec(figure1CF(), pair, period))
-			ov := Overhead(cf.Cycles, base.Cycles)
+			plan[pi][i] = b.overheadPair(
+				singleSpec(baselineOpts(), pair, period),
+				singleSpec(figure1CF(), pair, period))
+		}
+	}
+	b.exec()
+
+	var avg [3][]float64
+	for pi, pair := range pairs {
+		row := []string{pair.ID}
+		for i := range s.scale.TimerPeriods {
+			ov := plan[pi][i].overhead()
 			avg[i] = append(avg[i], ov)
 			row = append(row, pct(ov))
 		}
@@ -125,17 +155,29 @@ func (s *Session) Figure2() *Table {
 			"Paper shape: several percent on SMT-2, higher on SMT-4.",
 	}
 	period := s.scale.TimerPeriods[1]
-	var smt2 []float64
-	for _, pair := range workload.SMTPairs() {
-		base := s.run(smt2Spec(baselineOpts(), "ltage", pair, period))
-		cf := s.run(smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period))
-		smt2 = append(smt2, Overhead(cf.Cycles, base.Cycles))
+	pairs := workload.SMTPairs()
+	quads := workload.SMTQuads()
+	b := s.batch()
+	plan2 := make([]oPair, len(pairs))
+	for i, pair := range pairs {
+		plan2[i] = b.overheadPair(
+			smt2Spec(baselineOpts(), "ltage", pair, period),
+			smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period))
 	}
-	var smt4 []float64
-	for _, quad := range workload.SMTQuads() {
-		base := s.run(smt4Spec(baselineOpts(), "ltage", quad, period))
-		cf := s.run(smt4Spec(core.OptionsFor(core.CompleteFlush), "ltage", quad, period))
-		smt4 = append(smt4, Overhead(cf.Cycles, base.Cycles))
+	plan4 := make([]oPair, len(quads))
+	for i, quad := range quads {
+		plan4[i] = b.overheadPair(
+			smt4Spec(baselineOpts(), "ltage", quad, period),
+			smt4Spec(core.OptionsFor(core.CompleteFlush), "ltage", quad, period))
+	}
+	b.exec()
+
+	var smt2, smt4 []float64
+	for _, p := range plan2 {
+		smt2 = append(smt2, p.overhead())
+	}
+	for _, p := range plan4 {
+		smt4 = append(smt4, p.overhead())
 	}
 	t.AddRow("SMT-2", pct(mean(smt2)))
 	t.AddRow("SMT-4", pct(mean(smt4)))
@@ -152,13 +194,23 @@ func (s *Session) Figure3() *Table {
 			"the single-threaded core's cost.",
 	}
 	period := s.scale.TimerPeriods[1]
+	pairs := workload.SMTPairs()
+	b := s.batch()
+	type cell struct{ cf, pf oPair } // both share the pair's baseline (dedup'd)
+	plan := make([]cell, len(pairs))
+	for i, pair := range pairs {
+		base := smt2Spec(baselineOpts(), "ltage", pair, period)
+		plan[i] = cell{
+			cf: b.overheadPair(base, smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period)),
+			pf: b.overheadPair(base, smt2Spec(core.OptionsFor(core.PreciseFlush), "ltage", pair, period)),
+		}
+	}
+	b.exec()
+
 	var cfAll, pfAll []float64
-	for _, pair := range workload.SMTPairs() {
-		base := s.run(smt2Spec(baselineOpts(), "ltage", pair, period))
-		cf := s.run(smt2Spec(core.OptionsFor(core.CompleteFlush), "ltage", pair, period))
-		pf := s.run(smt2Spec(core.OptionsFor(core.PreciseFlush), "ltage", pair, period))
-		co := Overhead(cf.Cycles, base.Cycles)
-		po := Overhead(pf.Cycles, base.Cycles)
+	for i, pair := range pairs {
+		co := plan[i].cf.overhead()
+		po := plan[i].pf.overhead()
 		cfAll = append(cfAll, co)
 		pfAll = append(pfAll, po)
 		t.AddRow(pair.ID, pct(co), pct(po))
@@ -178,19 +230,29 @@ func (s *Session) figureScoped(title string, scope core.Structure, shape string)
 			"Noisy-XOR-" + label + "-4M", "Noisy-XOR-" + label + "-8M", "Noisy-XOR-" + label + "-12M"},
 		Caption: shape,
 	}
-	var avgs [6][]float64
-	for _, pair := range workload.SingleCorePairs() {
-		row := []string{pair.ID}
+	pairs := workload.SingleCorePairs()
+	b := s.batch()
+	plan := make([][6]oPair, len(pairs))
+	for pi, pair := range pairs {
 		col := 0
 		for _, mech := range []core.Mechanism{core.XOR, core.NoisyXOR} {
 			for _, period := range s.scale.TimerPeriods {
-				base := s.run(singleSpec(baselineOpts(), pair, period))
-				m := s.run(singleSpec(scopedOpts(mech, scope), pair, period))
-				ov := Overhead(m.Cycles, base.Cycles)
-				avgs[col] = append(avgs[col], ov)
-				row = append(row, pct(ov))
+				plan[pi][col] = b.overheadPair(
+					singleSpec(baselineOpts(), pair, period),
+					singleSpec(scopedOpts(mech, scope), pair, period))
 				col++
 			}
+		}
+	}
+	b.exec()
+
+	var avgs [6][]float64
+	for pi, pair := range pairs {
+		row := []string{pair.ID}
+		for col := 0; col < 6; col++ {
+			ov := plan[pi][col].overhead()
+			avgs[col] = append(avgs[col], ov)
+			row = append(row, pct(ov))
 		}
 		t.AddRow(row...)
 	}
@@ -241,6 +303,7 @@ func (s *Session) Figure9() *Table {
 // accurate predictors pay more on average (2.3% → 4.9%).
 func (s *Session) Figure10() *Table {
 	preds := PredictorNames()
+	mechs := []core.Mechanism{core.CompleteFlush, core.PreciseFlush, core.NoisyXOR}
 	header := []string{"case"}
 	for _, p := range preds {
 		header = append(header, p+"-CF", p+"-PF", p+"-NXOR")
@@ -253,16 +316,29 @@ func (s *Session) Figure10() *Table {
 			"predictor accuracy (gshare -> tage_sc_l).",
 	}
 	period := s.scale.TimerPeriods[1]
+	pairs := workload.SMTPairs()
+	b := s.batch()
+	// plan[i][j][k]: pair i, predictor j, mechanism k; the three
+	// mechanisms share the (pair, predictor) baseline via dedup.
+	plan := make([][][3]oPair, len(pairs))
+	for i, pair := range pairs {
+		plan[i] = make([][3]oPair, len(preds))
+		for j, p := range preds {
+			base := smt2Spec(baselineOpts(), p, pair, period)
+			for k, mech := range mechs {
+				plan[i][j][k] = b.overheadPair(base, smt2Spec(core.OptionsFor(mech), p, pair, period))
+			}
+		}
+	}
+	b.exec()
+
 	sums := make(map[string][]float64)
-	for _, pair := range workload.SMTPairs() {
+	for i, pair := range pairs {
 		row := []string{pair.ID}
-		for _, p := range preds {
-			base := s.run(smt2Spec(baselineOpts(), p, pair, period))
-			for _, mech := range []core.Mechanism{core.CompleteFlush, core.PreciseFlush, core.NoisyXOR} {
-				m := s.run(smt2Spec(core.OptionsFor(mech), p, pair, period))
-				ov := Overhead(m.Cycles, base.Cycles)
-				key := p + "-" + mech.String()
-				sums[key] = append(sums[key], ov)
+		for j, p := range preds {
+			for k, mech := range mechs {
+				ov := plan[i][j][k].overhead()
+				sums[p+"-"+mech.String()] = append(sums[p+"-"+mech.String()], ov)
 				row = append(row, pct(ov))
 			}
 		}
@@ -270,7 +346,7 @@ func (s *Session) Figure10() *Table {
 	}
 	avgRow := []string{"average"}
 	for _, p := range preds {
-		for _, mech := range []core.Mechanism{core.CompleteFlush, core.PreciseFlush, core.NoisyXOR} {
+		for _, mech := range mechs {
 			avgRow = append(avgRow, pct(mean(sums[p+"-"+mech.String()])))
 		}
 	}

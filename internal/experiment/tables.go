@@ -65,12 +65,19 @@ func (s *Session) Table4() *Table {
 	}
 	period := s.scale.TimerPeriods[2]
 	// Rate estimation needs a longer window than the overhead runs: the
-	// slowest syscall rates are ~1 event per Mcycle.
+	// slowest syscall rates are ~1 event per Mcycle. The longer-window
+	// session shares the executor, so its runs land in the same cache.
 	big := s.scale
 	big.MeasureInstr *= 4
-	bigSession := &Session{scale: big, cache: s.cache}
-	for _, pair := range workload.SingleCorePairs() {
-		r := bigSession.run(singleSpec(core.OptionsFor(core.NoisyXOR), pair, period))
+	pairs := workload.SingleCorePairs()
+	b := NewSessionWith(big, s.exec).batch()
+	plan := make([]pending, len(pairs))
+	for i, pair := range pairs {
+		plan[i] = b.add(singleSpec(core.OptionsFor(core.NoisyXOR), pair, period))
+	}
+	b.exec()
+	for i, pair := range pairs {
+		r := plan[i].result()
 		t.AddRow(pair.ID, fmt.Sprintf("%.1f", r.PrivPerMcycle()),
 			fmt.Sprintf("%.2f", r.CtxPerMcycle()))
 	}
@@ -88,10 +95,21 @@ func (s *Session) MPKI() *Table {
 			"TAGE_SC_L 3.99 - the ordering is the load-bearing shape.",
 	}
 	period := s.scale.TimerPeriods[1]
-	for _, p := range PredictorNames() {
+	preds := PredictorNames()
+	pairs := workload.SMTPairs()
+	b := s.batch()
+	plan := make([][]pending, len(preds))
+	for i, p := range preds {
+		plan[i] = make([]pending, len(pairs))
+		for j, pair := range pairs {
+			plan[i][j] = b.add(smt2Spec(baselineOpts(), p, pair, period))
+		}
+	}
+	b.exec()
+	for i, p := range preds {
 		var misp, instr uint64
-		for _, pair := range workload.SMTPairs() {
-			r := s.run(smt2Spec(baselineOpts(), p, pair, period))
+		for j := range pairs {
+			r := plan[i][j].result()
 			misp += r.Target.DirMisp
 			instr += r.Target.Instructions
 			for _, o := range r.Others {
@@ -113,9 +131,15 @@ func (s *Session) BTBResidency() *Table {
 		Header: []string{"case", "BTB hit rate"},
 	}
 	period := s.scale.TimerPeriods[1]
-	for _, pair := range workload.SingleCorePairs() {
-		r := s.run(singleSpec(baselineOpts(), pair, period))
-		t.AddRow(pair.ID, fmt.Sprintf("%.1f%%", r.BTBHitRate*100))
+	pairs := workload.SingleCorePairs()
+	b := s.batch()
+	plan := make([]pending, len(pairs))
+	for i, pair := range pairs {
+		plan[i] = b.add(singleSpec(baselineOpts(), pair, period))
+	}
+	b.exec()
+	for i, pair := range pairs {
+		t.AddRow(pair.ID, fmt.Sprintf("%.1f%%", plan[i].result().BTBHitRate*100))
 	}
 	return t
 }

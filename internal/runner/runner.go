@@ -1,0 +1,65 @@
+// Package runner provides a minimal bounded worker pool for fanning
+// independent, CPU-bound jobs across cores while keeping results in a
+// deterministic order.
+//
+// It is the execution substrate of the experiment engine
+// (internal/experiment): simulations are pure functions of their spec, so
+// they can run in any order on any number of workers and still produce
+// byte-identical reports.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes n <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) using at most workers goroutines
+// and returns the results indexed by i. Order of execution is undefined;
+// order of results is not. workers <= 0 selects DefaultWorkers. fn must
+// be safe for concurrent use.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, exact same results.
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,47 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := Map(25, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+}
+
+func TestMapRunsEachIndexOnce(t *testing.T) {
+	var calls atomic.Int64
+	n := 97
+	Map(n, 7, func(i int) int {
+		calls.Add(1)
+		return i
+	})
+	if calls.Load() != int64(n) {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), n)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+	got := Map(10, 0, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
