@@ -22,6 +22,7 @@ import (
 	"xorbp/internal/experiment"
 	"xorbp/internal/hwcost"
 	"xorbp/internal/report"
+	"xorbp/internal/runcache"
 	"xorbp/internal/workload"
 )
 
@@ -128,6 +129,34 @@ func BenchmarkPoCAccuracy(b *testing.B) {
 // BenchmarkMPKI regenerates the §6.3 baseline MPKI anchors per predictor.
 func BenchmarkMPKI(b *testing.B) {
 	benchTable(b, "mpki", func() *report.Table { return session().MPKI() })
+}
+
+// BenchmarkRunCacheReplay measures regenerating Figure 1 at bench scale
+// entirely from a warmed persistent store — the cross-invocation replay
+// path bpsim takes on its second run with -cache. Each iteration opens a
+// fresh executor on the shared directory and must execute zero
+// simulations; ns/op is the cost of opening the store plus decoding and
+// assembling 72 cached results.
+func BenchmarkRunCacheReplay(b *testing.B) {
+	dir := b.TempDir()
+	cachedSession := func() *experiment.Session {
+		st, err := runcache.Open(dir, experiment.SchemaVersion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := experiment.NewExecutor(0)
+		e.SetStore(st)
+		return experiment.NewSessionWith(experiment.BenchScale(), e)
+	}
+	cachedSession().Figure1() // warm the store (untimed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cachedSession()
+		s.Figure1()
+		if n := s.Executor().Runs(); n != 0 {
+			b.Fatalf("replay executed %d simulations, want 0", n)
+		}
+	}
 }
 
 // ---- ablation benches (DESIGN.md §5) ----

@@ -2,12 +2,23 @@
 //
 // Usage:
 //
-//	bpsim -exp fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|table3|table4|mpki|residency|all
-//	      [-scale full|bench] [-seed N] [-workers N] [-progress]
+//	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table4|table5|mpki|residency|all
+//	      [-scale full|bench] [-seed N] [-workers N] [-progress] [-json] [-cache DIR]
 //
 // Simulations fan out across -workers goroutines (default: one per CPU);
-// results are deterministic for any worker count. -progress emits one
-// line per completed simulation to stderr.
+// results are deterministic for any worker count.
+//
+// -cache DIR persists every resolved simulation across invocations
+// (default ~/.cache/xorbp; -cache "" disables): a second run of the same
+// experiments replays results from the store instead of simulating.
+//
+// -progress emits one line per completed simulation to stderr, counted
+// against the full grid planned for the invocation (all requested
+// experiments, not the current batch) with a throughput-based ETA.
+//
+// -json streams one record per resolved simulation — spec label, key
+// hash, cycles, MPKI, duration and cache hit/miss — as single-line
+// {"type":"run",...} objects, followed by each experiment's table.
 package main
 
 import (
@@ -15,21 +26,71 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"xorbp/internal/experiment"
 	"xorbp/internal/hwcost"
+	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 	"xorbp/internal/workload"
 )
 
+// order is the canonical experiment list: the -exp flag accepts exactly
+// these names (plus "all", which runs them in this order). The package
+// doc and the flag help are derived from / reconciled with this slice.
+var order = []string{"table2", "table3", "workloads", "fig1", "fig2", "fig3",
+	"fig7", "fig8", "fig9", "fig10", "table4", "table5", "mpki", "residency"}
+
+// expRunner couples an experiment with whether it resolves simulations
+// through the session's executor (and therefore participates in grid
+// planning and the run cache).
+type expRunner struct {
+	run  func(s *experiment.Session, seed uint64) (*experiment.Table, error)
+	sims bool
+}
+
+// runners maps every name in order to its runner.
+func runners() map[string]expRunner {
+	sim := func(f func(*experiment.Session) *experiment.Table) expRunner {
+		return expRunner{
+			run:  func(s *experiment.Session, _ uint64) (*experiment.Table, error) { return f(s), nil },
+			sims: true,
+		}
+	}
+	static := func(f func() *experiment.Table) expRunner {
+		return expRunner{
+			run: func(*experiment.Session, uint64) (*experiment.Table, error) { return f(), nil },
+		}
+	}
+	return map[string]expRunner{
+		"fig1":      sim((*experiment.Session).Figure1),
+		"fig2":      sim((*experiment.Session).Figure2),
+		"fig3":      sim((*experiment.Session).Figure3),
+		"fig7":      sim((*experiment.Session).Figure7),
+		"fig8":      sim((*experiment.Session).Figure8),
+		"fig9":      sim((*experiment.Session).Figure9),
+		"fig10":     sim((*experiment.Session).Figure10),
+		"table2":    static(experiment.Table2),
+		"table3":    static(experiment.Table3),
+		"table4":    sim((*experiment.Session).Table4),
+		"table5":    static(hwcost.Table5),
+		"mpki":      sim((*experiment.Session).MPKI),
+		"residency": sim((*experiment.Session).BTBResidency),
+		"workloads": {run: func(_ *experiment.Session, seed uint64) (*experiment.Table, error) {
+			return workload.CharacterizationTable(400_000, seed)
+		}},
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1, fig2, fig3, fig7, fig8, fig9, fig10, table2, table3, table4, table5, mpki, residency, workloads, all)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(order, ", ")+", all)")
 	scaleName := flag.String("scale", "full", "simulation scale: full or bench")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	asJSON := flag.Bool("json", false, "emit per-run records and machine-readable JSON tables instead of text")
 	workers := flag.Int("workers", runner.DefaultWorkers(), "simulation worker pool size (<=0: one per CPU)")
-	progress := flag.Bool("progress", false, "emit a line per completed simulation to stderr")
+	progress := flag.Bool("progress", false, "emit a line per completed simulation to stderr, with session-wide ETA")
+	cacheDir := flag.String("cache", runcache.DefaultDir(), "persistent run-cache directory (\"\" disables)")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -43,49 +104,66 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Seed = *seed
-	exec := experiment.NewExecutor(*workers)
-	if *progress {
-		exec.SetProgress(os.Stderr)
-	}
-	s := experiment.NewSessionWith(scale, exec)
 
-	runners := map[string]func() *experiment.Table{
-		"fig1":      s.Figure1,
-		"fig2":      s.Figure2,
-		"fig3":      s.Figure3,
-		"fig7":      s.Figure7,
-		"fig8":      s.Figure8,
-		"fig9":      s.Figure9,
-		"fig10":     s.Figure10,
-		"table2":    experiment.Table2,
-		"table3":    experiment.Table3,
-		"table4":    s.Table4,
-		"table5":    hwcost.Table5,
-		"mpki":      s.MPKI,
-		"residency": s.BTBResidency,
-		"workloads": func() *experiment.Table {
-			t, err := workload.CharacterizationTable(400_000, *seed)
-			if err != nil {
-				panic(err)
-			}
-			return t
-		},
-	}
-	order := []string{"table2", "table3", "workloads", "fig1", "fig2", "fig3",
-		"fig7", "fig8", "fig9", "fig10", "table4", "table5", "mpki", "residency"}
-
+	reg := runners()
 	names := []string{*exp}
 	if *exp == "all" {
 		names = order
 	}
 	for _, name := range names {
-		r, ok := runners[name]
-		if !ok {
+		if _, ok := reg[name]; !ok {
 			fmt.Fprintf(os.Stderr, "bpsim: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
+	}
+
+	exec := experiment.NewExecutor(*workers)
+	if *progress {
+		exec.SetProgress(os.Stderr)
+	}
+	if *cacheDir != "" {
+		st, err := runcache.Open(*cacheDir, experiment.SchemaVersion())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpsim: disabling run cache: %v\n", err)
+		} else {
+			exec.SetStore(st)
+		}
+	}
+	if *asJSON {
+		exec.SetRecord(func(r experiment.RunRecord) {
+			out, err := json.Marshal(struct {
+				Type string `json:"type"`
+				experiment.RunRecord
+			}{"run", r})
+			if err == nil {
+				fmt.Println(string(out))
+			}
+		})
+	}
+	s := experiment.NewSessionWith(scale, exec)
+
+	// Plan the whole invocation's grid against a dry executor (no
+	// simulation) so -progress counts and the ETA cover every requested
+	// experiment from the first line, not batch by batch.
+	planner := experiment.NewPlanner()
+	ps := experiment.NewSessionWith(scale, planner)
+	for _, name := range names {
+		if reg[name].sims {
+			if _, err := reg[name].run(ps, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "bpsim: planning %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	exec.Plan(planner)
+
+	for _, name := range names {
 		start := time.Now()
-		tab := r()
+		tab, err := reg[name].run(s, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
 		if *asJSON {
 			out, err := json.MarshalIndent(map[string]any{"experiment": name, "table": tab}, "", "  ")
 			if err != nil {
@@ -97,5 +175,10 @@ func main() {
 		}
 		fmt.Println(tab.Render())
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if st := exec.Store(); st != nil && *progress {
+		cs := st.Stats()
+		fmt.Fprintf(os.Stderr, "[cache %s: %d replayed, %d simulated, %d entries]\n",
+			st.Dir(), cs.Hits, exec.Runs(), st.Len())
 	}
 }

@@ -9,9 +9,15 @@
 //
 // With -record all, every benchmark in the workload registry is recorded
 // to <dir>/<name>.xbpt, fanned out across -workers goroutines.
+//
+// Recording reuses the persistent run cache shared with bpsim (-cache
+// DIR, default ~/.cache/xorbp, "" disables): a (benchmark, n, seed)
+// combination already recorded is skipped when its output file is still
+// present and intact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,14 +27,60 @@ import (
 	"sort"
 
 	"xorbp/internal/predictor"
+	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 	"xorbp/internal/trace"
 	"xorbp/internal/workload"
 )
 
+// traceCacheEpoch versions the record cache beyond the trace file
+// format: bump it when workload generator semantics change (profile
+// branch mixes, syscall rates, RNG draws) so stale recordings are
+// invalidated rather than served — trace.Version only tracks the
+// on-disk encoding, not what the generators emit.
+const traceCacheEpoch = 1
+
+// traceKey identifies one recording in the persistent cache.
+type traceKey struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+}
+
+// tracedMeta is the cached fact about a completed recording. The output
+// path is deliberately not part of it: a cached recording is valid for
+// whatever path the caller asks for, as long as the file there matches
+// the recorded size.
+type tracedMeta struct {
+	Bytes int64 `json:"bytes"`
+}
+
+// summaryLine formats the per-recording report.
+func summaryLine(n int, name, path string, size int64) string {
+	return fmt.Sprintf("recorded %d events of %s to %s (%d bytes, %.2f B/event)",
+		n, name, path, size, float64(size)/float64(n))
+}
+
 // recordOne writes n events of one benchmark to path and returns a
-// summary line.
-func recordOne(name, path string, n int, seed uint64) (string, error) {
+// summary line. With a store attached, a recording whose key is cached
+// and whose output file still matches is skipped.
+func recordOne(st *runcache.Store, name, path string, n int, seed uint64) (string, error) {
+	var key string
+	if st != nil {
+		payload, err := json.Marshal(traceKey{Name: name, N: n, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		key = st.Key(payload)
+		if raw, ok := st.Get(key); ok {
+			var m tracedMeta
+			if json.Unmarshal(raw, &m) == nil {
+				if info, err := os.Stat(path); err == nil && info.Size() == m.Bytes {
+					return summaryLine(n, name, path, m.Bytes) + " [cached]", nil
+				}
+			}
+		}
+	}
 	prof, err := workload.ByName(name)
 	if err != nil {
 		return "", err
@@ -57,8 +109,12 @@ func recordOne(name, path string, n int, seed uint64) (string, error) {
 		os.Remove(path)
 		return "", err
 	}
-	return fmt.Sprintf("recorded %d events of %s to %s (%d bytes, %.2f B/event)",
-		n, name, path, info.Size(), float64(info.Size())/float64(n)), nil
+	if st != nil {
+		if raw, err := json.Marshal(tracedMeta{Bytes: info.Size()}); err == nil {
+			_ = st.Put(key, raw) // best-effort: a lost entry only costs a re-record
+		}
+	}
+	return summaryLine(n, name, path, info.Size()), nil
 }
 
 func main() {
@@ -68,7 +124,19 @@ func main() {
 	stat := flag.String("stat", "", "trace file to summarize")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	workers := flag.Int("workers", runner.DefaultWorkers(), "recording worker pool size (<=0: one per CPU)")
+	cacheDir := flag.String("cache", runcache.DefaultDir(), "persistent record cache directory, shared with bpsim (\"\" disables)")
 	flag.Parse()
+
+	var st *runcache.Store
+	if *cacheDir != "" && *record != "" {
+		var err error
+		st, err = runcache.Open(*cacheDir,
+			fmt.Sprintf("xorbp-trace/v%d/epoch%d", trace.Version, traceCacheEpoch))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bptrace: disabling record cache: %v\n", err)
+			st = nil
+		}
+	}
 
 	switch {
 	case *record == "all":
@@ -86,7 +154,7 @@ func main() {
 		}
 		results := runner.Map(len(names), *workers, func(i int) result {
 			path := filepath.Join(*out, names[i]+".xbpt")
-			line, err := recordOne(names[i], path, *n, *seed)
+			line, err := recordOne(st, names[i], path, *n, *seed)
 			return result{line, err}
 		})
 		for _, r := range results {
@@ -100,7 +168,7 @@ func main() {
 		if *out == "" {
 			log.Fatal("bptrace: -record requires -o")
 		}
-		line, err := recordOne(*record, *out, *n, *seed)
+		line, err := recordOne(st, *record, *out, *n, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

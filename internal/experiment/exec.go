@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"xorbp/internal/core"
 	"xorbp/internal/cpu"
+	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 )
 
@@ -61,7 +63,9 @@ func specKey(s runSpec) runKey {
 // Executor runs batches of simulations across a bounded worker pool with
 // a thread-safe memo cache. One Executor can back several Sessions (the
 // figures sharing baselines, Table 4's longer-window session) so a spec
-// simulated for one figure is never recomputed for another.
+// simulated for one figure is never recomputed for another. An optional
+// persistent store (SetStore) acts as an L2 behind the memo cache so
+// results survive the process.
 type Executor struct {
 	workers int
 	// sem bounds simulations in flight across ALL concurrent RunBatch
@@ -70,14 +74,43 @@ type Executor struct {
 	progress io.Writer
 	pmu      sync.Mutex // serializes progress lines
 
+	// dry marks a planner (NewPlanner): RunBatch records each batch's
+	// distinct specs and returns zero results without simulating.
+	dry bool
+
+	store  *runcache.Store
+	record func(RunRecord)
+	rmu    sync.Mutex // serializes record-hook invocations
+
 	mu    sync.Mutex
 	cache map[runKey]RunResult
 	// inflight marks specs claimed by a running batch; a concurrent batch
 	// needing the same spec waits on the channel instead of simulating it
 	// a second time.
 	inflight map[runKey]chan struct{}
+	// planned holds every distinct spec declared (via Plan) or seen by a
+	// batch; progress lines and ETA are computed against it, so a
+	// pre-planned session reports x/total over the whole grid rather
+	// than per batch.
+	planned map[runKey]struct{}
+	// simStart/simsDone drive the ETA estimate: observed simulation
+	// throughput since the first simulation began.
+	simStart time.Time
+	simsDone int
 
 	runs atomic.Uint64 // simulations executed (cache misses)
+}
+
+// RunRecord describes one resolved spec: an executed simulation, or a
+// result replayed from the persistent store (Cached). Within-process
+// memo hits are not re-reported.
+type RunRecord struct {
+	Label      string  `json:"label"`
+	Key        string  `json:"key"` // persistent-store key hash
+	Cycles     uint64  `json:"cycles"`
+	MPKI       float64 `json:"mpki"`
+	DurationMS float64 `json:"duration_ms"` // 0 for cached replays
+	Cached     bool    `json:"cached"`
 }
 
 // NewExecutor creates an executor with the given worker-pool size.
@@ -91,7 +124,19 @@ func NewExecutor(workers int) *Executor {
 		sem:      make(chan struct{}, workers),
 		cache:    make(map[runKey]RunResult),
 		inflight: make(map[runKey]chan struct{}),
+		planned:  make(map[runKey]struct{}),
 	}
+}
+
+// NewPlanner returns a planning executor: its RunBatch records every
+// distinct spec without simulating and returns zero results. Render a
+// session's figures against a planner to enumerate the full grid
+// cheaply (the tables produced are garbage and must be discarded), then
+// declare the grid on the real executor with Plan.
+func NewPlanner() *Executor {
+	e := NewExecutor(1)
+	e.dry = true
+	return e
 }
 
 // Workers returns the worker-pool size.
@@ -101,6 +146,49 @@ func (e *Executor) Workers() int { return e.workers }
 // to w (pass nil to disable). Lines are serialized; safe with any worker
 // count.
 func (e *Executor) SetProgress(w io.Writer) { e.progress = w }
+
+// SetStore attaches a persistent result store as the L2 behind the
+// in-memory memo cache: cache misses consult it before simulating, and
+// every completed simulation writes through to it. Attach before the
+// first batch runs.
+func (e *Executor) SetStore(st *runcache.Store) { e.store = st }
+
+// Store returns the attached persistent store (nil if none).
+func (e *Executor) Store() *runcache.Store { return e.store }
+
+// SetRecord installs a hook receiving one RunRecord per resolved spec —
+// each executed simulation and each persistent-store replay.
+// Invocations are serialized; install before the first batch runs.
+func (e *Executor) SetRecord(fn func(RunRecord)) { e.record = fn }
+
+// Plan copies the distinct specs recorded by a planning executor into
+// e's planned set and returns the total now planned. Progress lines and
+// the ETA are then computed over the whole declared grid instead of
+// growing batch by batch.
+func (e *Executor) Plan(planner *Executor) int {
+	planner.mu.Lock()
+	keys := make([]runKey, 0, len(planner.planned))
+	for k := range planner.planned {
+		keys = append(keys, k)
+	}
+	planner.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, k := range keys {
+		e.planned[k] = struct{}{}
+	}
+	return len(e.planned)
+}
+
+// Planned returns the number of distinct specs declared or seen so far.
+func (e *Executor) Planned() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.planned)
+}
+
+// Done returns the number of distinct specs resolved so far.
+func (e *Executor) Done() int { return e.CacheSize() }
 
 // Runs returns how many simulations have actually executed — cache hits
 // and within-batch duplicates are not counted.
@@ -114,7 +202,8 @@ func (e *Executor) CacheSize() int {
 }
 
 // RunBatch resolves a batch of specs and returns their results in spec
-// order. Specs already in the cache are served from it; the remainder are
+// order. Specs already in the memo cache are served from it; remaining
+// specs consult the persistent store (if attached); the rest are
 // deduplicated (a spec appearing twice simulates once, including across
 // concurrent batches) and fanned out across the worker pool. Every
 // simulation is a pure function of its spec, so the results — and any
@@ -124,60 +213,138 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	for i, s := range specs {
 		keys[i] = specKey(s)
 	}
+	if e.dry {
+		e.mu.Lock()
+		for _, k := range keys {
+			e.planned[k] = struct{}{}
+		}
+		e.mu.Unlock()
+		return make([]RunResult, len(specs))
+	}
 
-	// Plan: collect the distinct cache misses. Misses already claimed by
-	// a concurrently-running batch are not simulated again; we wait for
-	// their channels before assembling.
-	var (
-		missSpecs []runSpec
-		missKeys  []runKey
-		waits     []chan struct{}
-	)
+	// Plan, phase 1: collect the distinct memo-cache misses.
+	type candidate struct {
+		i  int
+		k  runKey
+		dk string // persistent-store key hash, computed off-lock below
+		r  RunResult
+		ok bool // r was replayed from the store
+	}
+	var cands []candidate
 	seen := make(map[runKey]bool)
 	e.mu.Lock()
 	for i, k := range keys {
+		e.planned[k] = struct{}{}
 		if _, hit := e.cache[k]; hit || seen[k] {
 			continue
 		}
 		seen[k] = true
-		if ch, busy := e.inflight[k]; busy {
+		cands = append(cands, candidate{i: i, k: k})
+	}
+	e.mu.Unlock()
+
+	// Plan, phase 2: hash each candidate once (the hash also names the
+	// run in records) and consult the persistent store — both outside
+	// e.mu, so neither the marshal+SHA-256 nor the store's own lock
+	// extends the executor's critical section.
+	hashKeys := e.store != nil || e.record != nil
+	for c := range cands {
+		if hashKeys {
+			cands[c].dk = diskKey(cands[c].k)
+		}
+		cands[c].r, cands[c].ok = e.decodeStored(cands[c].dk)
+	}
+
+	// Plan, phase 3: publish the replays and claim the rest, re-checking
+	// against batches that raced ahead between the phases. Misses
+	// already claimed by a concurrently-running batch are not simulated
+	// again; we wait for their channels before assembling.
+	var (
+		missSpecs []runSpec
+		missKeys  []runKey
+		missDKs   []string
+		waits     []chan struct{}
+		replays   []RunRecord
+	)
+	e.mu.Lock()
+	for _, c := range cands {
+		if _, hit := e.cache[c.k]; hit {
+			continue // a concurrent batch resolved it meanwhile
+		}
+		if ch, busy := e.inflight[c.k]; busy {
 			waits = append(waits, ch)
 			continue
 		}
-		e.inflight[k] = make(chan struct{})
-		missSpecs = append(missSpecs, specs[i])
-		missKeys = append(missKeys, k)
+		if c.ok {
+			e.cache[c.k] = c.r
+			replays = append(replays, RunRecord{
+				Label:  specLabel(specs[c.i]),
+				Key:    c.dk,
+				Cycles: c.r.Cycles,
+				MPKI:   c.r.Target.MPKI(),
+				Cached: true,
+			})
+			continue
+		}
+		e.inflight[c.k] = make(chan struct{})
+		missSpecs = append(missSpecs, specs[c.i])
+		missKeys = append(missKeys, c.k)
+		missDKs = append(missDKs, c.dk)
 	}
 	e.mu.Unlock()
+	for _, rec := range replays {
+		e.emit(rec)
+	}
 
-	// Execute: fan the misses out across the pool.
-	total := len(missSpecs)
-	var completed atomic.Uint64
-	missRes := runner.Map(total, e.workers, func(i int) RunResult {
+	// Execute: fan the misses out across the pool. Each simulation
+	// publishes to the cache (and writes through to the store) as it
+	// completes, so concurrent batches waiting on it unblock early and
+	// progress counters advance per run, not per batch.
+	runner.Map(len(missSpecs), e.workers, func(i int) struct{} {
 		e.sem <- struct{}{} // a slot is held only while simulating
 		start := time.Now()
+		e.noteSimStart(start)
 		r := run(missSpecs[i])
 		<-e.sem
+		dur := time.Since(start)
 		e.runs.Add(1)
+		k := missKeys[i]
+		// pmu is taken before e.mu (the only ordering used anywhere), so
+		// publishing a result and printing its progress line are atomic
+		// with respect to other workers: the done/planned counters on
+		// stderr are monotonic.
 		if e.progress != nil {
 			e.pmu.Lock()
-			fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)\n",
-				completed.Add(1), total, specLabel(missSpecs[i]),
-				time.Since(start).Round(time.Millisecond))
-			e.pmu.Unlock()
 		}
-		return r
-	})
-
-	// Publish our runs, then wait out any runs owned by other batches,
-	// and assemble in submission order.
-	e.mu.Lock()
-	for i, k := range missKeys {
-		e.cache[k] = missRes[i]
+		e.mu.Lock()
+		e.cache[k] = r
 		close(e.inflight[k])
 		delete(e.inflight, k)
-	}
-	e.mu.Unlock()
+		e.simsDone++
+		done, planned := len(e.cache), len(e.planned)
+		eta := e.etaLocked()
+		e.mu.Unlock()
+		if e.progress != nil {
+			fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)%s\n",
+				done, planned, specLabel(missSpecs[i]),
+				dur.Round(time.Millisecond), eta)
+			e.pmu.Unlock()
+		}
+		if e.store != nil {
+			e.storePut(missDKs[i], r)
+		}
+		e.emit(RunRecord{
+			Label:      specLabel(missSpecs[i]),
+			Key:        missDKs[i],
+			Cycles:     r.Cycles,
+			MPKI:       r.Target.MPKI(),
+			DurationMS: float64(dur) / float64(time.Millisecond),
+		})
+		return struct{}{}
+	})
+
+	// Wait out any runs owned by other batches, then assemble in
+	// submission order.
 	for _, ch := range waits {
 		<-ch
 	}
@@ -188,6 +355,68 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	}
 	e.mu.Unlock()
 	return out
+}
+
+// decodeStored consults the persistent store for a disk key. The
+// store's content is memory-resident after Open, so this is a map
+// lookup plus a decode. An undecodable value (which load-time validation
+// makes unlikely) is treated as a miss and overwritten by the re-run.
+func (e *Executor) decodeStored(dk string) (RunResult, bool) {
+	if e.store == nil || dk == "" {
+		return RunResult{}, false
+	}
+	raw, ok := e.store.Get(dk)
+	if !ok {
+		return RunResult{}, false
+	}
+	var r RunResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return RunResult{}, false
+	}
+	return r, true
+}
+
+// storePut writes a completed simulation through to the persistent
+// store. Best-effort: a failed write (full disk, read-only cache dir)
+// only costs a future re-simulation, and the store counts it.
+func (e *Executor) storePut(dk string, r RunResult) {
+	v, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	_ = e.store.Put(dk, v)
+}
+
+// emit delivers one RunRecord to the hook, serialized.
+func (e *Executor) emit(rec RunRecord) {
+	if e.record == nil {
+		return
+	}
+	e.rmu.Lock()
+	e.record(rec)
+	e.rmu.Unlock()
+}
+
+// noteSimStart records the first simulation's start time, the basis of
+// the ETA's throughput estimate.
+func (e *Executor) noteSimStart(t time.Time) {
+	e.mu.Lock()
+	if e.simStart.IsZero() {
+		e.simStart = t
+	}
+	e.mu.Unlock()
+}
+
+// etaLocked estimates the time to resolve the rest of the planned grid
+// from the observed simulation throughput. Called with e.mu held;
+// returns "" until there is both a backlog and a throughput sample.
+func (e *Executor) etaLocked() string {
+	remaining := len(e.planned) - len(e.cache)
+	if remaining <= 0 || e.simsDone == 0 || e.simStart.IsZero() {
+		return ""
+	}
+	perRun := time.Since(e.simStart) / time.Duration(e.simsDone)
+	return fmt.Sprintf(" eta %v", (perRun * time.Duration(remaining)).Round(time.Second))
 }
 
 // specLabel is the human-readable one-line description used by progress

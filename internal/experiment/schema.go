@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/runcache"
+)
+
+// schemaEpoch distinguishes encoding generations that a type signature
+// cannot: bump it when simulation semantics change in a way that makes
+// previously stored results stale (e.g. a scheduler-model fix) without
+// any key or result field changing shape.
+const schemaEpoch = 1
+
+// persistedKey is the stable, exported-field mirror of runKey used for
+// the on-disk cache encoding. Its JSON form is deterministic (fixed
+// field order, no maps), so hashing it yields a stable key.
+type persistedKey struct {
+	Opts      core.Options `json:"opts"` // Codec/Scrambler blanked; identities below
+	Codec     string       `json:"codec"`
+	Scrambler string       `json:"scrambler"`
+	Pred      string       `json:"pred"`
+	Cfg       cpu.Config   `json:"cfg"`
+	Timer     uint64       `json:"timer"`
+	Names     string       `json:"names"`
+	Scale     Scale        `json:"scale"`
+}
+
+// SchemaVersion identifies the persistent run cache's encoding. It
+// embeds a recursive signature of the key and result types, so adding,
+// removing, renaming or retyping any field reachable from core.Options,
+// cpu.Config, Scale or RunResult produces a new version — stale entries
+// are invalidated, never aliased.
+func SchemaVersion() string { return schemaVersion }
+
+// schemaVersion is computed once; the types are static, so the
+// signature cannot change within a process.
+var schemaVersion = fmt.Sprintf("xorbp-run/epoch%d/%s->%s", schemaEpoch,
+	typeSig(reflect.TypeOf(persistedKey{}), nil),
+	typeSig(reflect.TypeOf(RunResult{}), nil))
+
+// typeSig renders a type's full structure: struct fields recurse, so a
+// change anywhere in the key or result type tree changes the signature.
+func typeSig(t reflect.Type, seen map[reflect.Type]bool) string {
+	if seen == nil {
+		seen = make(map[reflect.Type]bool)
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		if seen[t] {
+			return t.String()
+		}
+		seen[t] = true
+		var b strings.Builder
+		b.WriteString(t.String())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			f := t.Field(i)
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			b.WriteString(typeSig(f.Type, seen))
+		}
+		b.WriteByte('}')
+		return b.String()
+	case reflect.Slice:
+		return "[]" + typeSig(t.Elem(), seen)
+	case reflect.Array:
+		return fmt.Sprintf("[%d]%s", t.Len(), typeSig(t.Elem(), seen))
+	case reflect.Pointer:
+		return "*" + typeSig(t.Elem(), seen)
+	case reflect.Map:
+		return "map[" + typeSig(t.Key(), seen) + "]" + typeSig(t.Elem(), seen)
+	default:
+		// Basic kinds and interfaces: the name is the identity (interface
+		// implementations are keyed separately, by dynamic type name).
+		return t.String()
+	}
+}
+
+// diskKey derives the persistent-store key for a runKey.
+func diskKey(k runKey) string {
+	payload, err := json.Marshal(persistedKey{
+		Opts:      k.opts,
+		Codec:     k.codec,
+		Scrambler: k.scrambler,
+		Pred:      k.predName,
+		Cfg:       k.cfg,
+		Timer:     k.timer,
+		Names:     k.names,
+		Scale:     k.scale,
+	})
+	if err != nil {
+		// Every field is a plain value type; Marshal cannot fail.
+		panic(fmt.Sprintf("experiment: encoding run key: %v", err))
+	}
+	return runcache.Key(schemaVersion, payload)
+}

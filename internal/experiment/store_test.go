@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"xorbp/internal/runcache"
+	"xorbp/internal/workload"
+)
+
+// storedExec opens (or reopens) a store on dir under the current schema
+// and attaches it to a fresh executor.
+func storedExec(t *testing.T, dir string, workers int) *Executor {
+	t.Helper()
+	st, err := runcache.Open(dir, SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(workers)
+	e.SetStore(st)
+	return e
+}
+
+// testSpecs is a small distinct-spec batch for store tests.
+func testSpecs(scale Scale) []runSpec {
+	pairs := workload.SingleCorePairs()
+	specs := []runSpec{
+		singleSpec(baselineOpts(), pairs[0], 300_000),
+		singleSpec(figure1CF(), pairs[0], 300_000),
+		singleSpec(baselineOpts(), pairs[1], 300_000),
+	}
+	for i := range specs {
+		specs[i].scale = scale
+	}
+	return specs
+}
+
+// TestExecutorStoreRoundTrip is the tentpole's core guarantee: a second
+// executor (a later process) backed by the same cache directory resolves
+// an identical batch with zero simulations and identical results.
+func TestExecutorStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs(microScale())
+
+	e1 := storedExec(t, dir, 2)
+	first := e1.RunBatch(specs)
+	if got := e1.Runs(); got != uint64(len(specs)) {
+		t.Fatalf("cold store executed %d runs, want %d", got, len(specs))
+	}
+
+	e2 := storedExec(t, dir, 2)
+	second := e2.RunBatch(specs)
+	if got := e2.Runs(); got != 0 {
+		t.Fatalf("warm store executed %d runs, want 0", got)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replayed results differ:\n%+v\nvs\n%+v", first, second)
+	}
+}
+
+// TestExecutorStoreSchemaMismatch: entries written under another schema
+// version are invisible — the executor re-simulates rather than aliasing
+// them.
+func TestExecutorStoreSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs(microScale())
+	storedExec(t, dir, 2).RunBatch(specs)
+
+	stale, err := runcache.Open(dir, "some-older-schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(2)
+	e.SetStore(stale)
+	e.RunBatch(specs)
+	if got := e.Runs(); got != uint64(len(specs)) {
+		t.Fatalf("schema-mismatched store replayed entries: %d runs, want %d",
+			got, len(specs))
+	}
+}
+
+// TestExecutorsConcurrentSharedCacheDir: two executors, each with its
+// own Store handle on one directory (two concurrent bpsim processes),
+// run overlapping batches under -race; afterwards a third executor
+// replays the union without simulating.
+func TestExecutorsConcurrentSharedCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs(microScale())
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		e := storedExec(t, dir, 2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.RunBatch(specs)
+		}()
+	}
+	wg.Wait()
+
+	e := storedExec(t, dir, 2)
+	e.RunBatch(specs)
+	if got := e.Runs(); got != 0 {
+		t.Fatalf("after concurrent writers, replay executed %d runs, want 0", got)
+	}
+	if n := e.Store().Len(); n != len(specs) {
+		t.Fatalf("shared dir holds %d entries, want %d", n, len(specs))
+	}
+}
+
+// TestRunRecords: the record hook sees one Cached=false record per
+// simulation, one Cached=true record per store replay, and nothing for
+// in-process memo hits.
+func TestRunRecords(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpecs(microScale())[0]
+
+	var mu sync.Mutex
+	var recs []RunRecord
+	collect := func(r RunRecord) { mu.Lock(); recs = append(recs, r); mu.Unlock() }
+
+	e1 := storedExec(t, dir, 2)
+	e1.SetRecord(collect)
+	e1.RunBatch([]runSpec{spec})
+	e1.RunBatch([]runSpec{spec}) // memo hit: no record
+	if len(recs) != 1 || recs[0].Cached || recs[0].Cycles == 0 ||
+		recs[0].DurationMS <= 0 || recs[0].Key == "" ||
+		!strings.Contains(recs[0].Label, "Baseline") {
+		t.Fatalf("cold-run records = %+v, want one uncached record", recs)
+	}
+
+	recs = nil
+	e2 := storedExec(t, dir, 2)
+	e2.SetRecord(collect)
+	e2.RunBatch([]runSpec{spec})
+	if len(recs) != 1 || !recs[0].Cached || recs[0].Cycles == 0 {
+		t.Fatalf("warm-run records = %+v, want one cached record", recs)
+	}
+	if e2.Runs() != 0 {
+		t.Fatalf("warm run simulated %d times", e2.Runs())
+	}
+}
+
+// TestPlannerDeclaresGrid: a planning session enumerates Figure 1's full
+// grid (12 pairs x 3 periods x {baseline, flush} = 72 distinct specs)
+// without simulating, and Plan transfers it to a real executor's
+// denominator.
+func TestPlannerDeclaresGrid(t *testing.T) {
+	planner := NewPlanner()
+	NewSessionWith(microScale(), planner).Figure1()
+	if planner.Runs() != 0 {
+		t.Fatalf("planner simulated %d times", planner.Runs())
+	}
+	e := NewExecutor(1)
+	if got := e.Plan(planner); got != 72 {
+		t.Fatalf("planned %d distinct specs, want 72", got)
+	}
+	if e.Planned() != 72 || e.Done() != 0 {
+		t.Fatalf("Planned/Done = %d/%d, want 72/0", e.Planned(), e.Done())
+	}
+}
+
+// TestProgressCountsOverPlannedGrid: with a pre-declared plan, progress
+// lines report done/total over the whole grid, not the current batch.
+func TestProgressCountsOverPlannedGrid(t *testing.T) {
+	planner := NewPlanner()
+	scale := microScale()
+	specs := testSpecs(scale)
+	planner.RunBatch(specs)
+
+	e := NewExecutor(1)
+	var buf strings.Builder
+	e.SetProgress(&buf)
+	e.Plan(planner)
+	e.RunBatch(specs[:1]) // first batch resolves 1 of the 3 planned
+	out := buf.String()
+	if !strings.Contains(out, "[run 1/3]") {
+		t.Fatalf("progress not counted over the planned grid:\n%s", out)
+	}
+	if !strings.Contains(out, " eta ") {
+		t.Fatalf("progress line missing ETA while backlog remains:\n%s", out)
+	}
+}
+
+// TestSchemaVersionTracksTypes: the version string embeds the key and
+// result type structure, so it mentions the load-bearing types and is
+// stable across calls.
+func TestSchemaVersionTracksTypes(t *testing.T) {
+	v := SchemaVersion()
+	if v != SchemaVersion() {
+		t.Fatal("SchemaVersion is not deterministic")
+	}
+	for _, want := range []string{"core.Options", "cpu.Config", "experiment.Scale",
+		"experiment.RunResult", "cpu.ThreadStats", "Mechanism"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("schema version missing %q:\n%s", want, v)
+		}
+	}
+}

@@ -24,22 +24,29 @@ func (t *Table) Render() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
 	}
-	widths := make([]int, len(t.Header))
+	// Width accounting covers every row, not just the header: a row wider
+	// than the header still renders all its cells (and the separator
+	// spans them), so the text output never silently disagrees with the
+	// table's JSON form.
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
 	}
 	line := func(cells []string) {
 		for i, c := range cells {
-			if i >= len(widths) {
-				break
-			}
 			if i > 0 {
 				b.WriteString("  ")
 			}
@@ -48,7 +55,7 @@ func (t *Table) Render() string {
 		b.WriteByte('\n')
 	}
 	line(t.Header)
-	sep := make([]string, len(t.Header))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

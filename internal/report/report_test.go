@@ -45,11 +45,36 @@ func TestRenderNoTitle(t *testing.T) {
 	}
 }
 
-func TestRenderExtraCellsIgnored(t *testing.T) {
+// TestRenderExtraCellsRendered is the regression test for rows wider
+// than the header: every cell must render (Render used to drop them,
+// making the text and JSON forms of a table disagree), and the widths —
+// including the separator — must account for cells in the extra
+// columns.
+func TestRenderExtraCellsRendered(t *testing.T) {
 	tab := &Table{Header: []string{"only"}}
 	tab.AddRow("a", "overflow")
+	tab.AddRow("bb", "x")
 	out := tab.Render()
-	if !strings.Contains(out, "a") {
-		t.Fatal("row lost")
+	if !strings.Contains(out, "overflow") {
+		t.Fatalf("cell beyond the header width was dropped:\n%s", out)
+	}
+	// The extra column aligns like any other: both rows place their
+	// second cell at the same offset.
+	lines := strings.Split(out, "\n")
+	var rowA, rowB string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a ") {
+			rowA = l
+		}
+		if strings.HasPrefix(l, "bb") {
+			rowB = l
+		}
+	}
+	if strings.Index(rowA, "overflow") != strings.Index(rowB, "x") {
+		t.Fatalf("extra column misaligned:\n%q\n%q", rowA, rowB)
+	}
+	// The separator spans the extra column too.
+	if !strings.Contains(out, strings.Repeat("-", len("overflow"))) {
+		t.Fatalf("separator does not cover the extra column:\n%s", out)
 	}
 }

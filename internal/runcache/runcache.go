@@ -1,0 +1,220 @@
+// Package runcache persists resolved simulation results across process
+// invocations. It is the L2 behind the experiment engine's in-memory
+// memo cache: once a spec has been simulated by any bpsim invocation,
+// every later invocation replays the stored result instead of
+// re-simulating it.
+//
+// The store is deliberately simple and crash-safe:
+//
+//   - One file per entry, named by the entry's key hash, written with
+//     write-temp + rename so concurrent processes sharing a directory
+//     never observe a torn entry (the last writer of a key wins, and
+//     every writer of a key writes identical deterministic content).
+//   - Entries live in a per-schema subdirectory. Opening a directory
+//     with a new schema version starts empty — stale entries are
+//     invalidated by construction and can never alias a current key.
+//   - All entries load at Open; Get and Put are memory-speed afterward
+//     (Put additionally writes through to disk).
+//   - Files that fail to parse, or whose recorded schema or key does not
+//     match, are quarantined (renamed with a ".corrupt" suffix) rather
+//     than trusted or deleted.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Loaded      int // entries read at Open
+	Quarantined int // corrupt files renamed aside at Open
+	Hits        int // Get calls that found an entry
+	Misses      int // Get calls that did not
+	Puts        int // entries written
+	PutErrors   int // writes that failed (entry kept in memory only)
+}
+
+// Store is an on-disk map from key hash to an opaque JSON value, with an
+// in-memory mirror loaded at Open. Safe for concurrent use within a
+// process; safe to share a directory across processes.
+type Store struct {
+	root   string // user-supplied cache directory
+	dir    string // per-schema subdirectory actually holding entries
+	schema string
+
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	stats   Stats
+}
+
+// entry is the on-disk file format. Schema and Key are recorded
+// redundantly (the subdirectory and filename imply them) so a misplaced
+// or tampered file is detected and quarantined at load.
+type entry struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// DefaultDir returns the conventional cache directory shared by the
+// CLIs — ~/.cache/xorbp via the platform cache dir — or "" when no home
+// is resolvable, which callers treat as cache-disabled.
+func DefaultDir() string {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "xorbp")
+}
+
+// Key derives the store key for a payload under a schema: the hex SHA-256
+// of both. Including the schema means entries from different schema
+// versions can never collide on a name.
+func Key(schema string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(schema))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// schemaID is the directory-name-safe digest of a schema string (the
+// full string can be hundreds of characters of type signature).
+func schemaID(schema string) string {
+	sum := sha256.Sum256([]byte(schema))
+	return "v-" + hex.EncodeToString(sum[:8])
+}
+
+// Open loads (creating if necessary) the store for one schema version
+// under dir. Entries written under other schema versions are left
+// untouched in their own subdirectories.
+func Open(dir, schema string) (*Store, error) {
+	sub := filepath.Join(dir, schemaID(schema))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	s := &Store{
+		root:    dir,
+		dir:     sub,
+		schema:  schema,
+		entries: make(map[string]json.RawMessage),
+	}
+	names, err := os.ReadDir(sub)
+	if err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		// Skip in-progress writes from concurrent processes and anything
+		// already quarantined.
+		if de.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(sub, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue // racing writer or permissions; neither is corruption
+		}
+		var e entry
+		key := strings.TrimSuffix(name, ".json")
+		if json.Unmarshal(raw, &e) != nil || e.Schema != schema || e.Key != key || len(e.Value) == 0 {
+			s.quarantine(path)
+			continue
+		}
+		s.entries[key] = e.Value
+		s.stats.Loaded++
+	}
+	return s, nil
+}
+
+// quarantine renames a corrupt entry aside so it is neither trusted nor
+// re-examined on every Open. A failed rename (e.g. the file vanished
+// under a concurrent process) is ignored.
+func (s *Store) quarantine(path string) {
+	if os.Rename(path, path+".corrupt") == nil {
+		s.stats.Quarantined++
+	}
+}
+
+// Get returns the stored value for key, if present.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.entries[key]
+	if ok {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	return v, ok
+}
+
+// Put stores value under key, writing through to disk atomically
+// (write-temp + rename). The entry is kept in memory even if the disk
+// write fails — the caller already paid for the result — and the failure
+// is reported and counted.
+func (s *Store) Put(key string, value []byte) error {
+	raw, err := json.Marshal(entry{Schema: s.schema, Key: key, Value: value})
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	s.mu.Lock()
+	s.entries[key] = json.RawMessage(value)
+	s.stats.Puts++
+	s.mu.Unlock()
+	if err := s.writeFile(key, raw); err != nil {
+		s.mu.Lock()
+		s.stats.PutErrors++
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (s *Store) writeFile(key string, raw []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Key derives the store key for a payload under this store's schema.
+func (s *Store) Key(payload []byte) string { return Key(s.schema, payload) }
+
+// Len returns the number of entries currently loaded.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Dir returns the per-schema directory holding this store's entries.
+func (s *Store) Dir() string { return s.dir }

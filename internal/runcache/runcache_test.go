@@ -1,0 +1,179 @@
+package runcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.Key([]byte("payload-1"))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key, []byte(`{"cycles":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(key); !ok || string(v) != `{"cycles":42}` {
+		t.Fatalf("in-process Get = %q, %v", v, ok)
+	}
+
+	// A fresh Open on the same directory sees the entry.
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get(key); !ok || string(v) != `{"cycles":42}` {
+		t.Fatalf("reopened Get = %q, %v", v, ok)
+	}
+	if st := s2.Stats(); st.Loaded != 1 || st.Hits != 1 {
+		t.Fatalf("reopened stats = %+v, want 1 loaded, 1 hit", st)
+	}
+}
+
+func TestSchemaMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(a.Key([]byte("k")), []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different schema starts empty: old entries are invalid for it and
+	// its keys cannot alias them (the key hash includes the schema).
+	b, err := Open(dir, "schema-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("schema-b store loaded %d entries from schema-a", b.Len())
+	}
+	if _, ok := b.Get(b.Key([]byte("k"))); ok {
+		t.Fatal("schema-b key aliased a schema-a entry")
+	}
+	if a.Key([]byte("k")) == b.Key([]byte("k")) {
+		t.Fatal("identical payloads under different schemas share a key")
+	}
+
+	// The old schema's entries are untouched, not deleted.
+	a2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Len() != 1 {
+		t.Fatalf("schema-a store lost its entry: %d left", a2.Len())
+	}
+}
+
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := s.Key([]byte("good"))
+	if err := s.Put(good, []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// Three corruption shapes: unparseable bytes, a parseable entry
+	// recorded under the wrong schema, and a file whose name disagrees
+	// with its recorded key.
+	writeRaw := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRaw("feedfeed.json", "not json at all")
+	writeRaw("deadbeef.json", `{"schema":"schema-z","key":"deadbeef","value":1}`)
+	writeRaw("cafecafe.json", `{"schema":"schema-a","key":"somethingelse","value":1}`)
+
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("store loaded %d entries, want only the good one", s2.Len())
+	}
+	if st := s2.Stats(); st.Quarantined != 3 {
+		t.Fatalf("quarantined %d files, want 3 (%+v)", st.Quarantined, st)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(s2.Dir(), "*.corrupt"))
+	if len(quarantined) != 3 {
+		t.Fatalf("found %d .corrupt files, want 3", len(quarantined))
+	}
+	// Quarantine is sticky: the next Open does not re-examine them.
+	s3, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.Quarantined != 0 || st.Loaded != 1 {
+		t.Fatalf("second reopen stats = %+v, want no new quarantines", st)
+	}
+	// The store stays usable after quarantining.
+	if err := s2.Put(s2.Key([]byte("more")), []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStores exercises two Store handles sharing one directory
+// — the shape of two concurrent bpsim processes — under the race
+// detector: overlapping Puts of identical content and concurrent Gets.
+func TestConcurrentStores(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := s.Key([]byte(fmt.Sprintf("k%d", i)))
+				if err := s.Put(key, []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(key); !ok || !strings.Contains(string(v), fmt.Sprint(i)) {
+					t.Errorf("Get after Put: %q, %v", v, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 50 || c.Stats().Quarantined != 0 {
+		t.Fatalf("after concurrent writers: %d entries (%+v), want 50 clean",
+			c.Len(), c.Stats())
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	if Key("s", []byte("p")) != Key("s", []byte("p")) {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key("s", []byte("p")) == Key("s", []byte("q")) ||
+		Key("s", []byte("p")) == Key("t", []byte("p")) {
+		t.Fatal("distinct inputs collide")
+	}
+}
