@@ -1,0 +1,94 @@
+// Command bpserve is the experiment work-server: a daemon that accepts
+// simulation specs over the canonical wire protocol (internal/wire) and
+// returns their results, so bpsim sweeps can fan out across machines
+// with -serve-addrs.
+//
+// Usage:
+//
+//	bpserve [-addr HOST:PORT] [-workers N] [-cache DIR] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /run      {"schema":..., "spec":...} -> {"schema":..., "result":...}
+//	GET  /healthz  status, schema version, capacity, in-flight count
+//
+// -workers bounds concurrent simulations (default: one per CPU); excess
+// requests queue. Every result is written through to -cache (default
+// ~/.cache/xorbp), so workers sharing a directory — with each other or
+// with bpsim — never repeat a spec. A spec already in the cache is
+// answered without simulating.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: /healthz reports
+// "draining", new /run requests get 503 (clients fail over), and
+// in-flight simulations run to completion before exit, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xorbp/internal/runcache"
+	"xorbp/internal/runner"
+	"xorbp/internal/serve"
+	"xorbp/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	workers := flag.Int("workers", runner.DefaultWorkers(), "concurrent simulation limit (<=0: one per CPU)")
+	cacheDir := flag.String("cache", runcache.DefaultDir(), "shared run-cache directory (\"\" disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight simulations on shutdown")
+	flag.Parse()
+
+	var st *runcache.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = runcache.Open(*cacheDir, wire.SchemaVersion())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpserve: disabling run cache: %v\n", err)
+			st = nil
+		}
+	}
+
+	srv := serve.New(*workers, st)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	cache := "disabled"
+	if st != nil {
+		cache = st.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "bpserve: listening on %s (capacity %d, cache %s)\n",
+		*addr, srv.Capacity(), cache)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "bpserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new work, let in-flight simulations finish.
+	srv.SetDraining(true)
+	fmt.Fprintf(os.Stderr, "bpserve: draining (%d simulations executed, %d replayed)\n",
+		srv.Runs(), srv.Replays())
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "bpserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bpserve: drained")
+}

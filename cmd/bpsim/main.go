@@ -3,7 +3,9 @@
 // Usage:
 //
 //	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table4|table5|mpki|residency|all
-//	      [-scale full|bench] [-seed N] [-workers N] [-progress] [-json] [-cache DIR]
+//	      [-scale full|bench|micro] [-seed N] [-workers N] [-progress] [-json]
+//	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N]
+//	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
 //
 // Simulations fan out across -workers goroutines (default: one per CPU);
 // results are deterministic for any worker count.
@@ -12,20 +14,42 @@
 // (default ~/.cache/xorbp; -cache "" disables): a second run of the same
 // experiments replays results from the store instead of simulating.
 //
+// -serve-addrs dispatches simulations to bpserve worker daemons instead
+// of the local pool. Tables are byte-identical to a local run: results
+// are pure functions of their specs regardless of where they execute.
+// Unless -workers is set explicitly, the fan-out width is the fleet's
+// total capacity.
+//
+// -shard I/N statically partitions the grid: this process simulates only
+// the cells whose key hashes to shard I of N, skips the rest, and
+// suppresses table output (a sharded run populates the shared cache; an
+// unsharded run afterwards renders from it without simulating).
+//
 // -progress emits one line per completed simulation to stderr, counted
 // against the full grid planned for the invocation (all requested
-// experiments, not the current batch) with a throughput-based ETA.
+// experiments, not the current batch) with a throughput-based ETA over
+// the cells that still need simulating.
 //
 // -json streams one record per resolved simulation — spec label, key
 // hash, cycles, MPKI, duration and cache hit/miss — as single-line
-// {"type":"run",...} objects, followed by each experiment's table.
+// {"type":"run",...} objects, followed by each experiment's table and a
+// final {"type":"summary",...} record (planned/simulated/cached/skipped
+// counts, wall time, backend), so scripted sweeps don't have to tally
+// run records themselves.
+//
+// -cache-gc garbage-collects the cache directory instead of running
+// experiments: superseded schema subdirectories are removed, then
+// entries older than -gc-age, then the oldest survivors until the
+// directory fits -gc-max-bytes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +57,8 @@ import (
 	"xorbp/internal/hwcost"
 	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
+	"xorbp/internal/trace"
+	"xorbp/internal/wire"
 	"xorbp/internal/workload"
 )
 
@@ -83,15 +109,59 @@ func runners() map[string]expRunner {
 	}
 }
 
+// summary is the final -json record: the invocation's totals, so
+// scripted sweeps read one line instead of tallying run records.
+type summary struct {
+	Type      string `json:"type"` // "summary"
+	Planned   int    `json:"planned"`
+	Simulated uint64 `json:"simulated"`
+	Cached    int    `json:"cached"`
+	Skipped   int    `json:"skipped"`
+	// WorkerCached counts dispatched runs the remote fleet answered
+	// from its own stores (a subset of Simulated, which tallies
+	// dispatches — the driver cannot see inside the backend).
+	WorkerCached uint64  `json:"worker_cached,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	Backend      string  `json:"backend"` // "local" or "remote"
+	Workers      int     `json:"workers"`
+	Shard        string  `json:"shard,omitempty"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bpsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(order, ", ")+", all)")
-	scaleName := flag.String("scale", "full", "simulation scale: full or bench")
+	scaleName := flag.String("scale", "full", "simulation scale: full, bench or micro")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	asJSON := flag.Bool("json", false, "emit per-run records and machine-readable JSON tables instead of text")
-	workers := flag.Int("workers", runner.DefaultWorkers(), "simulation worker pool size (<=0: one per CPU)")
+	asJSON := flag.Bool("json", false, "emit per-run records, machine-readable JSON tables and a final summary record instead of text")
+	workers := flag.Int("workers", runner.DefaultWorkers(), "simulation worker pool size (<=0: one per CPU; with -serve-addrs, defaults to fleet capacity)")
 	progress := flag.Bool("progress", false, "emit a line per completed simulation to stderr, with session-wide ETA")
 	cacheDir := flag.String("cache", runcache.DefaultDir(), "persistent run-cache directory (\"\" disables)")
+	serveAddrs := flag.String("serve-addrs", "", "comma-separated bpserve worker addresses (host:port); simulations run remotely")
+	shard := flag.String("shard", "", "static grid shard I/N (0-based): simulate only owned cells, skip the rest, suppress tables")
+	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the run cache and exit (see -gc-age, -gc-max-bytes)")
+	gcAge := flag.Duration("gc-age", 30*24*time.Hour, "with -cache-gc: remove entries older than this (0 disables)")
+	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "with -cache-gc: evict oldest entries until the cache fits this many bytes (0 disables)")
 	flag.Parse()
+
+	if *cacheGC {
+		if *cacheDir == "" {
+			fatalf("-cache-gc needs a cache directory (-cache)")
+		}
+		// Both live schemas sharing the directory survive the sweep: the
+		// experiment run cache and bptrace's recording cache.
+		rep, err := runcache.GC(*cacheDir,
+			[]string{experiment.SchemaVersion(), trace.CacheSchema()},
+			runcache.GCOptions{MaxAge: *gcAge, MaxBytes: *gcMaxBytes})
+		if err != nil {
+			fatalf("cache-gc: %v", err)
+		}
+		fmt.Printf("cache-gc %s: %s\n", *cacheDir, rep)
+		return
+	}
 
 	var scale experiment.Scale
 	switch *scaleName {
@@ -99,11 +169,31 @@ func main() {
 		scale = experiment.FullScale()
 	case "bench":
 		scale = experiment.BenchScale()
+	case "micro":
+		scale = experiment.MicroScale()
 	default:
 		fmt.Fprintf(os.Stderr, "bpsim: unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
 	scale.Seed = *seed
+
+	shardI, shardN := 0, 1
+	if *shard != "" {
+		// Strict parse: a typo like "1/2/4" must be rejected, not run as
+		// shard 1/2 — a mis-sharded process breaks the fleet's partition.
+		is, ns, ok := strings.Cut(*shard, "/")
+		i, err1 := strconv.Atoi(is)
+		n, err2 := strconv.Atoi(ns)
+		if !ok || err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+			fmt.Fprintf(os.Stderr, "bpsim: invalid -shard %q (want I/N with 0 <= I < N)\n", *shard)
+			os.Exit(2)
+		}
+		shardI, shardN = i, n
+		if *cacheDir == "" && *serveAddrs == "" {
+			fatalf("-shard without -cache or -serve-addrs would discard every result; " +
+				"point the shards at a shared -cache (or at bpserve workers, which cache on their side)")
+		}
+	}
 
 	reg := runners()
 	names := []string{*exp}
@@ -117,7 +207,32 @@ func main() {
 		}
 	}
 
-	exec := experiment.NewExecutor(*workers)
+	// Pick the backend: the in-process pool, or a bpserve fleet.
+	backendName := "local"
+	var backend experiment.Backend
+	var client *wire.Client
+	poolSize := *workers
+	if *serveAddrs != "" {
+		client = wire.NewClient(strings.Split(*serveAddrs, ","))
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		err := client.Probe(ctx)
+		cancel()
+		if err != nil {
+			fatalf("probing workers: %v", err)
+		}
+		backend = client
+		backendName = "remote"
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		if !workersSet {
+			poolSize = client.Workers()
+		}
+	}
+
+	exec := experiment.NewExecutorWith(poolSize, backend)
+	if shardN > 1 {
+		exec.SetShard(shardI, shardN)
+	}
 	if *progress {
 		exec.SetProgress(os.Stderr)
 	}
@@ -150,19 +265,28 @@ func main() {
 	for _, name := range names {
 		if reg[name].sims {
 			if _, err := reg[name].run(ps, *seed); err != nil {
-				fmt.Fprintf(os.Stderr, "bpsim: planning %s: %v\n", name, err)
-				os.Exit(1)
+				fatalf("planning %s: %v", name, err)
 			}
 		}
 	}
 	exec.Plan(planner)
 
+	wallStart := time.Now()
 	for _, name := range names {
 		start := time.Now()
 		tab, err := reg[name].run(s, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bpsim: %s: %v\n", name, err)
-			os.Exit(1)
+			fatalf("%s: %v", name, err)
+		}
+		if err := exec.Err(); err != nil {
+			fatalf("backend failed: %v", err)
+		}
+		if shardN > 1 {
+			// A sharded run populates the shared cache; its tables would
+			// mix real cells with the zero results of skipped cells.
+			fmt.Fprintf(os.Stderr, "[shard %d/%d] %s: %d resolved, %d skipped (tables suppressed)\n",
+				shardI, shardN, name, exec.Done(), exec.Skipped())
+			continue
 		}
 		if *asJSON {
 			out, err := json.MarshalIndent(map[string]any{"experiment": name, "table": tab}, "", "  ")
@@ -175,6 +299,27 @@ func main() {
 		}
 		fmt.Println(tab.Render())
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		rec := summary{
+			Type:      "summary",
+			Planned:   exec.Planned(),
+			Simulated: exec.Runs(),
+			Cached:    exec.Replays(),
+			Skipped:   exec.Skipped(),
+			WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond),
+			Backend:   backendName,
+			Workers:   exec.Workers(),
+		}
+		if client != nil {
+			rec.WorkerCached = client.Replays()
+		}
+		if shardN > 1 {
+			rec.Shard = fmt.Sprintf("%d/%d", shardI, shardN)
+		}
+		if out, err := json.Marshal(rec); err == nil {
+			fmt.Println(string(out))
+		}
 	}
 	if st := exec.Store(); st != nil && *progress {
 		cs := st.Stats()

@@ -33,13 +33,6 @@ import (
 	"xorbp/internal/workload"
 )
 
-// traceCacheEpoch versions the record cache beyond the trace file
-// format: bump it when workload generator semantics change (profile
-// branch mixes, syscall rates, RNG draws) so stale recordings are
-// invalidated rather than served — trace.Version only tracks the
-// on-disk encoding, not what the generators emit.
-const traceCacheEpoch = 1
-
 // traceKey identifies one recording in the persistent cache.
 type traceKey struct {
 	Name string `json:"name"`
@@ -130,8 +123,7 @@ func main() {
 	var st *runcache.Store
 	if *cacheDir != "" && *record != "" {
 		var err error
-		st, err = runcache.Open(*cacheDir,
-			fmt.Sprintf("xorbp-trace/v%d/epoch%d", trace.Version, traceCacheEpoch))
+		st, err = runcache.Open(*cacheDir, trace.CacheSchema())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bptrace: disabling record cache: %v\n", err)
 			st = nil

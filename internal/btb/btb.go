@@ -14,17 +14,18 @@ import (
 // RISC-V / fixed-width fetch granule).
 const pcShift = 2
 
-// Config sizes a BTB.
+// Config sizes a BTB. The JSON tags define its canonical wire form
+// (internal/wire).
 type Config struct {
 	// Sets is the number of sets (power of two).
-	Sets uint
+	Sets uint `json:"sets"`
 	// Ways is the set associativity.
-	Ways uint
+	Ways uint `json:"ways"`
 	// TagBits is the stored partial-tag width.
-	TagBits uint
+	TagBits uint `json:"tag_bits"`
 	// TargetBits is the stored target width (low bits of the target
 	// address; commercial BTBs store partial targets).
-	TargetBits uint
+	TargetBits uint `json:"target_bits"`
 }
 
 // FPGAConfig is the paper's FPGA prototype BTB: 256 sets × 2 ways

@@ -151,3 +151,34 @@ func mask(n uint) uint64 {
 	}
 	return (1 << n) - 1
 }
+
+// CodecByName resolves a codec's wire name (its Name() value) to an
+// instance. Every codec is a stateless struct, so the shared instances
+// returned here are safe to embed in any number of Options. This is the
+// registry the distributed work protocol uses to reconstruct Options
+// from their canonical wire form.
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case XORCodec{}.Name():
+		return XORCodec{}, true
+	case RotXORCodec{}.Name():
+		return RotXORCodec{}, true
+	case IdentityCodec{}.Name():
+		return IdentityCodec{}, true
+	}
+	return nil, false
+}
+
+// ScramblerByName resolves a scrambler's wire name (its Name() value) to
+// an instance, mirroring CodecByName.
+func ScramblerByName(name string) (Scrambler, bool) {
+	switch name {
+	case XORScrambler{}.Name():
+		return XORScrambler{}, true
+	case FeistelScrambler{}.Name():
+		return FeistelScrambler{}, true
+	case IdentityScrambler{}.Name():
+		return IdentityScrambler{}, true
+	}
+	return nil, false
+}

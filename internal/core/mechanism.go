@@ -89,29 +89,32 @@ func (s Structure) String() string {
 // baseline; DefaultOptions returns the paper's recommended configuration.
 type Options struct {
 	// Mechanism selects the defense.
-	Mechanism Mechanism
+	Mechanism Mechanism `json:"mechanism"`
 	// Scope limits which structures the mechanism protects (0 means
 	// StructAll). XOR-BTB alone is Scope: StructBTB; XOR-PHT alone is
 	// Scope: StructPHT.
-	Scope Structure
+	Scope Structure `json:"scope"`
 	// EnhancedPHT applies the word-granularity key schedule to direction
 	// tables (Enhanced-XOR-PHT, §5.2). Without it, PHT entries are XORed
 	// with a key truncated to the entry width, which §5.5 shows is only a
 	// mitigation. Ignored by non-encoding mechanisms.
-	EnhancedPHT bool
+	EnhancedPHT bool `json:"enhanced_pht"`
 	// RotateOnPrivilege regenerates keys on privilege changes (syscalls,
 	// interrupts), the paper's design. Disabling it is an ablation: each
 	// privilege level keeps its own stable key within a quantum.
-	RotateOnPrivilege bool
+	RotateOnPrivilege bool `json:"rotate_on_privilege"`
 	// FlushOnPrivilege makes the flush mechanisms act on privilege changes
 	// as well as context switches. The paper's Figure 1 experiment flushes
 	// only on the periodic timer; the SMT comparisons (Figures 2, 3, 10)
 	// require privilege-event flushes for equivalent protection.
-	FlushOnPrivilege bool
-	// Codec is the content encoding; nil selects XORCodec.
-	Codec Codec
-	// Scrambler is the index encoding; nil selects XORScrambler.
-	Scrambler Scrambler
+	FlushOnPrivilege bool `json:"flush_on_privilege"`
+	// Codec is the content encoding; nil selects XORCodec. On the wire
+	// (internal/wire) the interface is carried by its Name(), not its
+	// value, so it is excluded from the JSON form.
+	Codec Codec `json:"-"`
+	// Scrambler is the index encoding; nil selects XORScrambler. Wire
+	// handling matches Codec.
+	Scrambler Scrambler `json:"-"`
 }
 
 // DefaultOptions returns the paper's full proposal: Noisy-XOR-BP with

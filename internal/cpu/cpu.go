@@ -28,23 +28,25 @@ import (
 	"xorbp/internal/workload"
 )
 
-// Config is the core microarchitecture (Table 2).
+// Config is the core microarchitecture (Table 2). The JSON tags define
+// its canonical wire form (internal/wire): stable snake_case names, one
+// per field, no omitted fields.
 type Config struct {
 	// Name labels the configuration in reports.
-	Name string
+	Name string `json:"name"`
 	// FetchWidth is the front-end width (instructions per cycle).
-	FetchWidth int
+	FetchWidth int `json:"fetch_width"`
 	// MispredictPenalty is the pipeline-flush cost in cycles (≈ depth).
-	MispredictPenalty uint64
+	MispredictPenalty uint64 `json:"mispredict_penalty"`
 	// BTBMissPenalty is the decode-redirect cost for direct taken
 	// branches whose target missed in the BTB.
-	BTBMissPenalty uint64
+	BTBMissPenalty uint64 `json:"btb_miss_penalty"`
 	// BTB is the target buffer geometry.
-	BTB btb.Config
+	BTB btb.Config `json:"btb"`
 	// RASDepth is the return address stack depth.
-	RASDepth int
+	RASDepth int `json:"ras_depth"`
 	// HWThreads is the number of hardware thread contexts (SMT ways).
-	HWThreads int
+	HWThreads int `json:"hw_threads"`
 }
 
 // FPGAConfig is the paper's FPGA RISC-V BOOM prototype: 4-wide, 10-stage
@@ -96,14 +98,14 @@ func DefaultScheduler(timerPeriod uint64) SchedulerConfig {
 
 // ThreadStats accumulates per-software-thread measurements.
 type ThreadStats struct {
-	Instructions uint64 // user instructions retired
-	Branches     uint64
-	CondBranches uint64
-	DirMisp      uint64 // direction-predictor mispredictions
-	EffMisp      uint64 // effective (pipeline-flushing) mispredictions
-	TargMisp     uint64 // target mispredictions (BTB/RAS)
-	DecodeRedir  uint64 // cheap decode redirects (direct BTB misses)
-	Syscalls     uint64
+	Instructions uint64 `json:"instructions"` // user instructions retired
+	Branches     uint64 `json:"branches"`
+	CondBranches uint64 `json:"cond_branches"`
+	DirMisp      uint64 `json:"dir_misp"`     // direction-predictor mispredictions
+	EffMisp      uint64 `json:"eff_misp"`     // effective (pipeline-flushing) mispredictions
+	TargMisp     uint64 `json:"targ_misp"`    // target mispredictions (BTB/RAS)
+	DecodeRedir  uint64 `json:"decode_redir"` // cheap decode redirects (direct BTB misses)
+	Syscalls     uint64 `json:"syscalls"`
 }
 
 // MPKI returns direction mispredictions per kilo-instruction.

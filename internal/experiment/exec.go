@@ -1,9 +1,10 @@
 package experiment
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"xorbp/internal/cpu"
 	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
+	"xorbp/internal/wire"
 )
 
 // runKey is the comparable identity of a runSpec, used as the memo-cache
@@ -60,14 +62,18 @@ func specKey(s runSpec) runKey {
 	return k
 }
 
-// Executor runs batches of simulations across a bounded worker pool with
-// a thread-safe memo cache. One Executor can back several Sessions (the
-// figures sharing baselines, Table 4's longer-window session) so a spec
-// simulated for one figure is never recomputed for another. An optional
-// persistent store (SetStore) acts as an L2 behind the memo cache so
-// results survive the process.
+// Executor runs batches of simulations with a thread-safe memo cache,
+// dispatching every cache miss through a pluggable Backend: the
+// in-process bounded pool by default (LocalBackend), or a fleet of
+// bpserve daemons (wire.Client). One Executor can back several Sessions
+// (the figures sharing baselines, Table 4's longer-window session) so a
+// spec simulated for one figure is never recomputed for another. An
+// optional persistent store (SetStore) acts as an L2 behind the memo
+// cache so results survive the process — and, shared between shards,
+// acts as the merge substrate for distributed sweeps.
 type Executor struct {
 	workers int
+	backend Backend
 	// sem bounds simulations in flight across ALL concurrent RunBatch
 	// calls — the worker limit is per executor, not per batch.
 	sem      chan struct{}
@@ -78,21 +84,42 @@ type Executor struct {
 	// distinct specs and returns zero results without simulating.
 	dry bool
 
+	// shardI/shardN statically partition the grid: a sharded executor
+	// only simulates specs whose wire key hashes to its shard, skipping
+	// the rest (SetShard).
+	shardI, shardN int
+
 	store  *runcache.Store
 	record func(RunRecord)
 	rmu    sync.Mutex // serializes record-hook invocations
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// err is sticky: the first backend failure poisons the executor, and
+	// later batches short-circuit instead of piling more failures on a
+	// dead fleet.
+	err   error
 	cache map[runKey]RunResult
 	// inflight marks specs claimed by a running batch; a concurrent batch
 	// needing the same spec waits on the channel instead of simulating it
 	// a second time.
 	inflight map[runKey]chan struct{}
 	// planned holds every distinct spec declared (via Plan) or seen by a
-	// batch; progress lines and ETA are computed against it, so a
-	// pre-planned session reports x/total over the whole grid rather
-	// than per batch.
-	planned map[runKey]struct{}
+	// batch, mapped to its wire key when known ("" otherwise); progress
+	// lines and the ETA are computed against it, so a pre-planned session
+	// reports x/total over the whole grid rather than per batch.
+	planned map[runKey]string
+	// warm holds planned specs that were resident in the persistent
+	// store at Plan time and are not yet resolved: they will replay, not
+	// simulate, so the ETA excludes them from its backlog. Keys are
+	// deleted as their cells resolve — however they resolve, so a store
+	// entry vanishing between Plan and RunBatch (concurrent GC,
+	// corruption) cannot skew the count.
+	warm map[runKey]bool
+	// skipped holds the distinct specs this executor declined under its
+	// shard assignment.
+	skipped map[runKey]struct{}
+	// replays counts persistent-store replays published by this executor.
+	replays int
 	// simStart/simsDone drive the ETA estimate: observed simulation
 	// throughput since the first simulation began.
 	simStart time.Time
@@ -113,18 +140,33 @@ type RunRecord struct {
 	Cached     bool    `json:"cached"`
 }
 
-// NewExecutor creates an executor with the given worker-pool size.
-// workers <= 0 selects one worker per available CPU.
+// NewExecutor creates an executor over the in-process backend with the
+// given worker-pool size. workers <= 0 selects one worker per available
+// CPU.
 func NewExecutor(workers int) *Executor {
+	return NewExecutorWith(workers, nil)
+}
+
+// NewExecutorWith creates an executor dispatching through backend (nil
+// selects the in-process LocalBackend). workers bounds specs in flight;
+// for a remote backend, size it to the fleet's total capacity
+// (wire.Client.Workers).
+func NewExecutorWith(workers int, backend Backend) *Executor {
 	if workers <= 0 {
 		workers = runner.DefaultWorkers()
 	}
+	if backend == nil {
+		backend = LocalBackend{}
+	}
 	return &Executor{
 		workers:  workers,
+		backend:  backend,
 		sem:      make(chan struct{}, workers),
 		cache:    make(map[runKey]RunResult),
 		inflight: make(map[runKey]chan struct{}),
-		planned:  make(map[runKey]struct{}),
+		planned:  make(map[runKey]string),
+		warm:     make(map[runKey]bool),
+		skipped:  make(map[runKey]struct{}),
 	}
 }
 
@@ -161,21 +203,90 @@ func (e *Executor) Store() *runcache.Store { return e.store }
 // Invocations are serialized; install before the first batch runs.
 func (e *Executor) SetRecord(fn func(RunRecord)) { e.record = fn }
 
+// SetShard restricts the executor to shard i of n (0-based): specs whose
+// wire key hashes outside the shard are skipped instead of simulated,
+// and their results stay zero. Shard assignment depends only on the
+// canonical wire key, so n cooperating processes partition any grid
+// exactly, with no coordination beyond agreeing on n. Sharded runs are
+// cache-population runs: point every shard at one store directory, then
+// render with an unsharded run that replays the union. Set before the
+// first batch runs.
+func (e *Executor) SetShard(i, n int) {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("experiment: invalid shard %d/%d", i, n))
+	}
+	e.shardI, e.shardN = i, n
+}
+
+// Shard returns the executor's shard assignment (0, 1 when unsharded).
+func (e *Executor) Shard() (i, n int) {
+	if e.shardN == 0 {
+		return 0, 1
+	}
+	return e.shardI, e.shardN
+}
+
+// shardOf maps a wire key (hex SHA-256) to its owning shard by its
+// leading 64 bits.
+func shardOf(dk string, n int) int {
+	if len(dk) < 16 {
+		return 0
+	}
+	v, err := strconv.ParseUint(dk[:16], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return int(v % uint64(n))
+}
+
+// Err returns the sticky backend error, if any batch has failed.
+func (e *Executor) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
 // Plan copies the distinct specs recorded by a planning executor into
 // e's planned set and returns the total now planned. Progress lines and
 // the ETA are then computed over the whole declared grid instead of
-// growing batch by batch.
+// growing batch by batch. If a persistent store is attached, the
+// planned keys are probed against it so the ETA's backlog counts only
+// the cells that will actually simulate — on a warm cache, the ETA
+// reflects the handful of new cells, not the whole grid.
 func (e *Executor) Plan(planner *Executor) int {
+	type pk struct {
+		k  runKey
+		dk string
+	}
 	planner.mu.Lock()
-	keys := make([]runKey, 0, len(planner.planned))
-	for k := range planner.planned {
-		keys = append(keys, k)
+	pks := make([]pk, 0, len(planner.planned))
+	for k, dk := range planner.planned {
+		pks = append(pks, pk{k, dk})
 	}
 	planner.mu.Unlock()
+	// Probe the store outside e.mu: Contains is memory-speed, but the
+	// grid can be large and the store has its own lock.
+	var warm []runKey
+	if e.store != nil {
+		for _, p := range pks {
+			if p.dk != "" && e.store.Contains(p.dk) {
+				warm = append(warm, p.k)
+			}
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, k := range keys {
-		e.planned[k] = struct{}{}
+	for _, p := range pks {
+		if cur, ok := e.planned[p.k]; !ok || cur == "" {
+			e.planned[p.k] = p.dk
+		}
+	}
+	for _, k := range warm {
+		// A cell resolved before Plan was called is already out of the
+		// backlog; marking it warm now would undercount forever.
+		if _, done := e.cache[k]; !done {
+			e.warm[k] = true
+		}
 	}
 	return len(e.planned)
 }
@@ -194,6 +305,22 @@ func (e *Executor) Done() int { return e.CacheSize() }
 // and within-batch duplicates are not counted.
 func (e *Executor) Runs() uint64 { return e.runs.Load() }
 
+// Replays returns how many results were replayed from the persistent
+// store.
+func (e *Executor) Replays() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replays
+}
+
+// Skipped returns how many distinct specs this executor declined under
+// its shard assignment.
+func (e *Executor) Skipped() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.skipped)
+}
+
 // CacheSize returns the number of distinct specs resolved so far.
 func (e *Executor) CacheSize() int {
 	e.mu.Lock()
@@ -205,20 +332,32 @@ func (e *Executor) CacheSize() int {
 // order. Specs already in the memo cache are served from it; remaining
 // specs consult the persistent store (if attached); the rest are
 // deduplicated (a spec appearing twice simulates once, including across
-// concurrent batches) and fanned out across the worker pool. Every
-// simulation is a pure function of its spec, so the results — and any
-// report rendered from them — are identical for every worker count.
+// concurrent batches) and fanned out across the backend, bounded by the
+// worker count. Every simulation is a pure function of its spec, so the
+// results — and any report rendered from them — are identical for every
+// worker count and every backend.
+//
+// Under a shard assignment, misses owned by other shards are skipped and
+// their results stay zero; after a backend failure the executor is
+// poisoned (Err) and further batches return zero results immediately.
 func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	keys := make([]runKey, len(specs))
 	for i, s := range specs {
 		keys[i] = specKey(s)
 	}
 	if e.dry {
+		// Planning: record the grid with its wire keys (the hash lets
+		// Plan probe the store and shard assignments stay computable).
 		e.mu.Lock()
-		for _, k := range keys {
-			e.planned[k] = struct{}{}
+		for i, k := range keys {
+			if _, ok := e.planned[k]; !ok {
+				e.planned[k] = specToWire(specs[i]).Key()
+			}
 		}
 		e.mu.Unlock()
+		return make([]RunResult, len(specs))
+	}
+	if e.Err() != nil {
 		return make([]RunResult, len(specs))
 	}
 
@@ -226,6 +365,7 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	type candidate struct {
 		i  int
 		k  runKey
+		w  wire.Spec
 		dk string // persistent-store key hash, computed off-lock below
 		r  RunResult
 		ok bool // r was replayed from the store
@@ -234,7 +374,9 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	seen := make(map[runKey]bool)
 	e.mu.Lock()
 	for i, k := range keys {
-		e.planned[k] = struct{}{}
+		if _, ok := e.planned[k]; !ok {
+			e.planned[k] = ""
+		}
 		if _, hit := e.cache[k]; hit || seen[k] {
 			continue
 		}
@@ -243,26 +385,30 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	}
 	e.mu.Unlock()
 
-	// Plan, phase 2: hash each candidate once (the hash also names the
-	// run in records) and consult the persistent store — both outside
-	// e.mu, so neither the marshal+SHA-256 nor the store's own lock
-	// extends the executor's critical section.
-	hashKeys := e.store != nil || e.record != nil
+	// Plan, phase 2: render each candidate's wire form (the backend
+	// contract), hash it where needed (the hash names the run in records,
+	// keys the store, and assigns shards) and consult the persistent
+	// store — all outside e.mu, so neither the marshal+SHA-256 nor the
+	// store's own lock extends the executor's critical section.
+	hashKeys := e.store != nil || e.record != nil || e.shardN > 1
 	for c := range cands {
+		cands[c].w = specToWire(specs[cands[c].i])
 		if hashKeys {
-			cands[c].dk = diskKey(cands[c].k)
+			cands[c].dk = cands[c].w.Key()
 		}
 		cands[c].r, cands[c].ok = e.decodeStored(cands[c].dk)
 	}
 
-	// Plan, phase 3: publish the replays and claim the rest, re-checking
-	// against batches that raced ahead between the phases. Misses
-	// already claimed by a concurrently-running batch are not simulated
-	// again; we wait for their channels before assembling.
+	// Plan, phase 3: publish the replays, skip cells owned by other
+	// shards, and claim the rest, re-checking against batches that raced
+	// ahead between the phases. Misses already claimed by a
+	// concurrently-running batch are not simulated again; we wait for
+	// their channels before assembling.
 	var (
 		missSpecs []runSpec
 		missKeys  []runKey
 		missDKs   []string
+		missWire  []wire.Spec
 		waits     []chan struct{}
 		replays   []RunRecord
 	)
@@ -277,6 +423,8 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		}
 		if c.ok {
 			e.cache[c.k] = c.r
+			e.replays++
+			delete(e.warm, c.k)
 			replays = append(replays, RunRecord{
 				Label:  specLabel(specs[c.i]),
 				Key:    c.dk,
@@ -286,29 +434,46 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 			})
 			continue
 		}
+		if e.shardN > 1 && shardOf(c.dk, e.shardN) != e.shardI {
+			e.skipped[c.k] = struct{}{}
+			delete(e.warm, c.k)
+			continue
+		}
 		e.inflight[c.k] = make(chan struct{})
 		missSpecs = append(missSpecs, specs[c.i])
 		missKeys = append(missKeys, c.k)
 		missDKs = append(missDKs, c.dk)
+		missWire = append(missWire, c.w)
 	}
 	e.mu.Unlock()
 	for _, rec := range replays {
 		e.emit(rec)
 	}
 
-	// Execute: fan the misses out across the pool. Each simulation
+	// Execute: fan the misses out across the backend. Each simulation
 	// publishes to the cache (and writes through to the store) as it
 	// completes, so concurrent batches waiting on it unblock early and
 	// progress counters advance per run, not per batch.
 	runner.Map(len(missSpecs), e.workers, func(i int) struct{} {
+		k := missKeys[i]
+		if e.Err() != nil {
+			// The fleet is already failing: release the claim so waiters
+			// unblock, without piling on more doomed dispatches.
+			e.release(k)
+			return struct{}{}
+		}
 		e.sem <- struct{}{} // a slot is held only while simulating
 		start := time.Now()
 		e.noteSimStart(start)
-		r := run(missSpecs[i])
+		r, err := e.backend.Run(context.Background(), missWire[i])
 		<-e.sem
+		if err != nil {
+			e.fail(fmt.Errorf("experiment: %s: %w", specLabel(missSpecs[i]), err))
+			e.release(k)
+			return struct{}{}
+		}
 		dur := time.Since(start)
 		e.runs.Add(1)
-		k := missKeys[i]
 		// pmu is taken before e.mu (the only ordering used anywhere), so
 		// publishing a result and printing its progress line are atomic
 		// with respect to other workers: the done/planned counters on
@@ -320,8 +485,9 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		e.cache[k] = r
 		close(e.inflight[k])
 		delete(e.inflight, k)
+		delete(e.warm, k)
 		e.simsDone++
-		done, planned := len(e.cache), len(e.planned)
+		done, planned := len(e.cache)+len(e.skipped), len(e.planned)
 		eta := e.etaLocked()
 		e.mu.Unlock()
 		if e.progress != nil {
@@ -344,7 +510,7 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	})
 
 	// Wait out any runs owned by other batches, then assemble in
-	// submission order.
+	// submission order. Skipped and failed specs stay zero-valued.
 	for _, ch := range waits {
 		<-ch
 	}
@@ -357,7 +523,29 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	return out
 }
 
-// decodeStored consults the persistent store for a disk key. The
+// fail records the first backend error; the executor is poisoned from
+// then on.
+func (e *Executor) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+// release abandons an in-flight claim without publishing a result, so
+// concurrent batches waiting on it unblock (to a zero result) instead
+// of deadlocking.
+func (e *Executor) release(k runKey) {
+	e.mu.Lock()
+	if ch, ok := e.inflight[k]; ok {
+		close(ch)
+		delete(e.inflight, k)
+	}
+	e.mu.Unlock()
+}
+
+// decodeStored consults the persistent store for a wire key. The
 // store's content is memory-resident after Open, so this is a map
 // lookup plus a decode. An undecodable value (which load-time validation
 // makes unlikely) is treated as a miss and overwritten by the re-run.
@@ -369,22 +557,20 @@ func (e *Executor) decodeStored(dk string) (RunResult, bool) {
 	if !ok {
 		return RunResult{}, false
 	}
-	var r RunResult
-	if err := json.Unmarshal(raw, &r); err != nil {
+	r, err := wire.DecodeResult(raw)
+	if err != nil {
 		return RunResult{}, false
 	}
 	return r, true
 }
 
 // storePut writes a completed simulation through to the persistent
-// store. Best-effort: a failed write (full disk, read-only cache dir)
-// only costs a future re-simulation, and the store counts it.
+// store in its canonical encoding — byte-identical to what a bpserve
+// worker sharing the directory would write for the same spec.
+// Best-effort: a failed write (full disk, read-only cache dir) only
+// costs a future re-simulation, and the store counts it.
 func (e *Executor) storePut(dk string, r RunResult) {
-	v, err := json.Marshal(r)
-	if err != nil {
-		return
-	}
-	_ = e.store.Put(dk, v)
+	_ = e.store.Put(dk, r.Encode())
 }
 
 // emit delivers one RunRecord to the hook, serialized.
@@ -407,15 +593,23 @@ func (e *Executor) noteSimStart(t time.Time) {
 	e.mu.Unlock()
 }
 
-// etaLocked estimates the time to resolve the rest of the planned grid
-// from the observed simulation throughput. Called with e.mu held;
-// returns "" until there is both a backlog and a throughput sample.
+// etaLocked estimates the time to resolve the rest of the simulatable
+// backlog from the observed simulation throughput. The backlog excludes
+// cells already resolved, cells skipped by the shard assignment, and
+// planned cells known (at Plan time) to be store-resident — a warm run
+// that only adds a few new cells gets an ETA for those cells, not a
+// bogus estimate over the whole grid. Called with e.mu held; returns ""
+// until there is both a backlog and a throughput sample.
 func (e *Executor) etaLocked() string {
-	remaining := len(e.planned) - len(e.cache)
+	remaining := len(e.planned) - len(e.cache) - len(e.skipped) - len(e.warm)
 	if remaining <= 0 || e.simsDone == 0 || e.simStart.IsZero() {
 		return ""
 	}
-	perRun := time.Since(e.simStart) / time.Duration(e.simsDone)
+	elapsed := time.Since(e.simStart)
+	if elapsed <= 0 {
+		return ""
+	}
+	perRun := elapsed / time.Duration(e.simsDone)
 	return fmt.Sprintf(" eta %v", (perRun * time.Duration(remaining)).Round(time.Second))
 }
 

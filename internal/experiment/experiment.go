@@ -18,29 +18,14 @@ import (
 	"xorbp/internal/tage"
 	"xorbp/internal/tagescl"
 	"xorbp/internal/tournament"
+	"xorbp/internal/wire"
 	"xorbp/internal/workload"
 )
 
-// Scale sets simulation sizes. The paper runs billions of instructions on
-// real SPEC; the harness scales budgets and timer periods together so the
-// ratios that drive every result (warm-up cost per isolation event vs
-// cycles between events) are preserved. See EXPERIMENTS.md.
-type Scale struct {
-	// WarmupInstr and MeasureInstr are per-run instruction budgets for
-	// single-core runs.
-	WarmupInstr, MeasureInstr uint64
-	// SMTWarmupInstr and SMTMeasureInstr are the (larger) budgets for SMT
-	// runs: isolation events arrive per Mcycle, and an SMT window must
-	// contain enough of them for a stable flush-cost estimate.
-	SMTWarmupInstr, SMTMeasureInstr uint64
-	// TimerPeriods are the scaled flush/switch periods standing in for
-	// the paper's 4M/8M/12M cycles (labels keep the paper's names).
-	TimerPeriods [3]uint64
-	// TimerLabels are the paper's names for the three periods.
-	TimerLabels [3]string
-	// Seed diversifies the whole experiment deterministically.
-	Seed uint64
-}
+// Scale sets simulation sizes. It is an alias of the canonical wire
+// type (internal/wire.Scale) so specs serialize identically everywhere;
+// see that type for field semantics and EXPERIMENTS.md for calibration.
+type Scale = wire.Scale
 
 // FullScale is the configuration used by cmd/bpsim: large enough for
 // stable estimates (tens of isolation events per run).
@@ -65,6 +50,22 @@ func BenchScale() Scale {
 		SMTWarmupInstr:  2_000_000,
 		SMTMeasureInstr: 14_000_000,
 		TimerPeriods:    [3]uint64{500_000, 1_000_000, 1_500_000},
+		TimerLabels:     [3]string{"4M", "8M", "12M"},
+		Seed:            1,
+	}
+}
+
+// MicroScale is the smallest stable configuration: tables are
+// structurally complete but magnitudes are not calibrated. It backs
+// engine tests (serial vs parallel vs distributed determinism) and
+// quick smoke runs where only the plumbing is under test.
+func MicroScale() Scale {
+	return Scale{
+		WarmupInstr:     75_000,
+		MeasureInstr:    300_000,
+		SMTWarmupInstr:  150_000,
+		SMTMeasureInstr: 1_000_000,
+		TimerPeriods:    [3]uint64{50_000, 100_000, 150_000},
 		TimerLabels:     [3]string{"4M", "8M", "12M"},
 		Seed:            1,
 	}
@@ -96,31 +97,11 @@ func NewDirPredictor(name string, ctrl *core.Controller) predictor.DirPredictor 
 	}
 }
 
-// RunResult is one simulation's measurement window.
-type RunResult struct {
-	Cycles       uint64
-	Target       cpu.ThreadStats
-	Others       []cpu.ThreadStats
-	PrivSwitches uint64
-	CtxSwitches  uint64
-	BTBHitRate   float64
-}
-
-// PrivPerMcycle returns privilege switches per million cycles.
-func (r RunResult) PrivPerMcycle() float64 {
-	if r.Cycles == 0 {
-		return 0
-	}
-	return float64(r.PrivSwitches) / float64(r.Cycles) * 1e6
-}
-
-// CtxPerMcycle returns context switches per million cycles.
-func (r RunResult) CtxPerMcycle() float64 {
-	if r.Cycles == 0 {
-		return 0
-	}
-	return float64(r.CtxSwitches) / float64(r.Cycles) * 1e6
-}
+// RunResult is one simulation's measurement window. It is an alias of
+// the canonical wire type (internal/wire.Result), so results computed
+// by any backend — in-process, remote daemon, cache replay — are the
+// same type with the same encoding.
+type RunResult = wire.Result
 
 // runSpec fully describes one simulation.
 type runSpec struct {

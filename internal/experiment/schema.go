@@ -1,105 +1,109 @@
 package experiment
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"reflect"
-	"strings"
 
 	"xorbp/internal/core"
-	"xorbp/internal/cpu"
-	"xorbp/internal/runcache"
+	"xorbp/internal/wire"
+	"xorbp/internal/workload"
 )
 
-// schemaEpoch distinguishes encoding generations that a type signature
-// cannot: bump it when simulation semantics change in a way that makes
-// previously stored results stale (e.g. a scheduler-model fix) without
-// any key or result field changing shape.
-const schemaEpoch = 1
+// SchemaVersion identifies the persistent run cache's encoding: the
+// wire schema's version. The engine, the bpserve daemon and every bpsim
+// invocation sharing a cache directory agree on keys exactly when they
+// agree on this string.
+func SchemaVersion() string { return wire.SchemaVersion() }
 
-// persistedKey is the stable, exported-field mirror of runKey used for
-// the on-disk cache encoding. Its JSON form is deterministic (fixed
-// field order, no maps), so hashing it yields a stable key.
-type persistedKey struct {
-	Opts      core.Options `json:"opts"` // Codec/Scrambler blanked; identities below
-	Codec     string       `json:"codec"`
-	Scrambler string       `json:"scrambler"`
-	Pred      string       `json:"pred"`
-	Cfg       cpu.Config   `json:"cfg"`
-	Timer     uint64       `json:"timer"`
-	Names     string       `json:"names"`
-	Scale     Scale        `json:"scale"`
+// specToWire renders a spec in its canonical wire form. Options are
+// normalized first, so a zero Scope/Codec/Scrambler and the explicit
+// paper defaults — which the controller runs identically — map to the
+// same wire bytes, and therefore the same cache key, everywhere.
+func specToWire(s runSpec) wire.Spec {
+	o := s.opts.Normalized()
+	w := wire.Spec{
+		Opts:      o,
+		Codec:     o.Codec.Name(),
+		Scrambler: o.Scrambler.Name(),
+		Pred:      s.predName,
+		Cfg:       s.cfg,
+		Timer:     s.timer,
+		Threads:   append([]string(nil), s.names...),
+		Scale:     s.scale,
+	}
+	// The interface values are excluded from the encoding (json:"-");
+	// blank them anyway so a wire.Spec compares by its canonical content.
+	w.Opts.Codec, w.Opts.Scrambler = nil, nil
+	return w
 }
 
-// SchemaVersion identifies the persistent run cache's encoding. It
-// embeds a recursive signature of the key and result types, so adding,
-// removing, renaming or retyping any field reachable from core.Options,
-// cpu.Config, Scale or RunResult produces a new version — stale entries
-// are invalidated, never aliased.
-func SchemaVersion() string { return schemaVersion }
-
-// schemaVersion is computed once; the types are static, so the
-// signature cannot change within a process.
-var schemaVersion = fmt.Sprintf("xorbp-run/epoch%d/%s->%s", schemaEpoch,
-	typeSig(reflect.TypeOf(persistedKey{}), nil),
-	typeSig(reflect.TypeOf(RunResult{}), nil))
-
-// typeSig renders a type's full structure: struct fields recurse, so a
-// change anywhere in the key or result type tree changes the signature.
-func typeSig(t reflect.Type, seen map[reflect.Type]bool) string {
-	if seen == nil {
-		seen = make(map[reflect.Type]bool)
+// specFromWire reconstructs a runnable spec from its wire form,
+// validating every name field against the local registries. A worker
+// must reject a spec it cannot faithfully execute — a silently-wrong
+// result would poison every cache sharing the schema.
+func specFromWire(w wire.Spec) (runSpec, error) {
+	codec, ok := core.CodecByName(w.Codec)
+	if !ok {
+		return runSpec{}, fmt.Errorf("experiment: unknown codec %q", w.Codec)
 	}
-	switch t.Kind() {
-	case reflect.Struct:
-		if seen[t] {
-			return t.String()
-		}
-		seen[t] = true
-		var b strings.Builder
-		b.WriteString(t.String())
-		b.WriteByte('{')
-		for i := 0; i < t.NumField(); i++ {
-			if i > 0 {
-				b.WriteByte(';')
-			}
-			f := t.Field(i)
-			b.WriteString(f.Name)
-			b.WriteByte(':')
-			b.WriteString(typeSig(f.Type, seen))
-		}
-		b.WriteByte('}')
-		return b.String()
-	case reflect.Slice:
-		return "[]" + typeSig(t.Elem(), seen)
-	case reflect.Array:
-		return fmt.Sprintf("[%d]%s", t.Len(), typeSig(t.Elem(), seen))
-	case reflect.Pointer:
-		return "*" + typeSig(t.Elem(), seen)
-	case reflect.Map:
-		return "map[" + typeSig(t.Key(), seen) + "]" + typeSig(t.Elem(), seen)
-	default:
-		// Basic kinds and interfaces: the name is the identity (interface
-		// implementations are keyed separately, by dynamic type name).
-		return t.String()
+	scrambler, ok := core.ScramblerByName(w.Scrambler)
+	if !ok {
+		return runSpec{}, fmt.Errorf("experiment: unknown scrambler %q", w.Scrambler)
 	}
+	if !validPredictor(w.Pred) {
+		return runSpec{}, fmt.Errorf("experiment: unknown predictor %q", w.Pred)
+	}
+	if len(w.Threads) == 0 {
+		return runSpec{}, fmt.Errorf("experiment: spec has no software threads")
+	}
+	for _, n := range w.Threads {
+		if _, err := workload.ByName(n); err != nil {
+			return runSpec{}, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	if w.Scale.MeasureInstr == 0 {
+		return runSpec{}, fmt.Errorf("experiment: spec has a zero measurement budget")
+	}
+	opts := w.Opts
+	opts.Codec, opts.Scrambler = codec, scrambler
+	return runSpec{
+		opts:     opts,
+		predName: w.Pred,
+		cfg:      w.Cfg,
+		timer:    w.Timer,
+		names:    append([]string(nil), w.Threads...),
+		scale:    w.Scale,
+	}, nil
 }
 
-// diskKey derives the persistent-store key for a runKey.
-func diskKey(k runKey) string {
-	payload, err := json.Marshal(persistedKey{
-		Opts:      k.opts,
-		Codec:     k.codec,
-		Scrambler: k.scrambler,
-		Pred:      k.predName,
-		Cfg:       k.cfg,
-		Timer:     k.timer,
-		Names:     k.names,
-		Scale:     k.scale,
-	})
+// validPredictor mirrors NewDirPredictor's accepted names without
+// constructing anything.
+func validPredictor(name string) bool {
+	switch name {
+	case "gshare", "tournament", "ltage", "tage_sc_l", "tage":
+		return true
+	}
+	return false
+}
+
+// Backend resolves one canonical spec to its result. The Executor
+// dispatches every cache miss through its backend, so swapping the
+// in-process pool for a remote worker fleet (wire.Client) changes
+// where simulations run but nothing about what they compute: results
+// are pure functions of the spec under either backend.
+type Backend interface {
+	Run(ctx context.Context, spec wire.Spec) (RunResult, error)
+}
+
+// LocalBackend executes specs in-process. It is the Executor's default
+// backend and the execution core of the bpserve work-server daemon.
+type LocalBackend struct{}
+
+// Run decodes and simulates one spec.
+func (LocalBackend) Run(_ context.Context, spec wire.Spec) (RunResult, error) {
+	s, err := specFromWire(spec)
 	if err != nil {
-		// Every field is a plain value type; Marshal cannot fail.
-		panic(fmt.Sprintf("experiment: encoding run key: %v", err))
+		return RunResult{}, err
 	}
-	return runcache.Key(schemaVersion, payload)
+	return run(s), nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"xorbp/internal/runcache"
+	"xorbp/internal/wire"
 	"xorbp/internal/workload"
 )
 
@@ -183,18 +184,63 @@ func TestProgressCountsOverPlannedGrid(t *testing.T) {
 	}
 }
 
-// TestSchemaVersionTracksTypes: the version string embeds the key and
-// result type structure, so it mentions the load-bearing types and is
-// stable across calls.
-func TestSchemaVersionTracksTypes(t *testing.T) {
-	v := SchemaVersion()
-	if v != SchemaVersion() {
-		t.Fatal("SchemaVersion is not deterministic")
+// TestProgressETAWarmRun: planning against a warm store must exclude
+// store-resident cells from the ETA backlog. With every planned cell
+// but one already stored, the single cold simulation's progress line
+// reports the grid position with NO eta — the old throughput estimate
+// extrapolated one sample over hundreds of cells that were about to
+// replay in microseconds.
+func TestProgressETAWarmRun(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs(microScale())
+	storedExec(t, dir, 2).RunBatch(specs[1:]) // warm all but specs[0]
+
+	planner := NewPlanner()
+	planner.RunBatch(specs)
+
+	e := storedExec(t, dir, 1)
+	var buf strings.Builder
+	e.SetProgress(&buf)
+	e.Plan(planner)
+	e.RunBatch(specs[:1]) // the one cold cell, first batch of the session
+	out := buf.String()
+	if !strings.Contains(out, "[run 1/3]") {
+		t.Fatalf("cold cell not counted over the planned grid:\n%s", out)
 	}
-	for _, want := range []string{"core.Options", "cpu.Config", "experiment.Scale",
-		"experiment.RunResult", "cpu.ThreadStats", "Mechanism"} {
-		if !strings.Contains(v, want) {
-			t.Errorf("schema version missing %q:\n%s", want, v)
-		}
+	if strings.Contains(out, " eta ") {
+		t.Fatalf("warm run printed a bogus ETA over store-resident cells:\n%s", out)
+	}
+}
+
+// TestProgressAllCacheHit: a fully warm run simulates nothing and must
+// print no progress lines (and, trivially, no throughput estimate).
+func TestProgressAllCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs(microScale())
+	storedExec(t, dir, 2).RunBatch(specs)
+
+	planner := NewPlanner()
+	planner.RunBatch(specs)
+	e := storedExec(t, dir, 2)
+	var buf strings.Builder
+	e.SetProgress(&buf)
+	e.Plan(planner)
+	e.RunBatch(specs)
+	if got := buf.String(); got != "" {
+		t.Fatalf("all-hit warm run printed progress lines:\n%s", got)
+	}
+	if e.Runs() != 0 || e.Replays() != len(specs) {
+		t.Fatalf("runs/replays = %d/%d, want 0/%d", e.Runs(), e.Replays(), len(specs))
+	}
+}
+
+// TestSchemaVersionIsWireSchema: the engine's cache schema IS the wire
+// schema — a bpserve worker, a sharded bpsim and a local run sharing a
+// cache directory must agree on keys. (The version string's structure
+// is asserted in the wire package's own tests.)
+func TestSchemaVersionIsWireSchema(t *testing.T) {
+	if SchemaVersion() != wire.SchemaVersion() {
+		t.Fatalf("experiment schema %q != wire schema %q",
+			SchemaVersion(), wire.SchemaVersion())
 	}
 }

@@ -1,0 +1,163 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fill opens a store under schema and writes n entries of roughly equal
+// size, returning the store.
+func fill(t *testing.T, dir, schema string, n int) *Store {
+	t.Helper()
+	st, err := Open(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := st.Key([]byte{byte(i)})
+		if err := st.Put(key, []byte(`{"v":"0123456789abcdef"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestGCSweepsSupersededSchemas: directories of schemas not in the keep
+// set are removed wholesale; every kept schema's entries survive.
+func TestGCSweepsSupersededSchemas(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, "live-schema-a", 3)
+	fill(t, dir, "live-schema-b", 2) // e.g. the trace cache sharing the dir
+	fill(t, dir, "superseded-schema", 4)
+
+	rep, err := GC(dir, []string{"live-schema-a", "live-schema-b"}, GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaDirsRemoved != 1 || rep.BytesFreed == 0 {
+		t.Fatalf("report = %+v, want 1 schema dir removed with bytes freed", rep)
+	}
+	if rep.EntriesKept != 5 {
+		t.Fatalf("kept %d entries, want 5", rep.EntriesKept)
+	}
+	for schema, want := range map[string]int{"live-schema-a": 3, "live-schema-b": 2} {
+		st, err := Open(dir, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != want {
+			t.Fatalf("schema %q has %d entries after GC, want %d", schema, st.Len(), want)
+		}
+	}
+	if st, _ := Open(dir, "superseded-schema"); st.Len() != 0 {
+		t.Fatal("superseded schema entries survived the sweep")
+	}
+}
+
+// TestGCAgeBound: entries older than MaxAge are removed; younger ones
+// survive. Quarantined files age out too.
+func TestGCAgeBound(t *testing.T) {
+	dir := t.TempDir()
+	st := fill(t, dir, "s", 4)
+	old := time.Now().Add(-48 * time.Hour)
+	files, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age two entries and plant an aged quarantine file.
+	for _, de := range files[:2] {
+		if err := os.Chtimes(filepath.Join(st.Dir(), de.Name()), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt := filepath.Join(st.Dir(), "junk.json.corrupt")
+	if err := os.WriteFile(corrupt, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(corrupt, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := GC(dir, []string{"s"}, GCOptions{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesRemoved != 3 { // 2 aged entries + 1 aged quarantine
+		t.Fatalf("removed %d entries, want 3 (report %+v)", rep.EntriesRemoved, rep)
+	}
+	if st, _ := Open(dir, "s"); st.Len() != 2 {
+		t.Fatalf("%d entries survived, want 2", st.Len())
+	}
+}
+
+// TestGCSizeBound: with the directory over MaxBytes, the oldest entries
+// are evicted first until it fits.
+func TestGCSizeBound(t *testing.T) {
+	dir := t.TempDir()
+	st := fill(t, dir, "s", 4)
+	// Stamp distinct mtimes so eviction order is deterministic: entry i
+	// is older than entry i+1.
+	files, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for i, de := range files {
+		mt := time.Now().Add(-time.Duration(len(files)-i) * time.Hour)
+		if err := os.Chtimes(filepath.Join(st.Dir(), de.Name()), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		newest = de.Name()
+	}
+	var one int64
+	if info, err := os.Stat(filepath.Join(st.Dir(), newest)); err == nil {
+		one = info.Size()
+	} else {
+		t.Fatal(err)
+	}
+
+	// Budget for two entries: the two oldest must go.
+	rep, err := GC(dir, []string{"s"}, GCOptions{MaxBytes: 2 * one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesRemoved != 2 || rep.EntriesKept != 2 {
+		t.Fatalf("report = %+v, want 2 removed / 2 kept", rep)
+	}
+	if rep.BytesKept > 2*one {
+		t.Fatalf("kept %d bytes, over the %d budget", rep.BytesKept, 2*one)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), newest)); err != nil {
+		t.Fatalf("newest entry was evicted: %v", err)
+	}
+}
+
+// TestGCMissingDirIsNoop: collecting a directory that does not exist is
+// not an error.
+func TestGCMissingDirIsNoop(t *testing.T) {
+	rep, err := GC(filepath.Join(t.TempDir(), "never-created"), []string{"s"}, GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != (GCReport{}) {
+		t.Fatalf("noop GC reported %+v", rep)
+	}
+}
+
+// TestGCKeepsForeignRootFiles: files at the cache root that are not
+// schema directories are not ours to collect.
+func TestGCKeepsForeignRootFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("hands off"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GC(dir, []string{"s"}, GCOptions{MaxAge: time.Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign root file was collected: %v", err)
+	}
+}

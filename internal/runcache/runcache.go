@@ -143,6 +143,16 @@ func (s *Store) quarantine(path string) {
 	}
 }
 
+// Contains reports whether key is present, without touching the
+// hit/miss counters — for planners probing what a run will replay, as
+// distinct from the engine actually consuming entries.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
 // Get returns the stored value for key, if present.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()

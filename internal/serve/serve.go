@@ -1,0 +1,210 @@
+// Package serve implements the bpserve work-server: an HTTP daemon that
+// accepts canonical wire specs (internal/wire), simulates them through
+// the in-process backend, and returns canonical results. Workers
+// write every result through to a run-cache directory, so a fleet of
+// daemons sharing one directory (or sharing it with bpsim processes)
+// forms a distributed, deduplicating sweep engine: within a daemon,
+// concurrent requests for one spec single-flight, and a spec resolved
+// by any process is never re-simulated by a process that opens the
+// store afterwards.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/runcache"
+	"xorbp/internal/runner"
+	"xorbp/internal/wire"
+)
+
+// Server handles the wire protocol over a bounded simulation pool.
+type Server struct {
+	backend  experiment.Backend
+	store    *runcache.Store // may be nil (no write-through)
+	sem      chan struct{}   // per-worker concurrency limit
+	capacity int
+
+	// single deduplicates concurrent requests for one spec (by wire
+	// key): the first claims the key, the rest wait and replay its
+	// stored result. Only effective with a store — without one there is
+	// nowhere to share the result from.
+	fmu    sync.Mutex
+	single map[string]chan struct{}
+
+	draining atomic.Bool
+	inflight atomic.Int64
+	runs     atomic.Uint64
+	replays  atomic.Uint64
+}
+
+// New creates a server simulating at most capacity specs concurrently
+// (<= 0 selects one per available CPU), writing results through to
+// store (nil disables).
+func New(capacity int, store *runcache.Store) *Server {
+	if capacity <= 0 {
+		capacity = runner.DefaultWorkers()
+	}
+	return &Server{
+		backend:  experiment.LocalBackend{},
+		store:    store,
+		sem:      make(chan struct{}, capacity),
+		capacity: capacity,
+		single:   make(map[string]chan struct{}),
+	}
+}
+
+// Capacity returns the concurrency limit.
+func (s *Server) Capacity() int { return s.capacity }
+
+// Runs returns how many simulations the server has executed.
+func (s *Server) Runs() uint64 { return s.runs.Load() }
+
+// Replays returns how many requests were served from the store.
+func (s *Server) Replays() uint64 { return s.replays.Load() }
+
+// SetDraining marks the server as shutting down: /healthz flips to
+// "draining" and new /run requests are refused with 503, so clients
+// fail over to other workers while http.Server.Shutdown waits out the
+// in-flight simulations.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the wire-protocol HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/run", s.handleRun)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
+		return
+	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, wire.Health{
+		Status:   status,
+		Schema:   wire.SchemaVersion(),
+		Capacity: s.capacity,
+		Inflight: int(s.inflight.Load()),
+		Runs:     s.runs.Load(),
+		Replays:  s.replays.Load(),
+	})
+}
+
+// maxSpecBody bounds a /run request body: a canonical spec is well
+// under a kilobyte, so anything approaching 1 MiB is garbage, not a
+// spec.
+const maxSpecBody = 1 << 20
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "run is POST-only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "worker is draining")
+		return
+	}
+	var req wire.RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if req.Schema != wire.SchemaVersion() {
+		writeError(w, http.StatusConflict, fmt.Sprintf(
+			"schema mismatch: client %q, worker %q", req.Schema, wire.SchemaVersion()))
+		return
+	}
+
+	// Serve from the store when a past run already resolved this spec,
+	// and single-flight concurrent requests for the same spec: the
+	// first claims the key, later ones wait and replay its stored
+	// result instead of simulating the same thing twice.
+	var key string
+	var claim chan struct{}
+	if s.store != nil {
+		key = req.Spec.Key()
+		for {
+			if raw, ok := s.store.Get(key); ok {
+				if res, err := wire.DecodeResult(raw); err == nil {
+					s.replays.Add(1)
+					writeJSON(w, http.StatusOK, wire.RunResponse{
+						Schema: wire.SchemaVersion(), Result: res, Cached: true,
+					})
+					return
+				}
+			}
+			s.fmu.Lock()
+			if ch, busy := s.single[key]; busy {
+				s.fmu.Unlock()
+				select {
+				case <-ch: // owner finished (or failed): re-check the store
+				case <-r.Context().Done():
+					return
+				}
+				continue
+			}
+			claim = make(chan struct{})
+			s.single[key] = claim
+			s.fmu.Unlock()
+			break
+		}
+		defer func() {
+			s.fmu.Lock()
+			close(claim)
+			delete(s.single, key)
+			s.fmu.Unlock()
+		}()
+	}
+
+	// Bounded simulation slot; a disconnecting client frees its place in
+	// line.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	s.inflight.Add(1)
+	start := time.Now()
+	res, err := s.backend.Run(r.Context(), req.Spec)
+	dur := time.Since(start)
+	s.inflight.Add(-1)
+	<-s.sem
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.runs.Add(1)
+	if s.store != nil {
+		// Write-through, best-effort: canonical bytes, so every writer of
+		// this key writes identical content.
+		_ = s.store.Put(key, res.Encode())
+	}
+	writeJSON(w, http.StatusOK, wire.RunResponse{
+		Schema:     wire.SchemaVersion(),
+		Result:     res,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, wire.Error{Error: msg})
+}

@@ -1,0 +1,289 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/runcache"
+	"xorbp/internal/serve"
+	"xorbp/internal/wire"
+	"xorbp/internal/workload"
+)
+
+// testScale is MicroScale, shrunk a further 4x under -short (ratios
+// preserved) so the race-enabled CI loop stays fast.
+func testScale() experiment.Scale {
+	s := experiment.MicroScale()
+	if testing.Short() {
+		s.WarmupInstr /= 4
+		s.MeasureInstr /= 4
+		s.SMTWarmupInstr /= 4
+		s.SMTMeasureInstr /= 4
+		for i := range s.TimerPeriods {
+			s.TimerPeriods[i] /= 4
+		}
+	}
+	return s
+}
+
+// startWorker spins up one in-process bpserve worker and returns its
+// host:port address (what bpsim -serve-addrs takes) plus the server.
+func startWorker(t *testing.T, capacity int, store *runcache.Store) (string, *serve.Server) {
+	t.Helper()
+	srv := serve.New(capacity, store)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), srv
+}
+
+// probedClient builds a wire.Client over the given workers and fails
+// the test if the probe does.
+func probedClient(t *testing.T, addrs ...string) *wire.Client {
+	t.Helper()
+	c := wire.NewClient(addrs)
+	if err := c.Probe(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRemoteMatchesSerial is the distributed engine's core guarantee:
+// the same figure rendered through a serial local executor and through
+// a remote worker (full wire round-trip: spec out, result back) must be
+// byte-identical, because every simulation is a pure function of its
+// canonical spec.
+func TestRemoteMatchesSerial(t *testing.T) {
+	scale := testScale()
+	serial := experiment.NewSessionWith(scale, experiment.NewExecutor(1)).Figure1().Render()
+
+	addr, srv := startWorker(t, 4, nil)
+	client := probedClient(t, addr)
+	exec := experiment.NewExecutorWith(client.Workers(), client)
+	remote := experiment.NewSessionWith(scale, exec).Figure1().Render()
+
+	if serial != remote {
+		t.Fatalf("remote Figure 1 differs from serial:\n--- serial ---\n%s\n--- remote ---\n%s",
+			serial, remote)
+	}
+	if err := exec.Err(); err != nil {
+		t.Fatalf("remote executor poisoned: %v", err)
+	}
+	if srv.Runs() == 0 {
+		t.Fatal("worker executed no simulations — the remote path was not exercised")
+	}
+}
+
+// TestWorkerSharedStore: two specs through a store-backed worker; the
+// same specs again replay from the worker's cache without simulating,
+// and the store content decodes as canonical results.
+func TestWorkerSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := runcache.Open(dir, wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv := startWorker(t, 2, st)
+	client := probedClient(t, addr)
+
+	scale := testScale()
+	e1 := experiment.NewExecutorWith(2, client)
+	first := experiment.NewSessionWith(scale, e1)
+	a := first.SingleCoreOverhead(coreNoisy(), pair0(), 50_000)
+	if srv.Runs() == 0 {
+		t.Fatal("no simulations reached the worker")
+	}
+	runsAfterFirst := srv.Runs()
+
+	// A later "process" (fresh executor, no local store) asks the same
+	// worker: results come from the worker's store.
+	e2 := experiment.NewExecutorWith(2, client)
+	b := experiment.NewSessionWith(scale, e2).SingleCoreOverhead(coreNoisy(), pair0(), 50_000)
+	if a != b {
+		t.Fatalf("replayed overhead differs: %v vs %v", a, b)
+	}
+	if srv.Runs() != runsAfterFirst {
+		t.Fatalf("worker re-simulated cached specs: %d -> %d runs", runsAfterFirst, srv.Runs())
+	}
+	if srv.Replays() == 0 {
+		t.Fatal("worker reported no store replays")
+	}
+}
+
+// TestWorkerSingleFlight: concurrent requests for one spec simulate it
+// once — the first claims it, the rest wait and replay its stored
+// result.
+func TestWorkerSingleFlight(t *testing.T) {
+	st, err := runcache.Open(t.TempDir(), wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv := startWorker(t, 4, st)
+	client := probedClient(t, addr)
+
+	spec := specFor(t)
+	const n = 4
+	results := make([]wire.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g], errs[g] = client.Run(t.Context(), spec)
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < n; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if results[g].Cycles == 0 || results[g].Cycles != results[0].Cycles {
+			t.Fatalf("request %d disagrees: %+v vs %+v", g, results[g], results[0])
+		}
+	}
+	if got := srv.Runs(); got != 1 {
+		t.Fatalf("worker simulated %d times for %d concurrent identical requests, want 1", got, n)
+	}
+	if srv.Replays()+1 != n {
+		t.Fatalf("replays = %d, want %d", srv.Replays(), n-1)
+	}
+	if client.Replays() != n-1 {
+		t.Fatalf("client counted %d worker replays, want %d", client.Replays(), n-1)
+	}
+}
+
+// TestWorkerSchemaMismatch: a client on a different schema generation
+// is refused with 409, not answered with incompatible bytes.
+func TestWorkerSchemaMismatch(t *testing.T) {
+	addr, _ := startWorker(t, 1, nil)
+	body, _ := json.Marshal(wire.RunRequest{Schema: "xorbp-run/epoch0/ancient", Spec: wire.Spec{}})
+	resp, err := http.Post("http://"+addr+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("schema mismatch answered %s, want 409", resp.Status)
+	}
+}
+
+// TestWorkerRejectsInvalidSpec: a spec naming unknown registries is a
+// 400 — the client must not retry it elsewhere, and the worker must not
+// guess.
+func TestWorkerRejectsInvalidSpec(t *testing.T) {
+	addr, _ := startWorker(t, 1, nil)
+	spec := wire.Spec{Codec: "rot13", Scrambler: "xor", Pred: "tage",
+		Threads: []string{"gcc"}, Scale: testScale()}
+	body, _ := json.Marshal(wire.RunRequest{Schema: wire.SchemaVersion(), Spec: spec})
+	resp, err := http.Post("http://"+addr+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec answered %s, want 400", resp.Status)
+	}
+	// And through the client: a non-retryable error that poisons the
+	// executor rather than hanging the batch.
+	client := probedClient(t, addr)
+	if _, err := client.Run(t.Context(), spec); err == nil {
+		t.Fatal("client accepted an invalid spec")
+	}
+}
+
+// TestWorkerDrain: a draining worker flips /healthz and refuses new
+// runs with 503 (the signal clients use to fail over).
+func TestWorkerDrain(t *testing.T) {
+	addr, srv := startWorker(t, 1, nil)
+	srv.SetDraining(true)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h wire.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "draining" {
+		t.Fatalf("draining worker reports status %q", h.Status)
+	}
+
+	body, _ := json.Marshal(wire.RunRequest{Schema: wire.SchemaVersion()})
+	resp, err = http.Post("http://"+addr+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining worker answered %s, want 503", resp.Status)
+	}
+}
+
+// TestClientCapacityFanOut: Probe learns each worker's capacity and
+// Workers() sums them — the executor's fan-out width over the fleet.
+func TestClientCapacityFanOut(t *testing.T) {
+	a1, _ := startWorker(t, 3, nil)
+	a2, _ := startWorker(t, 2, nil)
+	client := probedClient(t, a1, a2)
+	if got := client.Workers(); got != 5 {
+		t.Fatalf("fleet capacity = %d, want 5", got)
+	}
+}
+
+// TestClientFailsOverToLiveWorker: with one dead address in the set,
+// runs still resolve on the live worker.
+func TestClientFailsOverToLiveWorker(t *testing.T) {
+	addr, srv := startWorker(t, 2, nil)
+	// A port from the dynamic range that nothing in this test listens
+	// on; probe only the live worker (Probe is strict by design), then
+	// hand the client a fleet where the dead address comes first.
+	client := wire.NewClient([]string{"127.0.0.1:1", addr})
+	if err := client.Probe(t.Context()); err == nil {
+		t.Fatal("probe accepted a dead worker")
+	}
+	spec := specFor(t)
+	res, err := client.Run(t.Context(), spec)
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	if res.Cycles == 0 || srv.Runs() != 1 {
+		t.Fatalf("failover did not execute on the live worker (cycles=%d, runs=%d)",
+			res.Cycles, srv.Runs())
+	}
+}
+
+// specFor hand-builds one valid canonical spec (the same shape the
+// engine's specToWire emits).
+func specFor(t *testing.T) wire.Spec {
+	t.Helper()
+	o := core.OptionsFor(core.Baseline).Normalized()
+	spec := wire.Spec{
+		Opts:      o,
+		Codec:     o.Codec.Name(),
+		Scrambler: o.Scrambler.Name(),
+		Pred:      "tage",
+		Cfg:       cpu.FPGAConfig(),
+		Timer:     50_000,
+		Threads:   []string{"gcc", "calculix"},
+		Scale:     testScale(),
+	}
+	spec.Opts.Codec, spec.Opts.Scrambler = nil, nil
+	return spec
+}
+
+// coreNoisy is the paper's full mechanism, the configuration the shared
+// -store test sweeps.
+func coreNoisy() core.Options { return core.OptionsFor(core.NoisyXOR) }
+
+// pair0 is the first Table 3 workload pair.
+func pair0() workload.Pair { return workload.SingleCorePairs()[0] }

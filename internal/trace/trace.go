@@ -35,6 +35,21 @@ const Magic = "XBPT"
 // Version of the on-disk format.
 const Version = 1
 
+// cacheEpoch versions the record cache beyond the trace file format:
+// bump it when workload generator semantics change (profile branch
+// mixes, syscall rates, RNG draws) so stale recordings are invalidated
+// rather than served — Version only tracks the on-disk encoding, not
+// what the generators emit.
+const cacheEpoch = 1
+
+// CacheSchema identifies bptrace's recording cache encoding within a
+// shared runcache directory. It lives here (not in cmd/bptrace) so
+// cache maintenance — bpsim -cache-gc — can recognize the trace schema
+// as live rather than sweeping it as superseded.
+func CacheSchema() string {
+	return fmt.Sprintf("xorbp-trace/v%d/epoch%d", Version, cacheEpoch)
+}
+
 const (
 	flagTaken   = 1 << 4
 	flagSyscall = 1 << 5

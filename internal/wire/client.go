@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Client dispatches specs to a set of bpserve workers over the wire
+// protocol. It satisfies the experiment engine's Backend interface
+// (Run(ctx, Spec) (Result, error)), so a set of remote daemons is a
+// drop-in replacement for the in-process pool.
+//
+// Dispatch is round-robin with failover: a request that fails on one
+// worker (network error, 5xx) is retried on the others before the run
+// is reported failed. Results are pure functions of the spec, so which
+// worker computes a run never affects the rendered tables.
+type Client struct {
+	addrs []string
+	hc    *http.Client
+	// caps holds per-worker capacities learned by Probe; zero before.
+	caps []int
+	next atomic.Uint64
+	// replays counts runs the fleet answered from its own stores
+	// (RunResponse.Cached) — work dispatched but not simulated.
+	replays atomic.Uint64
+}
+
+// retryPasses is how many full rotations over the worker set Run
+// attempts before giving up.
+const retryPasses = 2
+
+// NewClient creates a client over host:port worker addresses (as given
+// to bpsim -serve-addrs). Blank entries are dropped; whitespace is
+// trimmed.
+func NewClient(addrs []string) *Client {
+	var clean []string
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	return &Client{
+		addrs: clean,
+		// No overall timeout: a full-scale simulation can legitimately
+		// take minutes. Cancellation flows through the request context.
+		hc:   &http.Client{},
+		caps: make([]int, len(clean)),
+	}
+}
+
+// Addrs returns the worker addresses the client dispatches to.
+func (c *Client) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Probe checks every worker's /healthz: reachability, schema agreement
+// and capacity. It must succeed before the client is used as a backend —
+// a sweep should fail fast on a misconfigured fleet, not at its first
+// dispatched run.
+func (c *Client) Probe(ctx context.Context) error {
+	if len(c.addrs) == 0 {
+		return fmt.Errorf("wire: no worker addresses")
+	}
+	for i, addr := range c.addrs {
+		h, err := c.health(ctx, addr)
+		if err != nil {
+			return fmt.Errorf("wire: worker %s: %w", addr, err)
+		}
+		if h.Schema != SchemaVersion() {
+			return fmt.Errorf("wire: worker %s runs schema %q, this client %q — rebuild one side",
+				addr, h.Schema, SchemaVersion())
+		}
+		if h.Status != "ok" {
+			return fmt.Errorf("wire: worker %s is %s", addr, h.Status)
+		}
+		if h.Capacity < 1 {
+			h.Capacity = 1
+		}
+		c.caps[i] = h.Capacity
+	}
+	return nil
+}
+
+// health fetches one worker's /healthz.
+func (c *Client) health(ctx context.Context, addr string) (Health, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("healthz: %w", err)
+	}
+	return h, nil
+}
+
+// Workers returns the fleet's total capacity — the fan-out width an
+// executor should use over this backend. Before a successful Probe it
+// falls back to one slot per worker.
+func (c *Client) Workers() int {
+	total := 0
+	for _, n := range c.caps {
+		total += n
+	}
+	if total <= 0 {
+		total = len(c.addrs)
+	}
+	return total
+}
+
+// Replays returns how many dispatched runs the fleet answered from its
+// own shared stores instead of simulating. The driver's executor counts
+// every dispatch as a run (it cannot see inside the backend); subtract
+// or report this to account for worker-side cache hits.
+func (c *Client) Replays() uint64 { return c.replays.Load() }
+
+// Run resolves one spec on the worker fleet. Transient failures rotate
+// to the next worker; protocol failures (schema mismatch, invalid spec)
+// abort immediately — retrying cannot fix them.
+func (c *Client) Run(ctx context.Context, spec Spec) (Result, error) {
+	if len(c.addrs) == 0 {
+		return Result{}, fmt.Errorf("wire: no worker addresses")
+	}
+	start := c.next.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs)*retryPasses; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		addr := c.addrs[(int(start)+attempt)%len(c.addrs)]
+		res, retry, err := c.runOn(ctx, addr, spec)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = fmt.Errorf("worker %s: %w", addr, err)
+		if !retry {
+			return Result{}, fmt.Errorf("wire: %w", lastErr)
+		}
+		// Brief pause between full rotations so a momentarily-restarting
+		// fleet is not burned through instantly.
+		if (attempt+1)%len(c.addrs) == 0 {
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+	}
+	return Result{}, fmt.Errorf("wire: all %d workers failed; last: %w", len(c.addrs), lastErr)
+}
+
+// runOn POSTs one spec to one worker. retry reports whether the failure
+// is worth trying elsewhere.
+func (c *Client) runOn(ctx context.Context, addr string, spec Spec) (res Result, retry bool, err error) {
+	body, err := json.Marshal(RunRequest{Schema: SchemaVersion(), Spec: spec})
+	if err != nil {
+		return Result{}, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/run", bytes.NewReader(body))
+	if err != nil {
+		return Result{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Result{}, true, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return Result{}, true, fmt.Errorf("decoding response: %w", err)
+		}
+		if rr.Cached {
+			c.replays.Add(1)
+		}
+		return rr.Result, false, nil
+	case http.StatusConflict: // schema mismatch: no worker will fare better
+		return Result{}, false, fmt.Errorf("schema mismatch: %s", readError(resp.Body))
+	case http.StatusBadRequest: // invalid spec: retrying cannot fix it
+		return Result{}, false, fmt.Errorf("rejected spec: %s", readError(resp.Body))
+	default: // 503 draining, 5xx, anything unexpected: try another worker
+		return Result{}, true, fmt.Errorf("%s: %s", resp.Status, readError(resp.Body))
+	}
+}
+
+// readError extracts a worker's JSON error body, falling back to the
+// raw text for non-JSON replies.
+func readError(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4<<10))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var e Error
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
