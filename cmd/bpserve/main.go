@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bpserve [-addr HOST:PORT] [-workers N] [-cache DIR] [-drain-timeout D]
+//	        [-token T] [-gc-interval D] [-gc-age D] [-gc-max-bytes N]
 //
 // Endpoints:
 //
@@ -16,7 +17,19 @@
 // requests queue. Every result is written through to -cache (default
 // ~/.cache/xorbp), so workers sharing a directory — with each other or
 // with bpsim — never repeat a spec. A spec already in the cache is
-// answered without simulating.
+// answered without simulating. Specs may be performance runs or attack
+// jobs (attacksim -serve-addrs); the worker executes both kinds.
+//
+// -token requires every request to carry "Authorization: Bearer T"
+// (the same flag on bpsim/attacksim); mismatches get 401. The protocol
+// remains plaintext HTTP — the token authenticates peers, it is not
+// transport security.
+//
+// -gc-interval makes the worker garbage-collect its cache directory
+// periodically (0 disables), bounding its own disk use instead of
+// waiting for a manual `bpsim -cache-gc`: superseded schema directories
+// are removed, then entries older than -gc-age, then the oldest
+// survivors until the directory fits -gc-max-bytes.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: /healthz reports
 // "draining", new /run requests get 503 (clients fail over), and
@@ -38,6 +51,7 @@ import (
 	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 	"xorbp/internal/serve"
+	"xorbp/internal/trace"
 	"xorbp/internal/wire"
 )
 
@@ -46,6 +60,10 @@ func main() {
 	workers := flag.Int("workers", runner.DefaultWorkers(), "concurrent simulation limit (<=0: one per CPU)")
 	cacheDir := flag.String("cache", runcache.DefaultDir(), "shared run-cache directory (\"\" disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight simulations on shutdown")
+	token := flag.String("token", "", "shared bearer token clients must present (\"\" = open)")
+	gcInterval := flag.Duration("gc-interval", 6*time.Hour, "period between automatic cache GC passes (0 disables)")
+	gcAge := flag.Duration("gc-age", 30*24*time.Hour, "GC: remove entries older than this (0 disables the age bound)")
+	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "GC: evict oldest entries until the cache fits this many bytes (0 disables)")
 	flag.Parse()
 
 	var st *runcache.Store
@@ -59,6 +77,14 @@ func main() {
 	}
 
 	srv := serve.New(*workers, st)
+	srv.SetToken(*token)
+	if st != nil {
+		// Both live schemas sharing the directory survive the periodic
+		// sweep: the experiment/attack run cache and bptrace's recordings.
+		stopGC := serve.StartGC(*cacheDir, []string{wire.SchemaVersion(), trace.CacheSchema()},
+			*gcInterval, runcache.GCOptions{MaxAge: *gcAge, MaxBytes: *gcMaxBytes}, os.Stderr)
+		defer stopGC()
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -4,7 +4,7 @@
 //
 //	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table4|table5|mpki|residency|all
 //	      [-scale full|bench|micro] [-seed N] [-workers N] [-progress] [-json]
-//	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N]
+//	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N] [-token T]
 //	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
 //
 // Simulations fan out across -workers goroutines (default: one per CPU);
@@ -44,21 +44,19 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"xorbp/internal/driver"
 	"xorbp/internal/experiment"
 	"xorbp/internal/hwcost"
 	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 	"xorbp/internal/trace"
-	"xorbp/internal/wire"
 	"xorbp/internal/workload"
 )
 
@@ -109,24 +107,6 @@ func runners() map[string]expRunner {
 	}
 }
 
-// summary is the final -json record: the invocation's totals, so
-// scripted sweeps read one line instead of tallying run records.
-type summary struct {
-	Type      string `json:"type"` // "summary"
-	Planned   int    `json:"planned"`
-	Simulated uint64 `json:"simulated"`
-	Cached    int    `json:"cached"`
-	Skipped   int    `json:"skipped"`
-	// WorkerCached counts dispatched runs the remote fleet answered
-	// from its own stores (a subset of Simulated, which tallies
-	// dispatches — the driver cannot see inside the backend).
-	WorkerCached uint64  `json:"worker_cached,omitempty"`
-	WallMS       float64 `json:"wall_ms"`
-	Backend      string  `json:"backend"` // "local" or "remote"
-	Workers      int     `json:"workers"`
-	Shard        string  `json:"shard,omitempty"`
-}
-
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "bpsim: "+format+"\n", args...)
 	os.Exit(1)
@@ -142,6 +122,7 @@ func main() {
 	cacheDir := flag.String("cache", runcache.DefaultDir(), "persistent run-cache directory (\"\" disables)")
 	serveAddrs := flag.String("serve-addrs", "", "comma-separated bpserve worker addresses (host:port); simulations run remotely")
 	shard := flag.String("shard", "", "static grid shard I/N (0-based): simulate only owned cells, skip the rest, suppress tables")
+	token := flag.String("token", "", "bearer token for -serve-addrs workers (bpserve -token)")
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the run cache and exit (see -gc-age, -gc-max-bytes)")
 	gcAge := flag.Duration("gc-age", 30*24*time.Hour, "with -cache-gc: remove entries older than this (0 disables)")
 	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "with -cache-gc: evict oldest entries until the cache fits this many bytes (0 disables)")
@@ -177,23 +158,7 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	shardI, shardN := 0, 1
-	if *shard != "" {
-		// Strict parse: a typo like "1/2/4" must be rejected, not run as
-		// shard 1/2 — a mis-sharded process breaks the fleet's partition.
-		is, ns, ok := strings.Cut(*shard, "/")
-		i, err1 := strconv.Atoi(is)
-		n, err2 := strconv.Atoi(ns)
-		if !ok || err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
-			fmt.Fprintf(os.Stderr, "bpsim: invalid -shard %q (want I/N with 0 <= I < N)\n", *shard)
-			os.Exit(2)
-		}
-		shardI, shardN = i, n
-		if *cacheDir == "" && *serveAddrs == "" {
-			fatalf("-shard without -cache or -serve-addrs would discard every result; " +
-				"point the shards at a shared -cache (or at bpserve workers, which cache on their side)")
-		}
-	}
+	shardI, shardN := driver.ParseShard("bpsim", *shard, *cacheDir != "" || *serveAddrs != "")
 
 	reg := runners()
 	names := []string{*exp}
@@ -208,26 +173,9 @@ func main() {
 	}
 
 	// Pick the backend: the in-process pool, or a bpserve fleet.
-	backendName := "local"
-	var backend experiment.Backend
-	var client *wire.Client
-	poolSize := *workers
-	if *serveAddrs != "" {
-		client = wire.NewClient(strings.Split(*serveAddrs, ","))
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		err := client.Probe(ctx)
-		cancel()
-		if err != nil {
-			fatalf("probing workers: %v", err)
-		}
-		backend = client
-		backendName = "remote"
-		workersSet := false
-		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-		if !workersSet {
-			poolSize = client.Workers()
-		}
-	}
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+	backend, client, poolSize, backendName := driver.Connect("bpsim", *serveAddrs, *token, *workers, workersSet)
 
 	exec := experiment.NewExecutorWith(poolSize, backend)
 	if shardN > 1 {
@@ -272,6 +220,7 @@ func main() {
 	exec.Plan(planner)
 
 	wallStart := time.Now()
+	var shardProg driver.ShardProgress
 	for _, name := range names {
 		start := time.Now()
 		tab, err := reg[name].run(s, *seed)
@@ -284,8 +233,7 @@ func main() {
 		if shardN > 1 {
 			// A sharded run populates the shared cache; its tables would
 			// mix real cells with the zero results of skipped cells.
-			fmt.Fprintf(os.Stderr, "[shard %d/%d] %s: %d resolved, %d skipped (tables suppressed)\n",
-				shardI, shardN, name, exec.Done(), exec.Skipped())
+			fmt.Fprintln(os.Stderr, shardProg.Line(exec, shardI, shardN, name))
 			continue
 		}
 		if *asJSON {
@@ -301,22 +249,7 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	if *asJSON {
-		rec := summary{
-			Type:      "summary",
-			Planned:   exec.Planned(),
-			Simulated: exec.Runs(),
-			Cached:    exec.Replays(),
-			Skipped:   exec.Skipped(),
-			WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond),
-			Backend:   backendName,
-			Workers:   exec.Workers(),
-		}
-		if client != nil {
-			rec.WorkerCached = client.Replays()
-		}
-		if shardN > 1 {
-			rec.Shard = fmt.Sprintf("%d/%d", shardI, shardN)
-		}
+		rec := driver.Summarize(exec, client, backendName, shardI, shardN, wallStart)
 		if out, err := json.Marshal(rec); err == nil {
 			fmt.Println(string(out))
 		}

@@ -19,8 +19,13 @@ import (
 // about the victim's addresses. Returns the fraction of trials where the
 // attacker recovers the victim's true index bits (chance ≈ 1/candidates).
 func ASLRLeak(opts core.Options, sc Scenario, trials, candidates int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0xa51e))
+	return aslrLeak(opts, Env{Scenario: sc, Seed: seed}, trials, candidates).Rate()
+}
+
+// aslrLeak is ASLRLeak over an explicit environment, counted.
+func aslrLeak(opts core.Options, ev Env, trials, candidates int) Outcome {
+	e := newEnvWith(opts, ev)
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0xa51e))
 	cfg := e.btb.Config()
 	recovered := 0
 	for trial := 0; trial < trials; trial++ {
@@ -57,5 +62,5 @@ func ASLRLeak(opts core.Options, sc Scenario, trials, candidates int, seed uint6
 			recovered++
 		}
 	}
-	return float64(recovered) / float64(trials)
+	return Outcome{Successes: recovered, Trials: trials}
 }

@@ -54,6 +54,46 @@ func (s Scenario) String() string {
 	return "single"
 }
 
+// Scenarios lists both core arrangements in grid order.
+func Scenarios() []Scenario { return []Scenario{SingleThreaded, SMT} }
+
+// ScenarioByName resolves a scenario's wire name (its String() value).
+func ScenarioByName(name string) (Scenario, bool) {
+	switch name {
+	case "single":
+		return SingleThreaded, true
+	case "SMT":
+		return SMT, true
+	}
+	return SingleThreaded, false
+}
+
+// Env describes the attacked system beyond the mechanism options: the
+// core arrangement, the seed, and the two sweep knobs the security grid
+// adds on top of the paper's PoC setup.
+type Env struct {
+	Scenario Scenario
+	Seed     uint64
+	// NewDir overrides the direction predictor under attack. nil selects
+	// the PoC default: the FPGA prototype's base configuration reduced to
+	// its PHT essence (a bimodal table), matching the BranchScope model
+	// of a directional predictor.
+	NewDir func(*core.Controller) predictor.DirPredictor
+	// RekeyPeriod switches the isolation controller from event-driven to
+	// timer-driven: 0 (the paper's design) delivers every scheduling
+	// event to the controller, so keys rotate (or tables flush) on every
+	// context switch and privilege change; K >= 1 models a periodic
+	// re-key/flush timer with expected period K events. The timer is
+	// asynchronous to the software's scheduling pattern, so each event
+	// is delivered with probability 1/K (a strict every-Kth-event rule
+	// would alias against the attack loop's fixed event parity and
+	// either always or never land inside the train->probe window).
+	// Between deliveries the attacker and a time-shared victim share one
+	// domain key, so the residual attack rate grows with the period —
+	// the lightweight-isolation knob the re-key curve sweeps.
+	RekeyPeriod uint64
+}
+
 // env bundles the structures under attack.
 type env struct {
 	ctrl *core.Controller
@@ -64,22 +104,38 @@ type env struct {
 	attacker core.Domain
 	victim   core.Domain
 	scenario Scenario
+
+	rekeyPeriod uint64
+	timer       *rng.Xoshiro256 // drives the asynchronous re-key timer
 }
 
-// newEnv builds the attacked system. The direction predictor is the FPGA
-// prototype's base configuration reduced to its PHT essence (a bimodal
-// table), matching the BranchScope model of a directional predictor.
+// newEnv builds the attacked system with the PoC defaults.
 func newEnv(opts core.Options, sc Scenario, seed uint64) *env {
-	ctrl := core.NewController(opts, seed)
+	return newEnvWith(opts, Env{Scenario: sc, Seed: seed})
+}
+
+// newEnvWith builds the attacked system for an explicit environment.
+func newEnvWith(opts core.Options, ev Env) *env {
+	ctrl := core.NewController(opts, ev.Seed)
 	e := &env{
-		ctrl:     ctrl,
-		btb:      btb.New(btb.FPGAConfig(), ctrl),
-		dir:      gshare.New(gshare.Config{IndexBits: 12, HistoryBits: 0}, ctrl),
-		rng:      rng.NewXoshiro256(rng.Mix64(seed ^ 0xa77ac)),
-		scenario: sc,
+		ctrl:        ctrl,
+		btb:         btb.New(btb.FPGAConfig(), ctrl),
+		rng:         rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0xa77ac)),
+		scenario:    ev.Scenario,
+		rekeyPeriod: ev.RekeyPeriod,
+	}
+	if ev.RekeyPeriod > 0 {
+		// A dedicated stream: the timer must not perturb the observation
+		// noise draws shared with the period-0 (event-driven) runs.
+		e.timer = rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0x7153e))
+	}
+	if ev.NewDir != nil {
+		e.dir = ev.NewDir(ctrl)
+	} else {
+		e.dir = gshare.New(gshare.Config{IndexBits: 12, HistoryBits: 0}, ctrl)
 	}
 	e.attacker = core.Domain{Thread: 0, Priv: core.User}
-	if sc == SMT {
+	if ev.Scenario == SMT {
 		e.victim = core.Domain{Thread: 1, Priv: core.User}
 	} else {
 		e.victim = core.Domain{Thread: 0, Priv: core.User}
@@ -87,19 +143,33 @@ func newEnv(opts core.Options, sc Scenario, seed uint64) *env {
 	return e
 }
 
+// isoEvent delivers one scheduling event to the isolation controller —
+// always under the paper's event-driven design, or when the
+// asynchronous timer fires (probability 1/RekeyPeriod per event) when
+// the controller is timer-driven.
+func (e *env) isoEvent(fire func()) {
+	if e.rekeyPeriod == 0 {
+		fire()
+		return
+	}
+	if e.rekeyPeriod == 1 || e.timer.Bool(1/float64(e.rekeyPeriod)) {
+		fire()
+	}
+}
+
 // switchToVictim models the OS handing the core to the victim (Listing
 // 1/2 "sleep(1)"): on a single-threaded core this is a context switch; on
 // SMT the victim is already running.
 func (e *env) switchToVictim() {
 	if e.scenario == SingleThreaded {
-		e.ctrl.ContextSwitch(0)
+		e.isoEvent(func() { e.ctrl.ContextSwitch(0) })
 	}
 }
 
 // switchToAttacker models the switch back for the probe phase.
 func (e *env) switchToAttacker() {
 	if e.scenario == SingleThreaded {
-		e.ctrl.ContextSwitch(0)
+		e.isoEvent(func() { e.ctrl.ContextSwitch(0) })
 	}
 }
 
@@ -107,8 +177,8 @@ func (e *env) switchToAttacker() {
 // interrupts (the BranchScope technique, §3): each step is a kernel
 // round-trip on the victim's hardware thread.
 func (e *env) singleStep() {
-	e.ctrl.PrivilegeChange(e.victim.Thread, core.Kernel)
-	e.ctrl.PrivilegeChange(e.victim.Thread, core.User)
+	e.isoEvent(func() { e.ctrl.PrivilegeChange(e.victim.Thread, core.Kernel) })
+	e.isoEvent(func() { e.ctrl.PrivilegeChange(e.victim.Thread, core.User) })
 }
 
 // observe passes a true signal through the noisy side channel.
@@ -132,7 +202,12 @@ const (
 // next execution of shared_interface speculatively jumps there. Returns
 // the success rate over iterations.
 func BTBTraining(opts core.Options, sc Scenario, iterations int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
+	return btbTraining(opts, Env{Scenario: sc, Seed: seed}, iterations, 0).Rate()
+}
+
+// btbTraining is BTBTraining over an explicit environment, counted.
+func btbTraining(opts core.Options, ev Env, iterations, _ int) Outcome {
+	e := newEnvWith(opts, ev)
 	successes := 0
 	for i := 0; i < iterations; i++ {
 		// Attacker: p points at attacker_function; execute the call.
@@ -151,7 +226,7 @@ func BTBTraining(opts core.Options, sc Scenario, iterations int, seed uint64) fl
 		}
 		e.switchToAttacker()
 	}
-	return float64(successes) / float64(iterations)
+	return Outcome{Successes: successes, Trials: iterations}
 }
 
 // PHTTraining runs the Listing 2 attack: the attacker trains the shared
@@ -160,7 +235,12 @@ func BTBTraining(opts core.Options, sc Scenario, iterations int, seed uint64) fl
 // direction (the paper's decision rule). Returns the success rate over
 // iterations.
 func PHTTraining(opts core.Options, sc Scenario, iterations, attempts int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
+	return phtTraining(opts, Env{Scenario: sc, Seed: seed}, iterations, attempts).Rate()
+}
+
+// phtTraining is PHTTraining over an explicit environment, counted.
+func phtTraining(opts core.Options, ev Env, iterations, attempts int) Outcome {
+	e := newEnvWith(opts, ev)
 	const trainedDirection = false // attacker trains Not-Taken
 	successes := 0
 	for i := 0; i < iterations; i++ {
@@ -185,7 +265,7 @@ func PHTTraining(opts core.Options, sc Scenario, iterations, attempts int, seed 
 			successes++
 		}
 	}
-	return float64(successes) / float64(iterations)
+	return Outcome{Successes: successes, Trials: iterations}
 }
 
 // BranchScope runs the §2.1 perception attack: the attacker primes the
@@ -194,8 +274,13 @@ func PHTTraining(opts core.Options, sc Scenario, iterations, attempts int, seed 
 // entry and infers the secret direction from its own (mis)prediction.
 // Returns the inference accuracy over secret bits (0.5 = chance).
 func BranchScope(opts core.Options, sc Scenario, bits int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5ec))
+	return branchScope(opts, Env{Scenario: sc, Seed: seed}, bits, 0).Rate()
+}
+
+// branchScope is BranchScope over an explicit environment, counted.
+func branchScope(opts core.Options, ev Env, bits, _ int) Outcome {
+	e := newEnvWith(opts, ev)
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0x5ec))
 	correct := 0
 	for i := 0; i < bits; i++ {
 		secret := secrets.Bool(0.5)
@@ -225,7 +310,7 @@ func BranchScope(opts core.Options, sc Scenario, bits int, seed uint64) float64 
 			correct++
 		}
 	}
-	return float64(correct) / float64(bits)
+	return Outcome{Successes: correct, Trials: bits}
 }
 
 // SBPAContention runs the §2.1 contention attack: the attacker occupies
@@ -234,8 +319,13 @@ func BranchScope(opts core.Options, sc Scenario, bits int, seed uint64) float64 
 // that the victim's branch was taken. Returns the inference accuracy over
 // trials (0.5 = chance).
 func SBPAContention(opts core.Options, sc Scenario, trials int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5b9a))
+	return sbpaContention(opts, Env{Scenario: sc, Seed: seed}, trials, 0).Rate()
+}
+
+// sbpaContention is SBPAContention over an explicit environment, counted.
+func sbpaContention(opts core.Options, ev Env, trials, _ int) Outcome {
+	e := newEnvWith(opts, ev)
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0x5b9a))
 	cfg := e.btb.Config()
 	// Attacker branches congruent with the victim branch's set: same
 	// index bits, different tags.
@@ -272,5 +362,5 @@ func SBPAContention(opts core.Options, sc Scenario, trials int, seed uint64) flo
 			correct++
 		}
 	}
-	return float64(correct) / float64(trials)
+	return Outcome{Successes: correct, Trials: trials}
 }

@@ -239,3 +239,118 @@ func TestASLRLeak(t *testing.T) {
 		t.Fatalf("protected ASLR leak rate %.3f, want ~1/%d", prot, candidates)
 	}
 }
+
+func TestRegistryCoversEveryPoC(t *testing.T) {
+	want := []string{"aslr", "branch_scope", "branch_scope_detector", "btb_training",
+		"pht_steering", "pht_training", "reference", "sbpa", "sbpa_blanket"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry names = %v, want %v", got, want)
+		}
+	}
+	if _, ok := ByName("btb_training"); !ok {
+		t.Fatal("btb_training not resolvable")
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Fatal("unregistered attack resolved")
+	}
+}
+
+func TestRegistryMatchesExportedFunctions(t *testing.T) {
+	// The registry entries are the engine's face of the PoCs: for the
+	// same arguments they must measure the exact rate the exported
+	// functions return (the property Table-1-through-the-engine relies
+	// on).
+	o := opts(core.NoisyXOR)
+	if got, want := Measure(Request{Attack: "btb_training", Opts: o, Scenario: SingleThreaded,
+		Trials: 150, Seed: 11}), BTBTraining(o, SingleThreaded, 150, 11); got != want {
+		t.Fatalf("registry btb_training = %v, direct = %v", got, want)
+	}
+	if got, want := Measure(Request{Attack: "pht_training", Opts: o, Scenario: SingleThreaded,
+		Trials: 60, Attempts: 30, Seed: 11}), PHTTraining(o, SingleThreaded, 60, 30, 11); got != want {
+		t.Fatalf("registry pht_training = %v, direct = %v", got, want)
+	}
+	if got, want := Measure(Request{Attack: "sbpa", Opts: o, Scenario: SMT,
+		Trials: 200, Seed: 11}), SBPAContention(o, SMT, 200, 11); got != want {
+		t.Fatalf("registry sbpa = %v, direct = %v", got, want)
+	}
+}
+
+func TestOutcomeArithmetic(t *testing.T) {
+	a := Outcome{Successes: 3, Trials: 10}
+	b := Outcome{Successes: 1, Trials: 5}
+	if m := a.Add(b); m.Successes != 4 || m.Trials != 15 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if (Outcome{}).Rate() != 0 {
+		t.Fatal("empty outcome rate not 0")
+	}
+	if r := a.Rate(); r != 0.3 {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestRekeyPeriodIsTheIsolationKnob(t *testing.T) {
+	// The re-key curve's premise: with timer-driven re-keying, XOR-BP's
+	// residual BTB-training rate grows with the period — at period 1
+	// (every scheduling event) it defends like the paper's design, and
+	// by period 64 the trained state usually survives the train->probe
+	// window, approaching the baseline rate.
+	o := opts(core.XOR)
+	tight := btbTraining(o, Env{Scenario: SingleThreaded, Seed: seed, RekeyPeriod: 1}, iters, 0).Rate()
+	loose := btbTraining(o, Env{Scenario: SingleThreaded, Seed: seed, RekeyPeriod: 64}, iters, 0).Rate()
+	if tight > 0.05 {
+		t.Fatalf("rekey period 1 residual rate %.3f, want ~0 (per-event rotation)", tight)
+	}
+	if loose < 0.8 {
+		t.Fatalf("rekey period 64 residual rate %.3f, want near baseline", loose)
+	}
+	mid := btbTraining(o, Env{Scenario: SingleThreaded, Seed: seed, RekeyPeriod: 8}, iters, 0).Rate()
+	if !(tight < mid && mid < loose) {
+		t.Fatalf("residual rate not monotonic in the period: %v, %v, %v", tight, mid, loose)
+	}
+}
+
+func TestRekeyPeriodZeroMatchesEventDriven(t *testing.T) {
+	// Period 0 is the paper's event-driven controller: byte-identical
+	// behavior to the unparameterized PoC entry points.
+	o := opts(core.NoisyXOR)
+	a := btbTraining(o, Env{Scenario: SingleThreaded, Seed: seed}, 200, 0).Rate()
+	b := BTBTraining(o, SingleThreaded, 200, seed)
+	if a != b {
+		t.Fatalf("Env without RekeyPeriod diverged: %v vs %v", a, b)
+	}
+}
+
+func TestTable1WithCollectsASupersetOnZeroRates(t *testing.T) {
+	// The engine renders Table 1 in two passes: a collect pass whose
+	// measurer returns 0 for everything, then a replay pass against the
+	// batch's results. The collect pass must request a superset of any
+	// real pass (zero rates classify as Defend, which triggers every
+	// conditional fallback), or the replay would dead-end.
+	cfg := QuickConfig()
+	var collected []Request
+	Table1With(cfg, func(r Request) float64 { collected = append(collected, r); return 0 })
+	seen := map[Request]bool{}
+	for _, r := range collected {
+		seen[normReq(r)] = true
+	}
+	Table1With(cfg, func(r Request) float64 {
+		if !seen[normReq(r)] {
+			t.Fatalf("real pass requested %+v, not collected by the zero pass", r)
+		}
+		return Measure(r)
+	})
+}
+
+// normReq blanks the interface-typed option fields so a Request can be
+// used as a map key regardless of codec/scrambler identity (they are
+// carried by name on the wire anyway).
+func normReq(r Request) Request {
+	r.Opts.Codec, r.Opts.Scrambler = nil, nil
+	return r
+}

@@ -21,8 +21,17 @@ import (
 //
 // Returns the inference accuracy over bits (0.5 = chance).
 func ReferencePerception(opts core.Options, bits int, seed uint64) float64 {
-	e := newEnv(opts, SingleThreaded, seed)
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x4ef))
+	return referencePerception(opts, Env{Scenario: SingleThreaded, Seed: seed}, bits, 0).Rate()
+}
+
+// referencePerception is ReferencePerception over an explicit
+// environment, counted. The attack only exists on the time-shared core
+// (the offset recovery needs the attacker to probe under one key), so
+// the environment's scenario is forced to SingleThreaded.
+func referencePerception(opts core.Options, ev Env, bits, _ int) Outcome {
+	ev.Scenario = SingleThreaded
+	e := newEnvWith(opts, ev)
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0x4ef))
 
 	// Two victim branches whose PHT entries sit in different words:
 	// the reference (always taken) and the secret-dependent target.
@@ -64,7 +73,7 @@ func ReferencePerception(opts core.Options, bits int, seed uint64) float64 {
 		e.switchToAttacker()
 		e.switchToVictim()
 	}
-	return float64(correct) / float64(bits)
+	return Outcome{Successes: correct, Trials: bits}
 }
 
 // SBPABlanket is the weakened contention attack available when index
@@ -74,8 +83,13 @@ func ReferencePerception(opts core.Options, bits int, seed uint64) float64 {
 // branch, not which. Returns the detection accuracy over trials
 // (0.5 = chance).
 func SBPABlanket(opts core.Options, sc Scenario, trials int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0xb1a))
+	return sbpaBlanket(opts, Env{Scenario: sc, Seed: seed}, trials, 0).Rate()
+}
+
+// sbpaBlanket is SBPABlanket over an explicit environment, counted.
+func sbpaBlanket(opts core.Options, ev Env, trials, _ int) Outcome {
+	e := newEnvWith(opts, ev)
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0xb1a))
 	cfg := e.btb.Config()
 	victimPC := uint64(0x40_1000)
 
@@ -116,5 +130,5 @@ func SBPABlanket(opts core.Options, sc Scenario, trials int, seed uint64) float6
 			correct++
 		}
 	}
-	return float64(correct) / float64(trials)
+	return Outcome{Successes: correct, Trials: trials}
 }

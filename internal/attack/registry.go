@@ -1,0 +1,151 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"xorbp/internal/core"
+)
+
+// Outcome is one counted measurement: Successes observed events over
+// Trials opportunities. Counting (rather than returning a rate) is what
+// lets the sweep engine split a wide cell into independent seed batches
+// and merge them exactly — integer sums lose nothing.
+type Outcome struct {
+	Successes int `json:"successes"`
+	Trials    int `json:"trials"`
+}
+
+// Rate returns Successes/Trials (0 when empty). For an unsplit cell this
+// is bit-identical to what the corresponding exported attack function
+// returns: the same division of the same integers.
+func (o Outcome) Rate() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Successes) / float64(o.Trials)
+}
+
+// Add merges another batch of the same logical cell.
+func (o Outcome) Add(p Outcome) Outcome {
+	return Outcome{Successes: o.Successes + p.Successes, Trials: o.Trials + p.Trials}
+}
+
+// Metric says how an attack's measured rate is read.
+type Metric int
+
+// Metrics.
+const (
+	// SuccessRate: the floor of a defeated attack is ~0 (training
+	// attacks, ASLR recovery).
+	SuccessRate Metric = iota
+	// InferenceAccuracy: the floor of a defeated attack is chance = 0.5
+	// (perception and contention attacks over secret bits).
+	InferenceAccuracy
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == InferenceAccuracy {
+		return "accuracy"
+	}
+	return "rate"
+}
+
+// aslrCandidates fixes the Jump-over-ASLR sweep width so the attack is
+// fully described by (opts, env, trials) like every other registry entry.
+const aslrCandidates = 32
+
+// Info describes one registered attack: the PoC's engine-facing face.
+type Info struct {
+	// Name is the attack's wire name (wire.AttackSpec.Name).
+	Name string
+	// Metric classifies the measured rate.
+	Metric Metric
+	// SingleOnly marks attacks that only exist on the time-shared core
+	// (the grid skips their SMT cells).
+	SingleOnly bool
+	// UsesDir marks attacks driven through the direction predictor —
+	// only these get a predictor sweep dimension; the BTB attacks never
+	// touch it.
+	UsesDir bool
+	// UsesAttempts marks attacks with an inner attempts loop
+	// (wire.AttackSpec.Attempts; ignored by the others).
+	UsesAttempts bool
+	// Run measures the attack: trials (and attempts, where used) sized
+	// per the request, environment knobs from ev.
+	Run func(opts core.Options, ev Env, trials, attempts int) Outcome
+}
+
+// registry holds every attack the engine can dispatch, keyed by wire
+// name. Populated at init; read-only afterwards, so lookups are safe
+// from any goroutine.
+var registry = map[string]Info{}
+
+func register(i Info) {
+	if _, dup := registry[i.Name]; dup {
+		panic(fmt.Sprintf("attack: duplicate registration %q", i.Name))
+	}
+	registry[i.Name] = i
+}
+
+func init() {
+	register(Info{Name: "btb_training", Metric: SuccessRate, Run: btbTraining})
+	register(Info{Name: "pht_training", Metric: SuccessRate, UsesDir: true, UsesAttempts: true, Run: phtTraining})
+	register(Info{Name: "pht_steering", Metric: SuccessRate, UsesDir: true, UsesAttempts: true, Run: phtSteering})
+	register(Info{Name: "branch_scope", Metric: InferenceAccuracy, UsesDir: true, Run: branchScope})
+	register(Info{Name: "branch_scope_detector", Metric: InferenceAccuracy, UsesDir: true, SingleOnly: true, Run: branchScopeDetector})
+	register(Info{Name: "sbpa", Metric: InferenceAccuracy, Run: sbpaContention})
+	register(Info{Name: "sbpa_blanket", Metric: InferenceAccuracy, Run: sbpaBlanket})
+	register(Info{Name: "reference", Metric: InferenceAccuracy, UsesDir: true, SingleOnly: true, Run: referencePerception})
+	register(Info{Name: "aslr", Metric: SuccessRate,
+		Run: func(opts core.Options, ev Env, trials, _ int) Outcome {
+			return aslrLeak(opts, ev, trials, aslrCandidates)
+		}})
+}
+
+// Names lists every registered attack in sorted (deterministic) order.
+func Names() []string {
+	ns := make([]string, 0, len(registry))
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// ByName resolves a registered attack.
+func ByName(name string) (Info, bool) {
+	i, ok := registry[name]
+	return i, ok
+}
+
+// Request names one logical measurement: a registered attack against a
+// mechanism configuration on one core arrangement, at a size and seed.
+// It is the unit Table1With and PoCAccuracyWith ask their Measurer for —
+// small enough to run in-process, canonical enough to become an engine
+// job byte-for-byte.
+type Request struct {
+	Attack   string
+	Opts     core.Options
+	Scenario Scenario
+	Trials   int
+	Attempts int
+	Seed     uint64
+}
+
+// Measurer resolves requests to rates. Measure runs them in-process;
+// the secsweep subsystem substitutes an engine-backed measurer so the
+// same cells flow through the memo cache, the persistent store and the
+// distributed backend instead.
+type Measurer func(Request) float64
+
+// Measure resolves a request in-process through the registry — the
+// reference measurer every other implementation must agree with.
+func Measure(r Request) float64 {
+	info, ok := ByName(r.Attack)
+	if !ok {
+		panic(fmt.Sprintf("attack: measuring unregistered attack %q", r.Attack))
+	}
+	return info.Run(r.Opts, Env{Scenario: r.Scenario, Seed: r.Seed}, r.Trials, r.Attempts).Rate()
+}

@@ -13,9 +13,17 @@ import (
 // independent of the encoding mechanism (it defends even the baseline).
 // Returns the inference accuracy over bits (0.5 = chance).
 func BranchScopeWithDetector(opts core.Options, bits int, seed uint64) float64 {
-	e := newEnv(opts, SingleThreaded, seed)
+	return branchScopeDetector(opts, Env{Scenario: SingleThreaded, Seed: seed}, bits, 0).Rate()
+}
+
+// branchScopeDetector is BranchScopeWithDetector over an explicit
+// environment, counted. Single-step detection is a single-core
+// countermeasure, so the scenario is forced to SingleThreaded.
+func branchScopeDetector(opts core.Options, ev Env, bits, _ int) Outcome {
+	ev.Scenario = SingleThreaded
+	e := newEnvWith(opts, ev)
 	det := core.NewSingleStepDetector()
-	secrets := rng.NewXoshiro256(rng.Mix64(seed ^ 0x5ed))
+	secrets := rng.NewXoshiro256(rng.Mix64(ev.Seed ^ 0x5ed))
 	correct := 0
 	for i := 0; i < bits; i++ {
 		secret := secrets.Bool(0.5)
@@ -46,5 +54,5 @@ func BranchScopeWithDetector(opts core.Options, bits int, seed uint64) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(bits)
+	return Outcome{Successes: correct, Trials: bits}
 }

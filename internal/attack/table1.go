@@ -88,7 +88,12 @@ func capMitigate(v Verdict) Verdict {
 // attempts each). This separates real influence from coincidence with the
 // predictor's reset state.
 func PHTSteering(opts core.Options, sc Scenario, iterations, attempts int, seed uint64) float64 {
-	e := newEnv(opts, sc, seed)
+	return phtSteering(opts, Env{Scenario: sc, Seed: seed}, iterations, attempts).Rate()
+}
+
+// phtSteering is PHTSteering over an explicit environment, counted.
+func phtSteering(opts core.Options, ev Env, iterations, attempts int) Outcome {
+	e := newEnvWith(opts, ev)
 	successes := 0
 	for i := 0; i < iterations; i++ {
 		ok := true
@@ -116,7 +121,7 @@ func PHTSteering(opts core.Options, sc Scenario, iterations, attempts int, seed 
 			successes++
 		}
 	}
-	return float64(successes) / float64(iterations)
+	return Outcome{Successes: successes, Trials: iterations}
 }
 
 // Config sizes the Table 1 / PoC experiments.
@@ -187,7 +192,14 @@ func phtRows() []struct {
 // Table1 regenerates the paper's security comparison by running every
 // attack against every mechanism on both core arrangements and
 // classifying the measured rates.
-func Table1(cfg Config) *report.Table {
+func Table1(cfg Config) *report.Table { return Table1With(cfg, Measure) }
+
+// Table1With is Table1 with measurement delegated: every attack rate the
+// classification needs is obtained through m, so the same table can be
+// computed in-process (Measure) or through the sweep engine — cached,
+// parallel, distributed — with verdicts guaranteed identical, because a
+// measurement is a pure function of its Request either way.
+func Table1With(cfg Config, m Measurer) *report.Table {
 	t := &report.Table{
 		Title: "Table 1: security comparison (measured)",
 		Header: []string{"structure", "mechanism",
@@ -206,24 +218,28 @@ func Table1(cfg Config) *report.Table {
 			"No Protection against SMT reuse.",
 	}
 	base := core.OptionsFor(core.Baseline)
+	req := func(attack string, opts core.Options, sc Scenario, trials, attempts int) Request {
+		return Request{Attack: attack, Opts: opts, Scenario: sc,
+			Trials: trials, Attempts: attempts, Seed: cfg.Seed}
+	}
 
 	// Baseline reference rates.
-	btbTrainBase := BTBTraining(base, SingleThreaded, cfg.Iterations, cfg.Seed)
-	sbpaBase := SBPAContention(base, SingleThreaded, cfg.Trials, cfg.Seed)
-	phtSteerBase := PHTSteering(base, SingleThreaded, cfg.Iterations/10, cfg.Attempts, cfg.Seed)
-	bsBase := BranchScope(base, SingleThreaded, cfg.Trials, cfg.Seed)
+	btbTrainBase := m(req("btb_training", base, SingleThreaded, cfg.Iterations, 0))
+	sbpaBase := m(req("sbpa", base, SingleThreaded, cfg.Trials, 0))
+	phtSteerBase := m(req("pht_steering", base, SingleThreaded, cfg.Iterations/10, cfg.Attempts))
+	bsBase := m(req("branch_scope", base, SingleThreaded, cfg.Trials, 0))
 
 	for _, row := range btbRows() {
 		cells := []string{"BTB", row.name}
 		for _, sc := range []Scenario{SingleThreaded, SMT} {
 			// Reuse: malicious training.
-			v := classifyRate(BTBTraining(row.opts, sc, cfg.Iterations, cfg.Seed), btbTrainBase)
+			v := classifyRate(m(req("btb_training", row.opts, sc, cfg.Iterations, 0)), btbTrainBase)
 			cells = append(cells, v.String())
 			// Contention: targeted SBPA, with the blanket variant as the
 			// conditional fallback.
-			cv := classifyAccuracy(SBPAContention(row.opts, sc, cfg.Trials, cfg.Seed), sbpaBase)
+			cv := classifyAccuracy(m(req("sbpa", row.opts, sc, cfg.Trials, 0)), sbpaBase)
 			if cv == Defend {
-				blanket := classifyAccuracy(SBPABlanket(row.opts, sc, cfg.Trials/4, cfg.Seed), sbpaBase)
+				blanket := classifyAccuracy(m(req("sbpa_blanket", row.opts, sc, cfg.Trials/4, 0)), sbpaBase)
 				cv = worse(cv, capMitigate(blanket))
 			}
 			cells = append(cells, cv.String())
@@ -237,10 +253,10 @@ func Table1(cfg Config) *report.Table {
 		for _, sc := range []Scenario{SingleThreaded, SMT} {
 			// Reuse: steering + perception, plus the reference-branch
 			// corner case on the single-threaded core.
-			v := classifyRate(PHTSteering(row.opts, sc, cfg.Iterations/10, cfg.Attempts, cfg.Seed), phtSteerBase)
-			v = worse(v, classifyAccuracy(BranchScope(row.opts, sc, cfg.Trials, cfg.Seed), bsBase))
+			v := classifyRate(m(req("pht_steering", row.opts, sc, cfg.Iterations/10, cfg.Attempts)), phtSteerBase)
+			v = worse(v, classifyAccuracy(m(req("branch_scope", row.opts, sc, cfg.Trials, 0)), bsBase))
 			if sc == SingleThreaded {
-				ref := classifyAccuracy(ReferencePerception(row.opts, cfg.Trials, cfg.Seed), 1.0-falseNegative)
+				ref := classifyAccuracy(m(req("reference", row.opts, SingleThreaded, cfg.Trials, 0)), 1.0-falseNegative)
 				v = worse(v, capMitigate(ref))
 			}
 			cells = append(cells, v.String(), NotApplicable.String())
@@ -253,7 +269,11 @@ func Table1(cfg Config) *report.Table {
 // PoCAccuracy reproduces the §5.5(3) experiment: training success against
 // BTB and PHT for the baseline and the XOR-based isolation, with the
 // paper's anchors (96.5% / 97.2% baseline, <1% protected).
-func PoCAccuracy(cfg Config) *report.Table {
+func PoCAccuracy(cfg Config) *report.Table { return PoCAccuracyWith(cfg, Measure) }
+
+// PoCAccuracyWith is PoCAccuracy with measurement delegated, like
+// Table1With.
+func PoCAccuracyWith(cfg Config, m Measurer) *report.Table {
 	t := &report.Table{
 		Title:  "PoC attack accuracy (Section 5.5(3))",
 		Header: []string{"attack", "Baseline", "Noisy-XOR-BP"},
@@ -263,11 +283,15 @@ func PoCAccuracy(cfg Config) *report.Table {
 	base := core.OptionsFor(core.Baseline)
 	nxor := core.OptionsFor(core.NoisyXOR)
 	fmtPct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	req := func(attack string, opts core.Options, attempts int) Request {
+		return Request{Attack: attack, Opts: opts, Scenario: SingleThreaded,
+			Trials: cfg.Iterations, Attempts: attempts, Seed: cfg.Seed}
+	}
 	t.AddRow("BTB training (Listing 1)",
-		fmtPct(BTBTraining(base, SingleThreaded, cfg.Iterations, cfg.Seed)),
-		fmtPct(BTBTraining(nxor, SingleThreaded, cfg.Iterations, cfg.Seed)))
+		fmtPct(m(req("btb_training", base, 0))),
+		fmtPct(m(req("btb_training", nxor, 0))))
 	t.AddRow("PHT training (Listing 2)",
-		fmtPct(PHTTraining(base, SingleThreaded, cfg.Iterations, cfg.Attempts, cfg.Seed)),
-		fmtPct(PHTTraining(nxor, SingleThreaded, cfg.Iterations, cfg.Attempts, cfg.Seed)))
+		fmtPct(m(req("pht_training", base, cfg.Attempts))),
+		fmtPct(m(req("pht_training", nxor, cfg.Attempts))))
 	return t
 }

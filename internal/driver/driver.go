@@ -1,0 +1,129 @@
+// Package driver holds the CLI plumbing the sweep drivers (bpsim,
+// attacksim) share: strict shard parsing, execution-backend selection
+// over -serve-addrs, and the final -json summary record. One
+// implementation keeps the two binaries' flag semantics and wire
+// behavior from drifting apart.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/wire"
+)
+
+// Summary is the final -json record: the invocation's totals, so
+// scripted sweeps read one line instead of tallying run records.
+type Summary struct {
+	Type      string `json:"type"` // "summary"
+	Planned   int    `json:"planned"`
+	Simulated uint64 `json:"simulated"`
+	Cached    int    `json:"cached"`
+	Skipped   int    `json:"skipped"`
+	// WorkerCached counts dispatched runs the remote fleet answered
+	// from its own stores (a subset of Simulated, which tallies
+	// dispatches — the driver cannot see inside the backend).
+	WorkerCached uint64  `json:"worker_cached,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	Backend      string  `json:"backend"` // "local" or "remote"
+	Workers      int     `json:"workers"`
+	Shard        string  `json:"shard,omitempty"`
+}
+
+// Summarize assembles the summary record from the executor's counters.
+func Summarize(exec *experiment.Executor, client *wire.Client, backendName string,
+	shardI, shardN int, wallStart time.Time) Summary {
+	rec := Summary{
+		Type:      "summary",
+		Planned:   exec.Planned(),
+		Simulated: exec.Runs(),
+		Cached:    exec.Replays(),
+		Skipped:   exec.Skipped(),
+		WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond),
+		Backend:   backendName,
+		Workers:   exec.Workers(),
+	}
+	if client != nil {
+		rec.WorkerCached = client.Replays()
+	}
+	if shardN > 1 {
+		rec.Shard = fmt.Sprintf("%d/%d", shardI, shardN)
+	}
+	return rec
+}
+
+// ParseShard strictly parses a -shard I/N flag ("" means unsharded:
+// 0/1). Malformed input exits 2 — a typo like "1/2/4" must be
+// rejected, not run as shard 1/2, because a mis-sharded process breaks
+// the fleet's partition. haveSink reports whether results have
+// somewhere to go (-cache or -serve-addrs); sharding without one would
+// discard every result, so that exits 1.
+func ParseShard(prog, s string, haveSink bool) (i, n int) {
+	if s == "" {
+		return 0, 1
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if !ok || err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		fmt.Fprintf(os.Stderr, "%s: invalid -shard %q (want I/N with 0 <= I < N)\n", prog, s)
+		os.Exit(2)
+	}
+	if !haveSink {
+		fmt.Fprintf(os.Stderr, "%s: -shard without -cache or -serve-addrs would discard every result; "+
+			"point the shards at a shared -cache (or at bpserve workers, which cache on their side)\n", prog)
+		os.Exit(1)
+	}
+	return i, n
+}
+
+// Connect picks the execution backend: nil (the in-process pool) when
+// serveAddrs is empty, otherwise a probed wire.Client over the fleet.
+// poolSize echoes workers, except that a remote fleet with the
+// -workers flag left at its default sizes the fan-out to the fleet's
+// summed capacity (workersSet reports whether the flag was given
+// explicitly). A failed probe exits 1: a sweep should fail fast on a
+// misconfigured fleet, not at its first dispatched run.
+func Connect(prog, serveAddrs, token string, workers int, workersSet bool) (
+	backend experiment.Backend, client *wire.Client, poolSize int, name string) {
+	poolSize, name = workers, "local"
+	if serveAddrs == "" {
+		return nil, nil, poolSize, name
+	}
+	client = wire.NewClient(strings.Split(serveAddrs, ","))
+	client.SetToken(token)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err := client.Probe(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: probing workers: %v\n", prog, err)
+		os.Exit(1)
+	}
+	if !workersSet {
+		poolSize = client.Workers()
+	}
+	return client, client, poolSize, "remote"
+}
+
+// ShardProgress reports one sharded experiment's resolved/skipped cell
+// counts as deltas against the previous call — the executor's counters
+// are session-cumulative, and attributing the whole session to each
+// experiment in turn would misreport every line after the first.
+type ShardProgress struct {
+	prevDone, prevSkipped int
+}
+
+// Line formats the stderr notice for one completed experiment under a
+// shard assignment and advances the baseline.
+func (p *ShardProgress) Line(exec *experiment.Executor, shardI, shardN int, name string) string {
+	done, skipped := exec.Done(), exec.Skipped()
+	line := fmt.Sprintf("[shard %d/%d] %s: %d resolved, %d skipped (tables suppressed)",
+		shardI, shardN, name, done-p.prevDone, skipped-p.prevSkipped)
+	p.prevDone, p.prevSkipped = done, skipped
+	return line
+}

@@ -24,6 +24,8 @@ import (
 // two specs differing in a new field can never alias the same cache
 // entry.
 type runKey struct {
+	// kind discriminates the run kinds ("" performance, "attack").
+	kind string
 	// opts holds the spec's options with the Codec and Scrambler
 	// interface fields blanked; their identities live in codec/scrambler
 	// below. Keying the interfaces by dynamic type name keeps runKey
@@ -40,6 +42,9 @@ type runKey struct {
 	// comparable struct directly.
 	names string
 	scale Scale
+	// atk is the attack-job payload (zero for performance runs); every
+	// field is scalar, so it embeds in the comparable key directly.
+	atk attackCell
 }
 
 // specKey builds the cache key for a fully-populated spec (scale set).
@@ -49,6 +54,7 @@ type runKey struct {
 func specKey(s runSpec) runKey {
 	o := s.opts.Normalized()
 	k := runKey{
+		kind:      s.kind,
 		opts:      o,
 		codec:     fmt.Sprintf("%T", o.Codec),
 		scrambler: fmt.Sprintf("%T", o.Scrambler),
@@ -57,6 +63,7 @@ func specKey(s runSpec) runKey {
 		timer:     s.timer,
 		names:     strings.Join(s.names, "\x00"),
 		scale:     s.scale,
+		atk:       s.atk,
 	}
 	k.opts.Codec, k.opts.Scrambler = nil, nil
 	return k
@@ -130,14 +137,33 @@ type Executor struct {
 
 // RunRecord describes one resolved spec: an executed simulation, or a
 // result replayed from the persistent store (Cached). Within-process
-// memo hits are not re-reported.
+// memo hits are not re-reported. Performance runs carry Cycles/MPKI;
+// attack jobs carry Rate instead.
 type RunRecord struct {
 	Label      string  `json:"label"`
 	Key        string  `json:"key"` // persistent-store key hash
 	Cycles     uint64  `json:"cycles"`
 	MPKI       float64 `json:"mpki"`
-	DurationMS float64 `json:"duration_ms"` // 0 for cached replays
+	Rate       float64 `json:"rate,omitempty"` // attack jobs: measured success rate
+	DurationMS float64 `json:"duration_ms"`    // 0 for cached replays
 	Cached     bool    `json:"cached"`
+}
+
+// recordFor assembles the RunRecord for a resolved spec of either kind.
+func recordFor(s runSpec, dk string, r RunResult, durMS float64, cached bool) RunRecord {
+	rec := RunRecord{
+		Label:      specLabel(s),
+		Key:        dk,
+		DurationMS: durMS,
+		Cached:     cached,
+	}
+	if r.Attack != nil {
+		rec.Rate = r.Attack.Rate()
+	} else {
+		rec.Cycles = r.Cycles
+		rec.MPKI = r.Target.MPKI()
+	}
+	return rec
 }
 
 // NewExecutor creates an executor over the in-process backend with the
@@ -425,13 +451,7 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 			e.cache[c.k] = c.r
 			e.replays++
 			delete(e.warm, c.k)
-			replays = append(replays, RunRecord{
-				Label:  specLabel(specs[c.i]),
-				Key:    c.dk,
-				Cycles: c.r.Cycles,
-				MPKI:   c.r.Target.MPKI(),
-				Cached: true,
-			})
+			replays = append(replays, recordFor(specs[c.i], c.dk, c.r, 0, true))
 			continue
 		}
 		if e.shardN > 1 && shardOf(c.dk, e.shardN) != e.shardI {
@@ -499,13 +519,8 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		if e.store != nil {
 			e.storePut(missDKs[i], r)
 		}
-		e.emit(RunRecord{
-			Label:      specLabel(missSpecs[i]),
-			Key:        missDKs[i],
-			Cycles:     r.Cycles,
-			MPKI:       r.Target.MPKI(),
-			DurationMS: float64(dur) / float64(time.Millisecond),
-		})
+		e.emit(recordFor(missSpecs[i], missDKs[i], r,
+			float64(dur)/float64(time.Millisecond), false))
 		return struct{}{}
 	})
 
@@ -617,6 +632,15 @@ func (e *Executor) etaLocked() string {
 // output.
 func specLabel(s runSpec) string {
 	o := s.opts.Normalized()
+	if s.kind == wire.KindAttack {
+		pred := s.predName
+		if pred == "" {
+			pred = "bimodal"
+		}
+		return fmt.Sprintf("attack=%s %s scope=%s sc=%s pred=%s rekey=%d trials=%d seed=%d",
+			s.atk.name, o.Mechanism, o.Scope, s.atk.scenario, pred,
+			s.atk.rekey, s.atk.trials, s.atk.seed)
+	}
 	return fmt.Sprintf("%s scope=%s pred=%s cfg=%s timer=%d threads=%s",
 		o.Mechanism, o.Scope, s.predName, s.cfg.Name, s.timer,
 		strings.Join(s.names, "+"))

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"xorbp/internal/attack"
 	"xorbp/internal/core"
 	"xorbp/internal/wire"
 	"xorbp/internal/workload"
@@ -228,7 +229,8 @@ func TestSpecFromWireRejectsGarbage(t *testing.T) {
 	breakers := map[string]func(*wire.Spec){
 		"codec":     func(w *wire.Spec) { w.Codec = "rot13" },
 		"scrambler": func(w *wire.Spec) { w.Scrambler = "enigma" },
-		"pred":      func(w *wire.Spec) { w.Pred = "perceptron" },
+		"pred":      func(w *wire.Spec) { w.Pred = "oracle" },
+		"kind":      func(w *wire.Spec) { w.Kind = "benchmark" },
 		"workload":  func(w *wire.Spec) { w.Threads = []string{"doom"} },
 		"threads":   func(w *wire.Spec) { w.Threads = nil },
 		"scale":     func(w *wire.Spec) { w.Scale.MeasureInstr = 0 },
@@ -353,4 +355,57 @@ func TestBatchResultBeforeExecPanics(t *testing.T) {
 	b := s.batch()
 	p := b.add(singleSpec(baselineOpts(), workload.SingleCorePairs()[0], 300_000))
 	p.result()
+}
+
+// TestAttackSpecFromWireRejectsGarbage: attack-kind validation — a
+// worker must refuse what it cannot faithfully execute, including
+// single-only attacks requested on SMT (the runner would silently
+// measure the single-threaded variant under an SMT cache key).
+func TestAttackSpecFromWireRejectsGarbage(t *testing.T) {
+	good := specToWire(attackRunSpec(AttackJob{
+		Attack:   "reference",
+		Opts:     core.OptionsFor(core.XOR),
+		Scenario: attack.SingleThreaded,
+		Trials:   100,
+		Seed:     1,
+	}))
+	if _, err := specFromWire(good); err != nil {
+		t.Fatalf("specFromWire rejected a valid attack spec: %v", err)
+	}
+	breakers := map[string]func(*wire.Spec){
+		"attack name":        func(w *wire.Spec) { w.Attack.Name = "rowhammer" },
+		"scenario":           func(w *wire.Spec) { w.Attack.Scenario = "quad" },
+		"single-only on SMT": func(w *wire.Spec) { w.Attack.Scenario = "SMT" },
+		"trials":             func(w *wire.Spec) { w.Attack.Trials = 0 },
+		"pred":               func(w *wire.Spec) { w.Pred = "oracle" },
+		"no payload":         func(w *wire.Spec) { w.Attack = nil },
+	}
+	for name, mutate := range breakers {
+		w := good
+		if w.Attack != nil {
+			cp := *good.Attack
+			w.Attack = &cp
+		}
+		mutate(&w)
+		if _, err := specFromWire(w); err == nil {
+			t.Errorf("specFromWire accepted an attack spec with a bad %s", name)
+		}
+	}
+}
+
+// TestRunAttackBatchDeduplicates: identical attack jobs resolve once.
+func TestRunAttackBatchDeduplicates(t *testing.T) {
+	e := NewExecutor(2)
+	job := AttackJob{Attack: "btb_training", Opts: core.OptionsFor(core.Baseline),
+		Scenario: attack.SingleThreaded, Trials: 50, Seed: 9}
+	outs := e.RunAttackBatch([]AttackJob{job, job, job})
+	if e.Runs() != 1 {
+		t.Fatalf("3 identical jobs executed %d times, want 1", e.Runs())
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Fatalf("identical jobs disagree: %+v", outs)
+	}
+	if outs[0].Trials != 50 {
+		t.Fatalf("outcome = %+v, want 50 counted trials", outs[0])
+	}
 }

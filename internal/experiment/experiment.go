@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sort"
 
+	"xorbp/internal/attack"
 	"xorbp/internal/core"
 	"xorbp/internal/cpu"
 	"xorbp/internal/gshare"
+	"xorbp/internal/perceptron"
 	"xorbp/internal/predictor"
 	"xorbp/internal/report"
 	"xorbp/internal/tage"
@@ -71,19 +73,23 @@ func MicroScale() Scale {
 	}
 }
 
-// PredictorNames lists the gem5 predictors of Figure 10 in the paper's
-// accuracy order (least accurate first).
+// PredictorNames lists the sweep-grid direction predictors: the gem5
+// predictors of Figure 10 in the paper's accuracy order (least accurate
+// first), extended with the perceptron (a ROADMAP growth item — the
+// paper never evaluates a weight-table predictor).
 func PredictorNames() []string {
-	return []string{"gshare", "tournament", "ltage", "tage_sc_l"}
+	return []string{"gshare", "perceptron", "tournament", "ltage", "tage_sc_l"}
 }
 
 // NewDirPredictor constructs a named predictor against a controller.
-// Valid names: gshare, tournament, ltage, tage_sc_l (gem5 set) and tage
-// (the FPGA prototype predictor).
+// Valid names: gshare, tournament, ltage, tage_sc_l (gem5 set),
+// perceptron, and tage (the FPGA prototype predictor).
 func NewDirPredictor(name string, ctrl *core.Controller) predictor.DirPredictor {
 	switch name {
 	case "gshare":
 		return gshare.New(gshare.Gem5Config(), ctrl)
+	case "perceptron":
+		return perceptron.New(perceptron.DefaultConfig(), ctrl)
 	case "tournament":
 		return tournament.New(tournament.Gem5Config(), ctrl)
 	case "ltage":
@@ -103,18 +109,36 @@ func NewDirPredictor(name string, ctrl *core.Controller) predictor.DirPredictor 
 // same type with the same encoding.
 type RunResult = wire.Result
 
-// runSpec fully describes one simulation.
+// runSpec fully describes one simulation — a performance run (kind "")
+// or an attack job (kind wire.KindAttack, payload in atk).
 type runSpec struct {
+	kind     string
 	opts     core.Options
 	predName string
 	cfg      cpu.Config
 	timer    uint64
 	names    []string // software threads, first = target
 	scale    Scale
+	atk      attackCell
 }
 
-// run executes one simulation: warmup, stat reset, measurement.
+// attackCell is the attack-job payload of a runSpec: the comparable
+// in-process mirror of wire.AttackSpec.
+type attackCell struct {
+	name     string
+	scenario attack.Scenario
+	rekey    uint64
+	trials   int
+	attempts int
+	seed     uint64
+}
+
+// run executes one simulation: warmup, stat reset, measurement — or,
+// for an attack job, the registered PoC measurement.
 func run(s runSpec) RunResult {
+	if s.kind == wire.KindAttack {
+		return runAttack(s)
+	}
 	ctrl := core.NewController(s.opts, s.scale.Seed)
 	dir := NewDirPredictor(s.predName, ctrl)
 	c := cpu.New(s.cfg, cpu.DefaultScheduler(s.timer), ctrl, dir)

@@ -76,7 +76,7 @@ func TestNewDirPredictorUnknownPanics(t *testing.T) {
 			t.Fatal("unknown predictor did not panic")
 		}
 	}()
-	NewDirPredictor("perceptron", core.NewController(core.OptionsFor(core.Baseline), 1))
+	NewDirPredictor("oracle", core.NewController(core.OptionsFor(core.Baseline), 1))
 }
 
 func TestRunSingleProducesStats(t *testing.T) {
@@ -146,8 +146,8 @@ func TestFigure10Structure(t *testing.T) {
 	if len(tab.Rows) != 13 {
 		t.Fatalf("Figure 10 has %d rows, want 13", len(tab.Rows))
 	}
-	if len(tab.Header) != 1+4*3 {
-		t.Fatalf("Figure 10 has %d columns, want 13", len(tab.Header))
+	if want := 1 + len(PredictorNames())*3; len(tab.Header) != want {
+		t.Fatalf("Figure 10 has %d columns, want %d (3 mechanisms per predictor)", len(tab.Header), want)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"xorbp/internal/attack"
 	"xorbp/internal/core"
 	"xorbp/internal/wire"
 	"xorbp/internal/workload"
@@ -22,6 +23,7 @@ func SchemaVersion() string { return wire.SchemaVersion() }
 func specToWire(s runSpec) wire.Spec {
 	o := s.opts.Normalized()
 	w := wire.Spec{
+		Kind:      s.kind,
 		Opts:      o,
 		Codec:     o.Codec.Name(),
 		Scrambler: o.Scrambler.Name(),
@@ -30,6 +32,16 @@ func specToWire(s runSpec) wire.Spec {
 		Timer:     s.timer,
 		Threads:   append([]string(nil), s.names...),
 		Scale:     s.scale,
+	}
+	if s.kind == wire.KindAttack {
+		w.Attack = &wire.AttackSpec{
+			Name:        s.atk.name,
+			Scenario:    s.atk.scenario.String(),
+			RekeyPeriod: s.atk.rekey,
+			Trials:      s.atk.trials,
+			Attempts:    s.atk.attempts,
+			Seed:        s.atk.seed,
+		}
 	}
 	// The interface values are excluded from the encoding (json:"-");
 	// blank them anyway so a wire.Spec compares by its canonical content.
@@ -50,8 +62,23 @@ func specFromWire(w wire.Spec) (runSpec, error) {
 	if !ok {
 		return runSpec{}, fmt.Errorf("experiment: unknown scrambler %q", w.Scrambler)
 	}
+	opts := w.Opts
+	opts.Codec, opts.Scrambler = codec, scrambler
+
+	switch w.Kind {
+	case wire.KindAttack:
+		return attackSpecFromWire(w, opts)
+	case "":
+		// Performance run: fall through to the original validation.
+	default:
+		return runSpec{}, fmt.Errorf("experiment: unknown run kind %q", w.Kind)
+	}
+
 	if !validPredictor(w.Pred) {
 		return runSpec{}, fmt.Errorf("experiment: unknown predictor %q", w.Pred)
+	}
+	if w.Attack != nil {
+		return runSpec{}, fmt.Errorf("experiment: performance spec carries an attack payload")
 	}
 	if len(w.Threads) == 0 {
 		return runSpec{}, fmt.Errorf("experiment: spec has no software threads")
@@ -64,8 +91,6 @@ func specFromWire(w wire.Spec) (runSpec, error) {
 	if w.Scale.MeasureInstr == 0 {
 		return runSpec{}, fmt.Errorf("experiment: spec has a zero measurement budget")
 	}
-	opts := w.Opts
-	opts.Codec, opts.Scrambler = codec, scrambler
 	return runSpec{
 		opts:     opts,
 		predName: w.Pred,
@@ -76,11 +101,52 @@ func specFromWire(w wire.Spec) (runSpec, error) {
 	}, nil
 }
 
+// attackSpecFromWire validates and reconstructs an attack job. Like the
+// performance path, every name field is checked against the local
+// registries — a worker must reject a job it cannot faithfully execute.
+func attackSpecFromWire(w wire.Spec, opts core.Options) (runSpec, error) {
+	if w.Attack == nil {
+		return runSpec{}, fmt.Errorf("experiment: attack spec has no attack payload")
+	}
+	info, ok := attack.ByName(w.Attack.Name)
+	if !ok {
+		return runSpec{}, fmt.Errorf("experiment: unknown attack %q", w.Attack.Name)
+	}
+	sc, ok := attack.ScenarioByName(w.Attack.Scenario)
+	if !ok {
+		return runSpec{}, fmt.Errorf("experiment: unknown attack scenario %q", w.Attack.Scenario)
+	}
+	if info.SingleOnly && sc != attack.SingleThreaded {
+		// The runner would silently measure the single-threaded variant;
+		// caching that under an SMT key would mislabel the result forever.
+		return runSpec{}, fmt.Errorf("experiment: attack %q only exists on the single-threaded scenario", w.Attack.Name)
+	}
+	if w.Pred != "" && !validPredictor(w.Pred) {
+		return runSpec{}, fmt.Errorf("experiment: unknown predictor %q", w.Pred)
+	}
+	if w.Attack.Trials <= 0 {
+		return runSpec{}, fmt.Errorf("experiment: attack spec has no trials")
+	}
+	return runSpec{
+		kind:     wire.KindAttack,
+		opts:     opts,
+		predName: w.Pred,
+		atk: attackCell{
+			name:     w.Attack.Name,
+			scenario: sc,
+			rekey:    w.Attack.RekeyPeriod,
+			trials:   w.Attack.Trials,
+			attempts: w.Attack.Attempts,
+			seed:     w.Attack.Seed,
+		},
+	}, nil
+}
+
 // validPredictor mirrors NewDirPredictor's accepted names without
 // constructing anything.
 func validPredictor(name string) bool {
 	switch name {
-	case "gshare", "tournament", "ltage", "tage_sc_l", "tage":
+	case "gshare", "perceptron", "tournament", "ltage", "tage_sc_l", "tage":
 		return true
 	}
 	return false

@@ -10,9 +10,11 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,7 @@ type Server struct {
 	store    *runcache.Store // may be nil (no write-through)
 	sem      chan struct{}   // per-worker concurrency limit
 	capacity int
+	token    string // shared bearer token ("" = open)
 
 	// single deduplicates concurrent requests for one spec (by wire
 	// key): the first claims the key, the rest wait and replay its
@@ -62,6 +65,25 @@ func New(capacity int, store *runcache.Store) *Server {
 // Capacity returns the concurrency limit.
 func (s *Server) Capacity() int { return s.capacity }
 
+// SetToken requires every request to carry "Authorization: Bearer
+// <token>" (wire.Client.SetToken): mismatches and missing headers are
+// refused with 401. Call before the server starts handling requests.
+// The comparison is constant-time, so response timing leaks nothing
+// about the token. An empty token leaves the server open (the trusted-
+// LAN default). The wire protocol is still plaintext HTTP — the token
+// authenticates peers on a network where eavesdropping is not the
+// threat; it is not transport security.
+func (s *Server) SetToken(token string) { s.token = token }
+
+// authorized checks the request's bearer token against the server's.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.token == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.token)) == 1
+}
+
 // Runs returns how many simulations the server has executed.
 func (s *Server) Runs() uint64 { return s.runs.Load() }
 
@@ -83,6 +105,10 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeError(w, http.StatusUnauthorized, "missing or wrong bearer token")
+		return
+	}
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
 		return
@@ -107,6 +133,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 const maxSpecBody = 1 << 20
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeError(w, http.StatusUnauthorized, "missing or wrong bearer token")
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "run is POST-only")
 		return

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"xorbp/internal/core"
 	"xorbp/internal/cpu"
@@ -287,3 +290,159 @@ func coreNoisy() core.Options { return core.OptionsFor(core.NoisyXOR) }
 
 // pair0 is the first Table 3 workload pair.
 func pair0() workload.Pair { return workload.SingleCorePairs()[0] }
+
+// TestWorkerTokenAuth: a -token worker refuses untokened and
+// wrong-token requests with 401 on both endpoints, and serves a client
+// carrying the right token end-to-end.
+func TestWorkerTokenAuth(t *testing.T) {
+	srv := serve.New(2, nil)
+	srv.SetToken("hunter2")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	// No token: 401 on both endpoints.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("untokened healthz answered %s, want 401", resp.Status)
+	}
+	body, _ := json.Marshal(wire.RunRequest{Schema: wire.SchemaVersion(), Spec: specFor(t)})
+	resp, err = http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("untokened run answered %s, want 401", resp.Status)
+	}
+
+	// Wrong token: still 401.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("Authorization", "Bearer hunter3")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token healthz answered %s, want 401", resp.Status)
+	}
+
+	// Untokened client: Probe must fail loudly, not at the first run.
+	bare := wire.NewClient([]string{addr})
+	if err := bare.Probe(t.Context()); err == nil {
+		t.Fatal("untokened probe accepted by a token-protected worker")
+	}
+
+	// Right token: full round-trip.
+	client := wire.NewClient([]string{addr})
+	client.SetToken("hunter2")
+	if err := client.Probe(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(t.Context(), specFor(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || srv.Runs() != 1 {
+		t.Fatalf("tokened run did not execute (cycles=%d, runs=%d)", res.Cycles, srv.Runs())
+	}
+}
+
+// TestWorkerRunsAttackJobs: the worker executes attack-kind specs
+// through the same endpoint, store write-through included, and the
+// result round-trips with its counted outcome.
+func TestWorkerRunsAttackJobs(t *testing.T) {
+	st, err := runcache.Open(t.TempDir(), wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv := startWorker(t, 2, st)
+	client := probedClient(t, addr)
+
+	o := core.OptionsFor(core.NoisyXOR).Normalized()
+	spec := wire.Spec{
+		Kind:      wire.KindAttack,
+		Opts:      o,
+		Codec:     o.Codec.Name(),
+		Scrambler: o.Scrambler.Name(),
+		Attack: &wire.AttackSpec{
+			Name:     "btb_training",
+			Scenario: "single",
+			Trials:   200,
+			Seed:     5,
+		},
+	}
+	spec.Opts.Codec, spec.Opts.Scrambler = nil, nil
+	res, err := client.Run(t.Context(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attack == nil || res.Attack.Trials != 200 {
+		t.Fatalf("attack result = %+v, want 200 counted trials", res.Attack)
+	}
+	if srv.Runs() != 1 {
+		t.Fatalf("worker runs = %d, want 1", srv.Runs())
+	}
+	// The same job again replays from the worker's store.
+	res2, err := client.Run(t.Context(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Runs() != 1 || srv.Replays() != 1 {
+		t.Fatalf("replay did not come from the store (runs=%d, replays=%d)", srv.Runs(), srv.Replays())
+	}
+	if *res2.Attack != *res.Attack {
+		t.Fatalf("replayed outcome %+v differs from computed %+v", res2.Attack, res.Attack)
+	}
+	// An attack job naming an unregistered attack is a 400.
+	bad := spec
+	bad.Attack = &wire.AttackSpec{Name: "rowhammer", Scenario: "single", Trials: 10}
+	if _, err := client.Run(t.Context(), bad); err == nil {
+		t.Fatal("worker accepted an unregistered attack")
+	}
+}
+
+// TestStartGC: the periodic sweep removes superseded schema directories
+// and stops when told to.
+func TestStartGC(t *testing.T) {
+	dir := t.TempDir()
+	stale, err := runcache.Open(dir, "xorbp-run/epoch0/fossil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Put(strings.Repeat("ab", 32), []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	live, err := runcache.Open(dir, wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Put(strings.Repeat("cd", 32), []byte(`{"y":2}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	stop := serve.StartGC(dir, []string{wire.SchemaVersion()}, 10*time.Millisecond,
+		runcache.GCOptions{}, &log)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(stale.Dir())); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale schema dir still present after 5s; log:\n%s", log.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := os.Stat(live.Dir()); err != nil {
+		t.Fatalf("live schema dir was swept: %v", err)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -24,6 +24,7 @@ import (
 type Client struct {
 	addrs []string
 	hc    *http.Client
+	token string // shared bearer token ("" = none)
 	// caps holds per-worker capacities learned by Probe; zero before.
 	caps []int
 	next atomic.Uint64
@@ -57,6 +58,18 @@ func NewClient(addrs []string) *Client {
 
 // Addrs returns the worker addresses the client dispatches to.
 func (c *Client) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// SetToken attaches a shared bearer token to every request (the
+// counterpart of bpserve -token). Set before Probe; an empty token
+// sends no Authorization header.
+func (c *Client) SetToken(token string) { c.token = token }
+
+// authorize stamps the bearer header onto a request.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
 
 // Probe checks every worker's /healthz: reachability, schema agreement
 // and capacity. It must succeed before the client is used as a backend —
@@ -94,6 +107,7 @@ func (c *Client) health(ctx context.Context, addr string) (Health, error) {
 	if err != nil {
 		return Health{}, err
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Health{}, err
@@ -176,6 +190,7 @@ func (c *Client) runOn(ctx context.Context, addr string, spec Spec) (res Result,
 		return Result{}, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Result{}, true, err
@@ -193,6 +208,8 @@ func (c *Client) runOn(ctx context.Context, addr string, spec Spec) (res Result,
 		return rr.Result, false, nil
 	case http.StatusConflict: // schema mismatch: no worker will fare better
 		return Result{}, false, fmt.Errorf("schema mismatch: %s", readError(resp.Body))
+	case http.StatusUnauthorized: // one shared token: retrying cannot fix it
+		return Result{}, false, fmt.Errorf("unauthorized: %s", readError(resp.Body))
 	case http.StatusBadRequest: // invalid spec: retrying cannot fix it
 		return Result{}, false, fmt.Errorf("rejected spec: %s", readError(resp.Body))
 	default: // 503 draining, 5xx, anything unexpected: try another worker

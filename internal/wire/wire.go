@@ -49,11 +49,25 @@ type Scale struct {
 	Seed uint64 `json:"seed"`
 }
 
+// KindAttack marks a Spec as an attack job. The zero Kind ("") is a
+// performance run — the schema's original, and still most common, kind.
+const KindAttack = "attack"
+
 // Spec is the canonical wire form of one simulation: everything a
 // worker needs to reproduce the run bit-for-bit. The Codec and
 // Scrambler interfaces of core.Options are carried by their registered
 // names (core.CodecByName / core.ScramblerByName), never by value.
+//
+// A Spec is one of two kinds. A performance run (Kind "") measures a
+// workload's execution under a mechanism: Cfg, Timer, Threads and Scale
+// are live, Attack is nil. An attack job (Kind "attack") measures a
+// PoC's success against a mechanism: Attack is live, and the
+// microarchitecture fields are zero (the attack harness drives the
+// predictor structures directly). Both kinds share Opts, Codec,
+// Scrambler and Pred — the mechanism and predictor under test.
 type Spec struct {
+	// Kind discriminates the run kinds: "" (performance) or KindAttack.
+	Kind string `json:"kind,omitempty"`
 	// Opts is the mechanism configuration with the interface fields
 	// excluded from the encoding (their identities are Codec/Scrambler
 	// below).
@@ -63,6 +77,7 @@ type Spec struct {
 	Codec     string `json:"codec"`
 	Scrambler string `json:"scrambler"`
 	// Pred names the direction predictor (experiment.NewDirPredictor).
+	// For attack jobs, "" selects the PoC's default bimodal table.
 	Pred string `json:"pred"`
 	// Cfg is the core microarchitecture.
 	Cfg cpu.Config `json:"cfg"`
@@ -73,10 +88,35 @@ type Spec struct {
 	Threads []string `json:"threads"`
 	// Scale is the simulation size.
 	Scale Scale `json:"scale"`
+	// Attack is the attack-job payload (Kind == KindAttack only).
+	Attack *AttackSpec `json:"attack,omitempty"`
+}
+
+// AttackSpec is the attack-specific half of an attack job: which
+// registered PoC to run, on which core arrangement, and how big.
+type AttackSpec struct {
+	// Name is the registered attack (attack.ByName).
+	Name string `json:"name"`
+	// Scenario is the core arrangement by wire name: "single" or "SMT"
+	// (attack.ScenarioByName).
+	Scenario string `json:"scenario"`
+	// RekeyPeriod is the isolation controller's timer period in
+	// scheduling events; 0 is the paper's event-driven design (see
+	// attack.Env).
+	RekeyPeriod uint64 `json:"rekey_period"`
+	// Trials sizes the measurement (iterations, secret bits — the
+	// attack's outer loop).
+	Trials int `json:"trials"`
+	// Attempts sizes the inner loop of the attacks that have one
+	// (pht_training, pht_steering); 0 otherwise.
+	Attempts int `json:"attempts"`
+	// Seed diversifies the measurement deterministically.
+	Seed uint64 `json:"seed"`
 }
 
 // Result is one simulation's measurement window — the engine's
-// RunResult, promoted to the wire schema.
+// RunResult, promoted to the wire schema. For attack jobs the
+// performance fields are zero and Attack carries the counted outcome.
 type Result struct {
 	Cycles       uint64            `json:"cycles"`
 	Target       cpu.ThreadStats   `json:"target"`
@@ -84,6 +124,24 @@ type Result struct {
 	PrivSwitches uint64            `json:"priv_switches"`
 	CtxSwitches  uint64            `json:"ctx_switches"`
 	BTBHitRate   float64           `json:"btb_hit_rate"`
+	// Attack is the attack-job outcome (attack-kind specs only).
+	Attack *AttackResult `json:"attack,omitempty"`
+}
+
+// AttackResult is an attack job's counted measurement. Counts (not a
+// rate) travel on the wire so independent seed batches of one logical
+// cell merge exactly by integer addition.
+type AttackResult struct {
+	Successes int `json:"successes"`
+	Trials    int `json:"trials"`
+}
+
+// Rate returns Successes/Trials (0 when empty).
+func (a AttackResult) Rate() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return float64(a.Successes) / float64(a.Trials)
 }
 
 // PrivPerMcycle returns privilege switches per million cycles.
@@ -110,7 +168,12 @@ func (r Result) CtxPerMcycle() float64 {
 // Epoch 2: spec/result promoted to this package's canonical snake_case
 // wire form (PR 3); epoch-1 entries used the internal persistedKey
 // encoding.
-const schemaEpoch = 2
+//
+// Epoch 3: the schema became a union of run kinds — attack jobs joined
+// performance runs (Spec.Kind/Attack, Result.Attack). The type-signature
+// component changes too, but the epoch bump makes the supersession
+// explicit: epoch-2 cache directories are stale and GC removes them.
+const schemaEpoch = 3
 
 // SchemaVersion identifies the wire encoding (and therefore the
 // persistent run cache's encoding). It embeds a recursive signature of

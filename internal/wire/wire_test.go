@@ -197,3 +197,118 @@ func TestSchemaVersionTracksTypes(t *testing.T) {
 		}
 	}
 }
+
+// goldenAttackSpec exercises every field of the attack job kind.
+func goldenAttackSpec() Spec {
+	return Spec{
+		Kind: KindAttack,
+		Opts: core.Options{
+			Mechanism:         core.XOR,
+			Scope:             core.StructPHT,
+			EnhancedPHT:       true,
+			RotateOnPrivilege: true,
+			FlushOnPrivilege:  true,
+		},
+		Codec:     "xor",
+		Scrambler: "xor",
+		Pred:      "perceptron",
+		Attack: &AttackSpec{
+			Name:        "pht_training",
+			Scenario:    "SMT",
+			RekeyPeriod: 16,
+			Trials:      10_000,
+			Attempts:    100,
+			Seed:        7,
+		},
+	}
+}
+
+// goldenAttackResult exercises the attack-kind result payload.
+func goldenAttackResult() Result {
+	return Result{Attack: &AttackResult{Successes: 9_654, Trials: 10_000}}
+}
+
+func TestAttackSpecGoldenRoundTrip(t *testing.T) {
+	s := goldenAttackSpec()
+	enc := s.Encode()
+	checkGolden(t, "attack_spec.golden.json", enc)
+
+	dec, err := DecodeSpec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, s) {
+		t.Fatalf("attack spec round-trip mismatch:\n got: %+v\nwant: %+v", dec, s)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("re-encoding a decoded attack spec changed the bytes")
+	}
+}
+
+func TestAttackResultGoldenRoundTrip(t *testing.T) {
+	r := goldenAttackResult()
+	enc := r.Encode()
+	checkGolden(t, "attack_result.golden.json", enc)
+
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, r) {
+		t.Fatalf("attack result round-trip mismatch:\n got: %+v\nwant: %+v", dec, r)
+	}
+	if got, want := dec.Attack.Rate(), 0.9654; got != want {
+		t.Fatalf("decoded attack rate = %v, want %v", got, want)
+	}
+}
+
+// TestPerfSpecOmitsAttackFields: the attack-kind fields must not leak
+// into the canonical bytes of performance runs — their keys (and any
+// warm cache built from them) would otherwise change for nothing.
+func TestPerfSpecOmitsAttackFields(t *testing.T) {
+	enc := string(goldenSpec().Encode())
+	for _, banned := range []string{`"kind"`, `"attack"`} {
+		if strings.Contains(enc, banned) {
+			t.Errorf("performance spec encoding contains %s: %s", banned, enc)
+		}
+	}
+}
+
+// TestAttackKeySensitivity: every attack-payload field is load-bearing
+// for the cache key.
+func TestAttackKeySensitivity(t *testing.T) {
+	base := goldenAttackSpec().Key()
+	if base == goldenSpec().Key() {
+		t.Fatal("attack and performance specs share a key")
+	}
+	mutations := map[string]func(*Spec){
+		"name":     func(s *Spec) { s.Attack.Name = "btb_training" },
+		"scenario": func(s *Spec) { s.Attack.Scenario = "single" },
+		"rekey":    func(s *Spec) { s.Attack.RekeyPeriod++ },
+		"trials":   func(s *Spec) { s.Attack.Trials++ },
+		"attempts": func(s *Spec) { s.Attack.Attempts++ },
+		"seed":     func(s *Spec) { s.Attack.Seed++ },
+		"pred":     func(s *Spec) { s.Pred = "" },
+		"mech":     func(s *Spec) { s.Opts.Mechanism = core.NoisyXOR },
+	}
+	for name, mutate := range mutations {
+		s := goldenAttackSpec()
+		mutate(&s)
+		if s.Key() == base {
+			t.Errorf("attack mutation %q did not change the key", name)
+		}
+	}
+}
+
+// TestSchemaEpoch3: the union schema is a new epoch — epoch-2 caches
+// are superseded, not aliased.
+func TestSchemaEpoch3(t *testing.T) {
+	if !strings.Contains(SchemaVersion(), "/epoch3/") {
+		t.Fatalf("schema version %q is not epoch 3", SchemaVersion())
+	}
+	for _, want := range []string{"wire.AttackSpec", "wire.AttackResult"} {
+		if !strings.Contains(SchemaVersion(), want) {
+			t.Errorf("schema version missing %q", want)
+		}
+	}
+}
