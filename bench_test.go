@@ -252,12 +252,23 @@ func BenchmarkPredictorLookup(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures end-to-end simulated instructions
-// per second for the FPGA configuration.
+// per second for the FPGA configuration, under the production fast
+// engine and the reference stepper it is verified against (ns/op is ns
+// per simulated instruction; cmd/bpbench measures the full cell grid).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 1)
-	dir := experiment.NewDirPredictor("tage", ctrl)
-	c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(1_000_000), ctrl, dir)
-	c.Assign(workload.NewGenerator(workload.MustByName("gcc"), 1))
-	b.ResetTimer()
-	c.RunTargetInstructions(uint64(b.N))
+	for _, e := range []struct {
+		name   string
+		engine cpu.Engine
+	}{{"fast", cpu.EngineFast}, {"reference", cpu.EngineReference}} {
+		b.Run(e.name, func(b *testing.B) {
+			ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 1)
+			dir := experiment.NewDirPredictor("tage", ctrl)
+			c := cpu.New(cpu.FPGAConfig(), cpu.DefaultScheduler(1_000_000), ctrl, dir)
+			c.SetEngine(e.engine)
+			c.Assign(workload.NewGenerator(workload.MustByName("gcc"), 1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.RunTargetInstructions(uint64(b.N))
+		})
+	}
 }

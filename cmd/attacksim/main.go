@@ -8,7 +8,7 @@
 //	attacksim [-poc] [-table1] [-sweep] [-quick] [-seed N]
 //	          [-workers N] [-progress] [-json]
 //	          [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N]
-//	          [-token T]
+//	          [-token T] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without a selector flag the PoC accuracy and Table 1 experiments run
 // (the original attacksim surface); -sweep adds the full grid — attack
@@ -47,6 +47,7 @@ import (
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "attacksim: "+format+"\n", args...)
+	driver.StopProfiles() // os.Exit skips the deferred stop
 	os.Exit(1)
 }
 
@@ -63,7 +64,12 @@ func main() {
 	serveAddrs := flag.String("serve-addrs", "", "comma-separated bpserve worker addresses (host:port); attack cells run remotely")
 	shard := flag.String("shard", "", "static grid shard I/N (0-based): simulate only owned cells, skip the rest, suppress tables")
 	token := flag.String("token", "", "bearer token for -serve-addrs workers (bpserve -token)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	flag.Parse()
+
+	stopProfiles := driver.StartProfiles("attacksim", *cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	cfg := attack.DefaultConfig()
 	swCfg := secsweep.DefaultConfig()
@@ -162,8 +168,7 @@ func main() {
 			if *asJSON {
 				out, err := json.MarshalIndent(map[string]any{"experiment": e.name, "table": tab}, "", "  ")
 				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fatalf("%v", err)
 				}
 				fmt.Println(string(out))
 				continue

@@ -1,0 +1,326 @@
+// Command bpbench is the machine-readable benchmark harness behind the
+// repo's performance-regression gate.
+//
+// Usage:
+//
+//	bpbench [-quick] [-seed N] [-out BENCH_5.json]
+//	        [-check BASELINE.json] [-max-regress 0.20] [-min-speedup R]
+//
+// It measures simulation throughput — nanoseconds per simulated
+// kilo-instruction, and heap allocations over the timed window — for a
+// grid of single-core and SMT cells (predictor x mechanism x workload,
+// including a trace-replay cell), running every cell under both the
+// fast engine and the reference stepper. Each cell's speedup is the
+// reference-to-fast ratio: both engines share the predictor stack, so
+// the ratio isolates what event batching and cycle fast-forwarding buy.
+//
+// -out writes the results as JSON (the repo commits BENCH_5.json at the
+// root). -check reads a previously committed baseline and fails (exit
+// 1) when any cell's fast-engine ns/kinst regressed by more than
+// -max-regress (default 20%), when a zero-allocation cell started
+// allocating, or when the mean engine speedup fell below -min-speedup.
+// Absolute ns/kinst is machine-dependent — CI compares runs on its own
+// runner class against the committed baseline, accepting the tolerance;
+// the speedup and allocation gates are machine-independent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/report"
+	"xorbp/internal/trace"
+	"xorbp/internal/workload"
+)
+
+// Schema identifies the BENCH_*.json encoding.
+const Schema = "xorbp-bench/v1"
+
+// Cell is one measured configuration.
+type Cell struct {
+	Name string `json:"name"`
+	// FastNsPerKinst / RefNsPerKinst are nanoseconds per simulated
+	// kilo-instruction under each engine.
+	FastNsPerKinst float64 `json:"fast_ns_per_kinst"`
+	RefNsPerKinst  float64 `json:"ref_ns_per_kinst"`
+	// Speedup is RefNsPerKinst / FastNsPerKinst.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerMInst counts heap allocations per million simulated
+	// instructions in the fast engine's timed window (0 in steady state).
+	AllocsPerMInst float64 `json:"allocs_per_minst"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema      string  `json:"schema"`
+	Go          string  `json:"go"`
+	Quick       bool    `json:"quick"`
+	Seed        uint64  `json:"seed"`
+	Cells       []Cell  `json:"cells"`
+	MeanSpeedup float64 `json:"mean_speedup"`
+	MaxSpeedup  float64 `json:"max_speedup"`
+	// SeedNote documents the one-time measurement against the pre-PR
+	// tree recorded in EXPERIMENTS.md; the live gate compares against
+	// this file, not against that tree.
+	SeedNote string `json:"seed_note,omitempty"`
+}
+
+// spec is a cell before measurement.
+type spec struct {
+	name     string
+	pred     string
+	mech     core.Mechanism
+	cfg      cpu.Config
+	pair     [2]string
+	total    bool // RunTotalInstructions (SMT measurement)
+	replay   bool // drive threads from an in-memory trace recording
+	replayed int  // events captured per replay program
+}
+
+// grid returns the measured cells. Quick keeps one row per distinct
+// shape so the CI smoke job stays fast; the full grid crosses every
+// sweep predictor with every mechanism.
+func grid(quick bool) []spec {
+	single := func(name, pred string, m core.Mechanism, a, b string) spec {
+		return spec{name: name, pred: pred, mech: m, cfg: cpu.FPGAConfig(), pair: [2]string{a, b}}
+	}
+	cells := []spec{
+		single("single/tage/gcc/baseline", "tage", core.Baseline, "gcc", "calculix"),
+		single("single/tage/gcc/complete-flush", "tage", core.CompleteFlush, "gcc", "calculix"),
+		single("single/tage/gcc/noisy-xor", "tage", core.NoisyXOR, "gcc", "calculix"),
+		single("single/gshare/gcc/noisy-xor", "gshare", core.NoisyXOR, "gcc", "calculix"),
+		single("single/gshare/gromacs/baseline", "gshare", core.Baseline, "gromacs", "GemsFDTD"),
+		single("single/gshare/gromacs/complete-flush", "gshare", core.CompleteFlush, "gromacs", "GemsFDTD"),
+		{name: "replay/gshare/gromacs/baseline", pred: "gshare", mech: core.Baseline,
+			cfg: cpu.FPGAConfig(), pair: [2]string{"gromacs", "GemsFDTD"}, replay: true, replayed: 60_000},
+		{name: "smt2/ltage/zeusmp/noisy-xor", pred: "ltage", mech: core.NoisyXOR,
+			cfg: cpu.Gem5Config(2), pair: [2]string{"zeusmp", "lbm"}, total: true},
+	}
+	if quick {
+		return cells
+	}
+	for _, pred := range experiment.PredictorNames() {
+		for _, m := range []core.Mechanism{core.Baseline, core.CompleteFlush,
+			core.PreciseFlush, core.XOR, core.NoisyXOR} {
+			name := fmt.Sprintf("grid/%s/%s", pred, m)
+			cells = append(cells, spec{name: name, pred: pred, mech: m,
+				cfg: cpu.FPGAConfig(), pair: [2]string{"gcc", "calculix"}})
+		}
+	}
+	return cells
+}
+
+// build wires a fresh core for one cell.
+func build(s spec, seed uint64, e cpu.Engine) *cpu.Core {
+	ctrl := core.NewController(core.OptionsFor(s.mech), seed)
+	dir := experiment.NewDirPredictor(s.pred, ctrl)
+	c := cpu.New(s.cfg, cpu.DefaultScheduler(1_000_000), ctrl, dir)
+	c.SetEngine(e)
+	var progs []workload.Program
+	for i, n := range s.pair {
+		gen := workload.NewGenerator(workload.MustByName(n), seed*1000+uint64(i))
+		if s.replay {
+			p, err := trace.Record(gen, s.replayed, nil)
+			if err != nil {
+				panic(err)
+			}
+			progs = append(progs, p)
+			continue
+		}
+		progs = append(progs, gen)
+	}
+	c.Assign(progs...)
+	return c
+}
+
+// measure times one cell under one engine. The benchmark's op is one
+// simulated instruction, so ns/kinst is 1000x ns/op; allocations are
+// counted over the timed window only (after warmup).
+func measure(s spec, seed uint64, e cpu.Engine) (nsPerKinst, allocsPerMInst float64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		c := build(s, seed, e)
+		warm := uint64(200_000)
+		if s.total {
+			c.RunTotalInstructions(warm)
+		} else {
+			c.RunTargetInstructions(warm)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if s.total {
+			c.RunTotalInstructions(uint64(b.N))
+		} else {
+			c.RunTargetInstructions(uint64(b.N))
+		}
+	})
+	nsPerKinst = float64(r.T.Nanoseconds()) / float64(r.N) * 1000
+	allocsPerMInst = float64(r.MemAllocs) / float64(r.N) * 1e6
+	return nsPerKinst, allocsPerMInst
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bpbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "measure the reduced cell set (CI smoke)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "write the JSON report to this file")
+	check := flag.String("check", "", "compare against a baseline JSON report and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.20, "with -check: max tolerated fast-engine ns/kinst regression per cell (negative disables the machine-dependent ns gate)")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "with -check: fail if the mean engine speedup drops below this")
+	note := flag.String("note", "", "free-form note recorded in the report (e.g. the one-time pre-PR comparison)")
+	replay := flag.String("replay", "", "skip measuring: load this previously-written report and apply -check/-out to it")
+	flag.Parse()
+
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fatalf("-replay: %v", err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatalf("-replay: decoding %s: %v", *replay, err)
+		}
+		if rep.Schema != Schema {
+			fatalf("-replay: %s has schema %q, want %q", *replay, rep.Schema, Schema)
+		}
+		if *out != "" {
+			if len(data) == 0 || data[len(data)-1] != '\n' {
+				data = append(data, '\n')
+			}
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatalf("writing %s: %v", *out, err)
+			}
+		}
+		if *check != "" {
+			if err := checkAgainst(rep, *check, *maxRegress, *minSpeedup); err != nil {
+				fatalf("regression check failed: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[no regression vs %s]\n", *check)
+		}
+		return
+	}
+
+	rep := Report{Schema: Schema, Go: runtime.Version(), Quick: *quick, Seed: *seed, SeedNote: *note}
+	var sum float64
+	for _, s := range grid(*quick) {
+		refNs, _ := measure(s, *seed, cpu.EngineReference)
+		fastNs, allocs := measure(s, *seed, cpu.EngineFast)
+		c := Cell{
+			Name:           s.name,
+			FastNsPerKinst: fastNs,
+			RefNsPerKinst:  refNs,
+			Speedup:        refNs / fastNs,
+			AllocsPerMInst: allocs,
+		}
+		rep.Cells = append(rep.Cells, c)
+		sum += c.Speedup
+		if c.Speedup > rep.MaxSpeedup {
+			rep.MaxSpeedup = c.Speedup
+		}
+		fmt.Fprintf(os.Stderr, "[%s: fast %.0f ns/kinst, ref %.0f, speedup %.2fx, allocs/Minst %.1f]\n",
+			c.Name, c.FastNsPerKinst, c.RefNsPerKinst, c.Speedup, c.AllocsPerMInst)
+	}
+	rep.MeanSpeedup = sum / float64(len(rep.Cells))
+
+	t := &report.Table{
+		Title:  "bpbench: simulation throughput per cell",
+		Header: []string{"cell", "fast ns/kinst", "ref ns/kinst", "speedup", "allocs/Minst"},
+		Caption: "One op = one simulated instruction; speedup is the reference\n" +
+			"stepper's cost over the fast engine's on identical cells.",
+	}
+	for _, c := range rep.Cells {
+		t.AddRow(c.Name, fmt.Sprintf("%.0f", c.FastNsPerKinst), fmt.Sprintf("%.0f", c.RefNsPerKinst),
+			fmt.Sprintf("%.2fx", c.Speedup), fmt.Sprintf("%.1f", c.AllocsPerMInst))
+	}
+	t.AddRow("mean", "", "", fmt.Sprintf("%.2fx", rep.MeanSpeedup), "")
+	fmt.Println(t.Render())
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *out)
+	}
+
+	if *check != "" {
+		if err := checkAgainst(rep, *check, *maxRegress, *minSpeedup); err != nil {
+			fatalf("regression check failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[no regression vs %s]\n", *check)
+	}
+}
+
+// checkAgainst enforces the regression gate against a baseline report.
+// Cells are matched by name; cells present on only one side are
+// reported but not fatal (the grid may legitimately grow).
+func checkAgainst(cur Report, path string, maxRegress, minSpeedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if base.Schema != Schema {
+		return fmt.Errorf("%s has schema %q, want %q", path, base.Schema, Schema)
+	}
+	baseByName := make(map[string]Cell, len(base.Cells))
+	for _, c := range base.Cells {
+		baseByName[c.Name] = c
+	}
+	var failures []string
+	matched := 0
+	for _, c := range cur.Cells {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "[new cell %s: no baseline, skipping]\n", c.Name)
+			continue
+		}
+		matched++
+		if maxRegress >= 0 && c.FastNsPerKinst > b.FastNsPerKinst*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/kinst vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+				c.Name, c.FastNsPerKinst, b.FastNsPerKinst,
+				(c.FastNsPerKinst/b.FastNsPerKinst-1)*100, maxRegress*100))
+		}
+		// Rare ring/buffer growth contributes fractional allocs per
+		// million instructions; a unit of slack separates that noise
+		// from a genuinely allocating inner loop.
+		if c.AllocsPerMInst > b.AllocsPerMInst+1 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: steady-state loop allocating (%.1f allocs/Minst vs baseline %.1f)",
+				c.Name, c.AllocsPerMInst, b.AllocsPerMInst))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no cells in common with %s", path)
+	}
+	if cur.MeanSpeedup < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"mean engine speedup %.2fx below required %.2fx", cur.MeanSpeedup, minSpeedup))
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION: "+f)
+		}
+		return fmt.Errorf("%d regression(s)", len(failures))
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 //	      [-scale full|bench|micro] [-seed N] [-workers N] [-progress] [-json]
 //	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N] [-token T]
 //	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Simulations fan out across -workers goroutines (default: one per CPU);
 // results are deterministic for any worker count.
@@ -109,6 +110,7 @@ func runners() map[string]expRunner {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "bpsim: "+format+"\n", args...)
+	driver.StopProfiles() // os.Exit skips the deferred stop
 	os.Exit(1)
 }
 
@@ -126,7 +128,12 @@ func main() {
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the run cache and exit (see -gc-age, -gc-max-bytes)")
 	gcAge := flag.Duration("gc-age", 30*24*time.Hour, "with -cache-gc: remove entries older than this (0 disables)")
 	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "with -cache-gc: evict oldest entries until the cache fits this many bytes (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
 	flag.Parse()
+
+	stopProfiles := driver.StartProfiles("bpsim", *cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *cacheGC {
 		if *cacheDir == "" {
@@ -154,6 +161,7 @@ func main() {
 		scale = experiment.MicroScale()
 	default:
 		fmt.Fprintf(os.Stderr, "bpsim: unknown scale %q\n", *scaleName)
+		driver.StopProfiles()
 		os.Exit(2)
 	}
 	scale.Seed = *seed
@@ -168,6 +176,7 @@ func main() {
 	for _, name := range names {
 		if _, ok := reg[name]; !ok {
 			fmt.Fprintf(os.Stderr, "bpsim: unknown experiment %q\n", name)
+			driver.StopProfiles()
 			os.Exit(2)
 		}
 	}
@@ -240,6 +249,7 @@ func main() {
 			out, err := json.MarshalIndent(map[string]any{"experiment": name, "table": tab}, "", "  ")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				driver.StopProfiles()
 				os.Exit(1)
 			}
 			fmt.Println(string(out))

@@ -225,11 +225,14 @@ func (h *History) Clone() *History {
 // standard TAGE trick: an L-bit history is compressed into W bits such
 // that pushing one outcome and retiring the outcome that falls off the far
 // end costs O(1). See Seznec's TAGE papers.
+// The metadata fields are deliberately narrow (histories are at most a
+// few thousand bits): a Folded is 16 bytes, so a predictor's whole fold
+// bank spans a handful of cache lines.
 type Folded struct {
 	comp     uint64
-	origLen  uint // L: history length being folded
-	compLen  uint // W: folded width
-	outPoint uint // position where the oldest bit re-enters
+	origLen  uint16 // L: history length being folded
+	compLen  uint16 // W: folded width
+	outPoint uint16 // position where the oldest bit re-enters
 }
 
 // NewFolded returns a folder compressing origLen history bits to compLen.
@@ -237,10 +240,13 @@ func NewFolded(origLen, compLen uint) *Folded {
 	if compLen == 0 || compLen > 63 {
 		panic("bitutil: folded width out of range")
 	}
+	if origLen > 1<<16-1 {
+		panic("bitutil: folded history too long")
+	}
 	return &Folded{
-		origLen:  origLen,
-		compLen:  compLen,
-		outPoint: origLen % compLen,
+		origLen:  uint16(origLen),
+		compLen:  uint16(compLen),
+		outPoint: uint16(origLen % compLen),
 	}
 }
 
@@ -248,8 +254,15 @@ func NewFolded(origLen, compLen uint) *Folded {
 // which must already contain the new outcome at bit 0. The bit leaving the
 // window is h.Bit(origLen), i.e. the one just pushed past the end.
 func (f *Folded) Update(h *History) {
-	in := h.Bit(0)
-	out := h.Bit(f.origLen)
+	f.UpdateBits(h.Bit(0), h.Bit(uint(f.origLen)))
+}
+
+// UpdateBits incorporates a push given the entering bit (history bit 0
+// after the push) and the bit leaving the fold's window (history bit
+// origLen). Predictors that maintain several folds over the same history
+// length — TAGE keeps three per table — read the two bits once and share
+// them across the folds; this is the simulator's hottest loop.
+func (f *Folded) UpdateBits(in, out uint64) {
 	f.comp = (f.comp << 1) | in
 	f.comp ^= out << f.outPoint
 	f.comp ^= f.comp >> f.compLen

@@ -142,12 +142,18 @@ func (c *Controller) Stats() (ctx, priv, flushes, rotations uint64) {
 // immutable; tables keep one. Structures outside the mechanism's scope
 // receive a pass-through guard.
 func (c *Controller) Guard(salt uint64, kind Structure) *Guard {
+	_, codecXOR := c.opts.Codec.(XORCodec)
+	_, scramXOR := c.opts.Scrambler.(XORScrambler)
 	return &Guard{
-		ctrl:    c,
-		salt:    rng.Mix64(salt),
-		active:  c.inScope(kind),
-		encode:  c.inScope(kind) && c.opts.Mechanism.Encodes(),
-		scramix: c.inScope(kind) && c.opts.Mechanism.ScramblesIndex(),
+		ctrl:     c,
+		keys:     c.keys,
+		salt:     rng.Mix64(salt),
+		active:   c.inScope(kind),
+		encode:   c.inScope(kind) && c.opts.Mechanism.Encodes(),
+		scramix:  c.inScope(kind) && c.opts.Mechanism.ScramblesIndex(),
+		codecXOR: codecXOR,
+		scramXOR: scramXOR,
+		enhanced: c.opts.EnhancedPHT,
 	}
 }
 
@@ -155,12 +161,22 @@ func (c *Controller) Guard(salt uint64, kind Structure) *Guard {
 // diversifies keys per table so two tables indexed by the same PC bits do
 // not share effective keys ("each table can also have their own index key
 // and content key", Figure 6 caption).
+//
+// Guards sit on the simulator's per-branch path (every table read pays a
+// decode, every index computation a scramble), so the common
+// configurations are flattened at construction: the key file is reached
+// without chasing the controller, and the paper's XOR codec/scrambler —
+// the default everywhere — run inline instead of through the interface.
 type Guard struct {
-	ctrl    *Controller
-	salt    uint64
-	active  bool // structure is in the mechanism's scope
-	encode  bool // content encoding applies
-	scramix bool // index encoding applies
+	ctrl     *Controller
+	keys     *KeyFile
+	salt     uint64
+	active   bool // structure is in the mechanism's scope
+	encode   bool // content encoding applies
+	scramix  bool // index encoding applies
+	codecXOR bool // codec is the plain XOR codec: run it inline
+	scramXOR bool // scrambler is the plain XOR scrambler: run it inline
+	enhanced bool // word-indexed Enhanced-XOR-PHT key schedule
 }
 
 // ContentKey returns the effective content key for a domain, or 0 when
@@ -169,7 +185,7 @@ func (g *Guard) ContentKey(d Domain) Key {
 	if !g.encode {
 		return 0
 	}
-	return g.ctrl.keys.Content(d) ^ Key(g.salt)
+	return g.keys.content[d.Thread][d.Priv] ^ Key(g.salt)
 }
 
 // IndexKey returns the effective index key for a domain, or 0 when index
@@ -178,15 +194,29 @@ func (g *Guard) IndexKey(d Domain) Key {
 	if !g.scramix {
 		return 0
 	}
-	return g.ctrl.keys.Index(d) ^ Key(g.salt)
+	return g.keys.index[d.Thread][d.Priv] ^ Key(g.salt)
 }
+
+// The guard accessors below are split into an inlinable pass-through
+// check plus an out-of-line encoded path: the pass-through case (the
+// baseline and the flush mechanisms, i.e. every Figure 1-class cell)
+// must cost a predicted branch, not a function call, because these sit
+// inside every predictor table access.
 
 // Encode applies the content codec (identity when out of scope).
 func (g *Guard) Encode(v uint64, d Domain) uint64 {
 	if !g.encode {
 		return v
 	}
-	return g.ctrl.opts.Codec.Encode(v, g.ContentKey(d))
+	return g.encodeEnc(v, d)
+}
+
+func (g *Guard) encodeEnc(v uint64, d Domain) uint64 {
+	k := g.ContentKey(d)
+	if g.codecXOR {
+		return v ^ uint64(k)
+	}
+	return g.ctrl.opts.Codec.Encode(v, k)
 }
 
 // Decode inverts Encode.
@@ -194,7 +224,15 @@ func (g *Guard) Decode(v uint64, d Domain) uint64 {
 	if !g.encode {
 		return v
 	}
-	return g.ctrl.opts.Codec.Decode(v, g.ContentKey(d))
+	return g.decodeEnc(v, d)
+}
+
+func (g *Guard) decodeEnc(v uint64, d Domain) uint64 {
+	k := g.ContentKey(d)
+	if g.codecXOR {
+		return v ^ uint64(k)
+	}
+	return g.ctrl.opts.Codec.Decode(v, k)
 }
 
 // EncodeWord encodes v with a word-indexed key derived from the domain
@@ -204,7 +242,11 @@ func (g *Guard) EncodeWord(v uint64, d Domain, word uint64) uint64 {
 	if !g.encode {
 		return v
 	}
-	return g.ctrl.opts.Codec.Encode(v, g.wordKey(d, word))
+	k := g.wordKey(d, word)
+	if g.codecXOR {
+		return v ^ uint64(k)
+	}
+	return g.ctrl.opts.Codec.Encode(v, k)
 }
 
 // DecodeWord inverts EncodeWord.
@@ -212,24 +254,38 @@ func (g *Guard) DecodeWord(v uint64, d Domain, word uint64) uint64 {
 	if !g.encode {
 		return v
 	}
-	return g.ctrl.opts.Codec.Decode(v, g.wordKey(d, word))
+	k := g.wordKey(d, word)
+	if g.codecXOR {
+		return v ^ uint64(k)
+	}
+	return g.ctrl.opts.Codec.Decode(v, k)
 }
 
 func (g *Guard) wordKey(d Domain, word uint64) Key {
 	base := g.ContentKey(d)
-	if !g.ctrl.opts.EnhancedPHT {
+	if !g.enhanced {
 		return base
 	}
 	return Key(rng.Mix64(uint64(base) + word*0x9e3779b97f4a7c15))
 }
 
 // ScrambleIndex applies the index encoding (identity unless the mechanism
-// is NoisyXOR and the structure is in scope).
+// is NoisyXOR and the structure is in scope). Index widths are always
+// below 64 bits, so the mask is computed directly to keep the
+// pass-through case within the inlining budget.
 func (g *Guard) ScrambleIndex(idx uint64, d Domain, nbits uint) uint64 {
 	if !g.scramix {
-		return idx & mask(nbits)
+		return idx & (1<<nbits - 1)
 	}
-	return g.ctrl.opts.Scrambler.Scramble(idx&mask(nbits), g.IndexKey(d), nbits)
+	return g.scrambleEnc(idx, d, nbits)
+}
+
+func (g *Guard) scrambleEnc(idx uint64, d Domain, nbits uint) uint64 {
+	k := g.keys.index[d.Thread][d.Priv] ^ Key(g.salt)
+	if g.scramXOR {
+		return (idx ^ uint64(k)) & mask(nbits)
+	}
+	return g.ctrl.opts.Scrambler.Scramble(idx&mask(nbits), k, nbits)
 }
 
 // TracksOwners reports whether tables should maintain per-entry owner
@@ -237,3 +293,8 @@ func (g *Guard) ScrambleIndex(idx uint64, d Domain, nbits uint) uint64 {
 func (g *Guard) TracksOwners() bool {
 	return g.active && g.ctrl.opts.Mechanism == PreciseFlush
 }
+
+// Encodes reports whether content encoding applies to this structure.
+// Storage primitives use it to skip the decode/encode calls entirely on
+// pass-through guards (the baseline and the flush mechanisms).
+func (g *Guard) Encodes() bool { return g.encode }

@@ -116,9 +116,21 @@ func (s ThreadStats) MPKI() float64 {
 	return float64(s.DirMisp) / float64(s.Instructions) * 1000
 }
 
+// eventRingSize is the per-thread event ring capacity. One refill
+// amortizes the Program interface dispatch (and, for generators, the
+// RNG-driven synthesis machinery) over this many branches.
+const eventRingSize = 256
+
 // swThread is one software thread: a program plus its fetch cursor.
+// Events are pulled through a fixed ring refilled in bulk via
+// workload.BatchProgram, so the steady-state fetch path performs no
+// interface calls and no allocations.
 type swThread struct {
 	prog     workload.Program
+	batch    workload.BatchProgram
+	ring     []workload.BranchEvent
+	ringPos  int
+	ringLen  int
 	stats    ThreadStats
 	ev       workload.BranchEvent
 	gapLeft  int
@@ -131,6 +143,31 @@ type swThread struct {
 	// includes the co-scheduled benchmark's slices, whose boundary
 	// quantization would otherwise dominate scaled-down runs.
 	activeCycles uint64
+}
+
+// newSWThread wires a software thread's event ring around its program.
+func newSWThread(p workload.Program, kernel bool) *swThread {
+	return &swThread{
+		prog:   p,
+		batch:  workload.Batched(p),
+		ring:   make([]workload.BranchEvent, eventRingSize),
+		kernel: kernel,
+	}
+}
+
+// load pulls the thread's next branch event from the ring, refilling in
+// bulk when it drains. The ring preserves the per-thread event stream
+// exactly: programs are pure sources, so pulling events ahead of the
+// cycle they are fetched on cannot change what they contain.
+func (t *swThread) load() {
+	if t.ringPos == t.ringLen {
+		t.ringLen = t.batch.NextBatch(t.ring)
+		t.ringPos = 0
+	}
+	t.ev = t.ring[t.ringPos]
+	t.ringPos++
+	t.gapLeft = int(t.ev.Gap)
+	t.evLoaded = true
 }
 
 // hwContext is one hardware thread (SMT way).
@@ -160,13 +197,15 @@ type Core struct {
 	sched SchedulerConfig
 	ctrl  *core.Controller
 	dir   predictor.DirPredictor
+	dirPU predictor.PredictUpdater // fused fast path, nil if unsupported
 	btb   *btb.BTB
 	ras   *btb.RAS
 
-	hw    []*hwContext
-	cycle uint64
-	rr    int // SMT fetch round-robin pointer
-	krng  *rng.Xoshiro256
+	hw     []*hwContext
+	cycle  uint64
+	rr     int // SMT fetch round-robin pointer
+	krng   *rng.Xoshiro256
+	engine Engine
 
 	// pfWalkCycles is the cost of one Precise Flush: unlike Complete
 	// Flush's bulk flash-clear, a precise flush must walk every row
@@ -191,6 +230,7 @@ func New(cfg Config, sched SchedulerConfig, ctrl *core.Controller, dir predictor
 		ras:   btb.NewRAS(cfg.RASDepth, ctrl),
 		krng:  rng.NewXoshiro256(rng.Mix64(sched.Seed ^ 0xc0de)),
 	}
+	c.dirPU, _ = dir.(predictor.PredictUpdater)
 	if ctrl.Options().Mechanism == core.PreciseFlush {
 		entries := dir.StorageBits() / 8 // fallback: ~8 bits per entry
 		if ec, ok := dir.(interface{ Entries() uint64 }); ok {
@@ -206,10 +246,7 @@ func New(cfg Config, sched SchedulerConfig, ctrl *core.Controller, dir predictor
 			priv: core.User,
 			// Stagger timers so SMT threads do not flush synchronously.
 			nextTimer: sched.TimerPeriod + uint64(i)*sched.TimerPeriod/uint64(cfg.HWThreads),
-			kernel: &swThread{
-				prog:   workload.NewGenerator(workload.KernelProfile(), sched.Seed),
-				kernel: true,
-			},
+			kernel:    newSWThread(workload.NewGenerator(workload.KernelProfile(), sched.Seed), true),
 		}
 		c.hw = append(c.hw, hc)
 	}
@@ -222,7 +259,7 @@ func New(cfg Config, sched SchedulerConfig, ctrl *core.Controller, dir predictor
 func (c *Core) Assign(programs ...workload.Program) {
 	for i, p := range programs {
 		hc := c.hw[i%c.cfg.HWThreads]
-		hc.sw = append(hc.sw, &swThread{prog: p})
+		hc.sw = append(hc.sw, newSWThread(p, false))
 	}
 	for _, hc := range c.hw {
 		if len(hc.sw) == 0 {
@@ -297,12 +334,13 @@ func (c *Core) fetchGroup(hc *hwContext) uint64 {
 	}
 	var user uint64
 	w := c.cfg.FetchWidth
+	// The fetching stream cannot change mid-group: every transition that
+	// reschedules (kernel entry/exit, syscall) also ends the group, so the
+	// active() lookup is hoisted out of the per-instruction loop.
+	t := hc.active()
 	for w > 0 {
-		t := hc.active()
 		if !t.evLoaded {
-			t.prog.Next(&t.ev)
-			t.gapLeft = int(t.ev.Gap)
-			t.evLoaded = true
+			t.load()
 		}
 		if t.gapLeft > 0 {
 			take := t.gapLeft
@@ -400,8 +438,13 @@ func (c *Core) resolve(hc *hwContext, t *swThread) (redirect bool, stall uint64)
 	ev := &t.ev
 	switch ev.Class {
 	case predictor.CondDirect:
-		predTaken := c.dir.Predict(d, ev.PC)
-		c.dir.Update(d, ev.PC, ev.Taken)
+		var predTaken bool
+		if c.dirPU != nil {
+			predTaken = c.dirPU.PredictUpdate(d, ev.PC, ev.Taken)
+		} else {
+			predTaken = c.dir.Predict(d, ev.PC)
+			c.dir.Update(d, ev.PC, ev.Taken)
+		}
 		t.stats.CondBranches++
 		if predTaken != ev.Taken {
 			t.stats.DirMisp++
@@ -481,8 +524,15 @@ func (c *Core) RunTargetInstructions(n uint64) uint64 {
 	start := c.cycle
 	target := c.hw[0].sw[0]
 	goal := target.stats.Instructions + n
-	for target.stats.Instructions < goal {
-		c.step()
+	switch {
+	case c.engine == EngineReference:
+		for target.stats.Instructions < goal {
+			c.step()
+		}
+	case len(c.hw) == 1:
+		c.fastRun1(true, goal)
+	default:
+		c.fastRunN(true, goal)
 	}
 	return c.cycle - start
 }
@@ -493,9 +543,16 @@ func (c *Core) RunTargetInstructions(n uint64) uint64 {
 // the elapsed cycles.
 func (c *Core) RunTotalInstructions(n uint64) uint64 {
 	start := c.cycle
-	var done uint64
-	for done < n {
-		done += c.step()
+	switch {
+	case c.engine == EngineReference:
+		var done uint64
+		for done < n {
+			done += c.step()
+		}
+	case len(c.hw) == 1:
+		c.fastRun1(false, n)
+	default:
+		c.fastRunN(false, n)
 	}
 	return c.cycle - start
 }

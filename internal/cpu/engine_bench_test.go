@@ -1,0 +1,44 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/workload"
+)
+
+// benchEngine measures end-to-end simulated-instruction throughput for
+// one engine on the Figure-1 cell shape (FPGA core, tage, time-shared
+// pair) under a given mechanism. b.N counts simulated instructions, so
+// ns/op is ns per simulated instruction.
+func benchEngine(b *testing.B, m core.Mechanism, e Engine) {
+	ctrl := core.NewController(core.OptionsFor(m), 1)
+	dir := newPred("tage", ctrl)
+	c := New(FPGAConfig(), DefaultScheduler(1_000_000), ctrl, dir)
+	c.SetEngine(e)
+	c.Assign(
+		workload.NewGenerator(workload.MustByName("gcc"), 1000),
+		workload.NewGenerator(workload.MustByName("calculix"), 1001),
+	)
+	c.RunTargetInstructions(200_000) // warm tables and rings
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.RunTargetInstructions(uint64(b.N))
+}
+
+// BenchmarkEngines compares the fast engine against the reference
+// stepper per mechanism on the single-core Figure-1 cell.
+func BenchmarkEngines(b *testing.B) {
+	for _, m := range []core.Mechanism{core.Baseline, core.CompleteFlush, core.NoisyXOR} {
+		for _, e := range []Engine{EngineReference, EngineFast} {
+			name := "reference"
+			if e == EngineFast {
+				name = "fast"
+			}
+			b.Run(fmt.Sprintf("%s/%s", m, name), func(b *testing.B) {
+				benchEngine(b, m, e)
+			})
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/gshare"
+	"xorbp/internal/perceptron"
+	"xorbp/internal/predictor"
+	"xorbp/internal/tage"
+	"xorbp/internal/tagescl"
+	"xorbp/internal/tournament"
+	"xorbp/internal/workload"
+)
+
+// The equivalence suite: the fast engine must be byte-identical to the
+// reference stepper — same cycle counts, same per-thread statistics,
+// same controller event counts, same BTB hit rate — for every isolation
+// mechanism, every predictor, and every SMT arrangement. This is the
+// repo's determinism guarantee extended across engines: cached results
+// computed by either engine are interchangeable.
+
+// allMechanisms are the five §4/§5 configurations.
+var allMechanisms = []core.Mechanism{
+	core.Baseline, core.CompleteFlush, core.PreciseFlush, core.XOR, core.NoisyXOR,
+}
+
+// allPredictors names every direction predictor the experiments build.
+var allPredictors = []string{"gshare", "perceptron", "tournament", "ltage", "tage_sc_l", "tage"}
+
+func newPred(name string, ctrl *core.Controller) predictor.DirPredictor {
+	switch name {
+	case "gshare":
+		return gshare.New(gshare.Gem5Config(), ctrl)
+	case "perceptron":
+		return perceptron.New(perceptron.DefaultConfig(), ctrl)
+	case "tournament":
+		return tournament.New(tournament.Gem5Config(), ctrl)
+	case "ltage":
+		return tage.New(tage.LTAGEConfig(), ctrl)
+	case "tage_sc_l":
+		return tagescl.New(tagescl.Gem5Config(), ctrl)
+	case "tage":
+		return tage.New(tage.FPGAConfig(), ctrl)
+	}
+	panic("unknown predictor " + name)
+}
+
+// snapshot captures every architecture-visible output of a simulation.
+type snapshot struct {
+	Elapsed  uint64
+	Cycle    uint64
+	RR       int
+	Threads  [][]ThreadStats
+	Active   [][]uint64
+	Kernels  []ThreadStats
+	Ctx      uint64
+	Priv     uint64
+	Flushes  uint64
+	Rot      uint64
+	BTBHit   float64
+	BTBOcc   int
+	StallEnd []uint64
+}
+
+func snap(c *Core, elapsed uint64) snapshot {
+	s := snapshot{
+		Elapsed: elapsed,
+		Cycle:   c.cycle,
+		RR:      c.rr,
+		BTBHit:  c.BTBUnit().HitRate(),
+		BTBOcc:  c.BTBUnit().OccupancyOf(0),
+	}
+	s.Ctx, s.Priv, s.Flushes, s.Rot = c.Controller().Stats()
+	for _, hc := range c.hw {
+		var stats []ThreadStats
+		var act []uint64
+		for _, t := range hc.sw {
+			stats = append(stats, t.stats)
+			act = append(act, t.activeCycles)
+		}
+		s.Threads = append(s.Threads, stats)
+		s.Active = append(s.Active, act)
+		s.Kernels = append(s.Kernels, hc.kernel.stats)
+		s.StallEnd = append(s.StallEnd, hc.stallUntil)
+	}
+	return s
+}
+
+// arrangement is one core/workload shape of the evaluation.
+type arrangement struct {
+	name    string
+	cfg     Config
+	timer   uint64
+	names   []string
+	warm    uint64
+	measure uint64
+	total   bool // RunTotalInstructions (the SMT measurement)
+}
+
+func arrangements() []arrangement {
+	return []arrangement{
+		{"single", FPGAConfig(), 30_000, []string{"gcc", "calculix"}, 60_000, 150_000, false},
+		{"smt2", Gem5Config(2), 40_000, []string{"zeusmp", "lbm"}, 100_000, 250_000, true},
+		{"smt4", Gem5Config(4), 50_000, []string{"zeusmp", "lbm", "bwaves", "milc"}, 120_000, 300_000, true},
+	}
+}
+
+// simulate runs one cell under the given engine and snapshots it,
+// following the experiment runner's warmup / reset / measure shape.
+func simulate(t *testing.T, a arrangement, m core.Mechanism, pred string, e Engine) snapshot {
+	t.Helper()
+	ctrl := core.NewController(core.OptionsFor(m), 42)
+	dir := newPred(pred, ctrl)
+	c := New(a.cfg, DefaultScheduler(a.timer), ctrl, dir)
+	c.SetEngine(e)
+	var progs []workload.Program
+	for i, n := range a.names {
+		progs = append(progs, workload.NewGenerator(workload.MustByName(n), uint64(1000+i)))
+	}
+	c.Assign(progs...)
+	var elapsed uint64
+	if a.total {
+		c.RunTotalInstructions(a.warm)
+		c.ResetStats()
+		elapsed = c.RunTotalInstructions(a.measure)
+	} else {
+		c.RunTargetInstructions(a.warm)
+		c.ResetStats()
+		elapsed = c.RunTargetInstructions(a.measure)
+	}
+	return snap(c, elapsed)
+}
+
+// TestFastEngineEquivalence sweeps mechanism x predictor x SMT
+// arrangement and asserts the fast engine reproduces the reference
+// stepper exactly. -short trims the grid to the corner cases that
+// exercise every skip path (flush mechanisms stall hardest, gshare/tage
+// cover both core configs).
+func TestFastEngineEquivalence(t *testing.T) {
+	mechs := allMechanisms
+	preds := allPredictors
+	if testing.Short() {
+		mechs = []core.Mechanism{core.Baseline, core.CompleteFlush, core.NoisyXOR}
+		preds = []string{"gshare", "tage"}
+	}
+	for _, a := range arrangements() {
+		for _, m := range mechs {
+			for _, pred := range preds {
+				name := a.name + "/" + m.String() + "/" + pred
+				t.Run(name, func(t *testing.T) {
+					ref := simulate(t, a, m, pred, EngineReference)
+					fast := simulate(t, a, m, pred, EngineFast)
+					if !reflect.DeepEqual(ref, fast) {
+						t.Fatalf("fast engine diverged from reference:\nref:  %+v\nfast: %+v", ref, fast)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package cpu
+
+// This file is the event-batched fast engine: the production execution
+// strategy behind RunTargetInstructions / RunTotalInstructions.
+//
+// The reference stepper (step, in cpu.go) advances exactly one cycle per
+// call, which burns a function call — and an interface-dispatched event
+// pull — on every stall cycle and every whole-gap fetch group. The fast
+// engine produces the same architecture-visible trajectory while
+// advancing time arithmetically through the windows where nothing can
+// happen:
+//
+//   - Stall windows (misprediction penalties, Precise-Flush walks): no
+//     fetch occurs until stallUntil, so the cycle counter jumps there
+//     directly.
+//   - Whole-gap fetch groups: while a branch event's instruction gap
+//     spans the full fetch width, each cycle retires FetchWidth gap
+//     instructions and touches no predictor, scheduler or RNG state, so
+//     the whole run of groups collapses into arithmetic.
+//
+// Every skip is clamped so scheduling semantics are unchanged:
+//
+//   - to the next timer interrupt (checked at every user-mode fetch-group
+//     boundary in the reference engine),
+//   - to SMT arbitration boundaries — multi-context cores only skip whole
+//     round-robin rounds, and only while every context's own slots are
+//     provably burns or whole-gap groups,
+//   - to the instruction goal, stopping short of the crossing group so
+//     the loop terminates on exactly the reference cycle.
+//
+// The equivalence suite (equiv_test.go) asserts byte-identical
+// ThreadStats, cycle counts and controller statistics against the
+// reference stepper across every mechanism x predictor x SMT
+// arrangement.
+
+// Engine selects the core's execution strategy.
+type Engine int
+
+const (
+	// EngineFast is the default production engine described above.
+	EngineFast Engine = iota
+	// EngineReference is the naive one-call-per-cycle stepper kept as
+	// the oracle the fast engine is verified against.
+	EngineReference
+)
+
+// SetEngine selects the execution engine (EngineFast by default).
+func (c *Core) SetEngine(e Engine) { c.engine = e }
+
+// EngineInUse reports the selected execution engine.
+func (c *Core) EngineInUse() Engine { return c.engine }
+
+// fastRun1 is the devirtualized single-hardware-context loop: no
+// round-robin arbitration (the modulo and the per-cycle context lookup
+// of step() disappear), stall windows and whole-gap groups fast-forward
+// arithmetically, and the remaining "interesting" cycles run one
+// reference-identical fetch group each.
+//
+// targetOnly selects the termination rule: true stops when hardware
+// context 0's software thread 0 has retired `limit` total instructions
+// (RunTargetInstructions); false stops when `limit` user instructions
+// have retired across all threads since the call (RunTotalInstructions).
+func (c *Core) fastRun1(targetOnly bool, limit uint64) {
+	hc := c.hw[0]
+	fw := uint64(c.cfg.FetchWidth)
+	target := hc.sw[0]
+	var done uint64
+	for {
+		if targetOnly {
+			if target.stats.Instructions >= limit {
+				return
+			}
+		} else if done >= limit {
+			return
+		}
+
+		// Stall fast-forward: the reference engine burns one step per
+		// stalled cycle with no state change beyond the cycle counter and
+		// the scheduled thread's attribution; jump to the cycle fetch
+		// resumes on. Timer interrupts cannot fire mid-stall (they are
+		// taken at fetch-group boundaries only), so no clamp is needed.
+		if s := hc.stallUntil; s > c.cycle+1 {
+			burn := s - c.cycle - 1
+			c.cycle += burn
+			hc.sw[hc.cur].activeCycles += burn
+		}
+
+		// Gap fast-forward: while the pending event's gap covers the full
+		// fetch width, each cycle is a whole-gap group — FetchWidth
+		// instructions retire and nothing else happens. Clamped to the
+		// timer (due interrupts preempt the group in user mode) and to the
+		// instruction goal (the crossing group must execute normally so
+		// the run ends on the reference cycle).
+		if hc.kernelLeft > 0 || c.cycle+1 < hc.nextTimer {
+			t := hc.active()
+			if !t.evLoaded {
+				t.load()
+			}
+			if uint64(t.gapLeft) >= fw {
+				groups := uint64(t.gapLeft) / fw
+				if hc.kernelLeft == 0 {
+					if lim := hc.nextTimer - c.cycle - 1; groups > lim {
+						groups = lim
+					}
+				}
+				if targetOnly {
+					if t == target {
+						if maxG := (limit - target.stats.Instructions - 1) / fw; groups > maxG {
+							groups = maxG
+						}
+					}
+				} else if !t.kernel {
+					if maxG := (limit - done - 1) / fw; groups > maxG {
+						groups = maxG
+					}
+				}
+				if groups > 0 {
+					inst := groups * fw
+					c.cycle += groups
+					hc.sw[hc.cur].activeCycles += groups
+					t.gapLeft -= int(inst)
+					t.stats.Instructions += inst
+					if !t.kernel {
+						done += inst
+					}
+					continue
+				}
+			}
+		}
+
+		// One reference step, inlined for the single context.
+		c.cycle++
+		hc.sw[hc.cur].activeCycles++
+		if hc.stallUntil > c.cycle {
+			continue
+		}
+		done += c.fetchGroup(hc)
+	}
+}
+
+// fastRunN is the SMT loop. Slots are processed in the reference
+// round-robin order; whenever every context's upcoming own-slots are
+// arbitration-neutral — burned by a stall or consumed by whole-gap fetch
+// groups — whole rounds are skipped at once. A round is len(hw) cycles
+// with the round-robin pointer back where it started, so skipping whole
+// rounds cannot change which context fetches on which cycle.
+func (c *Core) fastRunN(targetOnly bool, limit uint64) {
+	nhw := uint64(len(c.hw))
+	fw := uint64(c.cfg.FetchWidth)
+	target := c.hw[0].sw[0]
+	var done uint64
+	// coolOff rate-limits skip classification: after an attempt finds
+	// nothing skippable, the next nhw slots run reference-style before
+	// re-attempting. Deferring a skip is always correct (reference
+	// processing is exact); this keeps the classification overhead off
+	// branchy phases where skips rarely apply.
+	var coolOff uint64
+	for {
+		if targetOnly {
+			if target.stats.Instructions >= limit {
+				return
+			}
+		} else if done >= limit {
+			return
+		}
+
+		if coolOff > 0 {
+			coolOff--
+			c.cycle++
+			hc := c.hw[c.rr]
+			c.rr++
+			if c.rr == int(nhw) {
+				c.rr = 0
+			}
+			if hc.stallUntil > c.cycle {
+				continue
+			}
+			done += c.fetchGroup(hc)
+			continue
+		}
+
+		// Classify each context's next own-slot window, head context
+		// first: context at round-robin offset o fetches on cycles
+		// first+o, first+o+nhw, ... A context's window is the number of
+		// consecutive own-slots that are provably uniform (all stall
+		// burns, or all whole-gap groups); the skippable round count is
+		// the minimum over contexts. The loop exits early once a context
+		// contributes zero — in branchy phases that is the head context,
+		// and the slot falls through to reference processing.
+		rounds := ^uint64(0)
+		var gapping uint64 // bitmask over offsets of gap-consuming contexts
+		perRoundDone := uint64(0)
+		perRoundTarget := uint64(0)
+		for o := uint64(0); o < nhw && rounds > 0; o++ {
+			hc := c.hw[(uint64(c.rr)+o)%nhw]
+			first := c.cycle + 1 + o
+			var n uint64
+			switch {
+			case hc.stallUntil > first:
+				// Burned slots: all own-slots strictly before stallUntil.
+				n = (hc.stallUntil - first + nhw - 1) / nhw
+			case hc.kernelLeft == 0 && first >= hc.nextTimer:
+				// Next slot takes the timer interrupt: interesting.
+			default:
+				t := hc.active()
+				if !t.evLoaded {
+					t.load()
+				}
+				if uint64(t.gapLeft) >= fw {
+					n = uint64(t.gapLeft) / fw
+					if hc.kernelLeft == 0 {
+						// Slots at cycles <= nextTimer-1 fetch; later ones
+						// would take the interrupt instead.
+						if lim := (hc.nextTimer-1-first)/nhw + 1; n > lim {
+							n = lim
+						}
+					}
+					if n > 0 {
+						gapping |= 1 << o
+						if !t.kernel {
+							perRoundDone += fw
+							if t == target {
+								perRoundTarget = fw
+							}
+						}
+					}
+				}
+			}
+			if n < rounds {
+				rounds = n
+			}
+		}
+
+		// Goal clamp: stop short of the crossing round so the final,
+		// crossing slot executes at reference granularity.
+		if rounds > 0 {
+			if targetOnly {
+				if perRoundTarget > 0 {
+					if maxR := (limit - target.stats.Instructions - 1) / perRoundTarget; rounds > maxR {
+						rounds = maxR
+					}
+				}
+			} else if perRoundDone > 0 {
+				if maxR := (limit - done - 1) / perRoundDone; rounds > maxR {
+					rounds = maxR
+				}
+			}
+		}
+
+		// Apply only when the skip pays for its own bookkeeping: a
+		// one-round skip costs about as much as executing the round, so
+		// treat it as a miss and let the cool-off absorb the overhead.
+		if rounds >= 2 {
+			for o := uint64(0); o < nhw; o++ {
+				if gapping&(1<<o) == 0 {
+					continue
+				}
+				t := c.hw[(uint64(c.rr)+o)%nhw].active()
+				inst := rounds * fw
+				t.gapLeft -= int(inst)
+				t.stats.Instructions += inst
+				if !t.kernel {
+					done += inst
+				}
+			}
+			c.cycle += rounds * nhw
+			continue
+		}
+
+		// One reference slot: identical to step() minus the single-core
+		// cycle attribution, which multi-context cores do not perform.
+		// The failed skip attempt starts the classification cool-off.
+		coolOff = nhw
+		c.cycle++
+		hc := c.hw[c.rr]
+		c.rr++
+		if c.rr == int(nhw) {
+			c.rr = 0
+		}
+		if hc.stallUntil > c.cycle {
+			continue
+		}
+		done += c.fetchGroup(hc)
+	}
+}

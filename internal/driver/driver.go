@@ -72,11 +72,13 @@ func ParseShard(prog, s string, haveSink bool) (i, n int) {
 	n, err2 := strconv.Atoi(ns)
 	if !ok || err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
 		fmt.Fprintf(os.Stderr, "%s: invalid -shard %q (want I/N with 0 <= I < N)\n", prog, s)
+		StopProfiles()
 		os.Exit(2)
 	}
 	if !haveSink {
 		fmt.Fprintf(os.Stderr, "%s: -shard without -cache or -serve-addrs would discard every result; "+
 			"point the shards at a shared -cache (or at bpserve workers, which cache on their side)\n", prog)
+		StopProfiles()
 		os.Exit(1)
 	}
 	return i, n
@@ -102,6 +104,7 @@ func Connect(prog, serveAddrs, token string, workers int, workersSet bool) (
 	cancel()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: probing workers: %v\n", prog, err)
+		StopProfiles()
 		os.Exit(1)
 	}
 	if !workersSet {

@@ -1,0 +1,75 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// activeProfiles is the stop hook of the current StartProfiles call, so
+// error paths that terminate via os.Exit (fatalf, ParseShard, Connect)
+// can flush captures the deferred stop would otherwise lose.
+var activeProfiles func()
+
+// StartProfiles starts the pprof captures behind the shared
+// -cpuprofile/-memprofile flags of bpsim and attacksim. The returned
+// stop function (also reachable as StopProfiles, and invoked by the
+// driver package's own exit paths) stops the CPU profile and writes the
+// heap profile after a final GC, so the memory numbers reflect live
+// steady-state allocations rather than garbage awaiting collection. It
+// is idempotent: deferred and explicit early-exit calls compose.
+//
+// Either path may be empty to skip that profile. Errors are fatal (exit
+// 1): a sweep run specifically to capture a profile should not complete
+// having silently captured nothing.
+func StartProfiles(prog, cpuProfile, memProfile string) (stop func()) {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", prog, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", prog, err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", prog, err)
+				}
+			}
+			if memProfile != "" {
+				f, err := os.Create(memProfile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+				}
+				f.Close()
+			}
+		})
+	}
+	activeProfiles = stop
+	return stop
+}
+
+// StopProfiles flushes any active profile captures. Safe to call any
+// number of times, including with none active; error paths must call it
+// before os.Exit, which skips deferred stops.
+func StopProfiles() {
+	if activeProfiles != nil {
+		activeProfiles()
+	}
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"xorbp/internal/cpu"
+)
+
+// TestTablesByteIdenticalAcrossEngines renders a representative set of
+// figures through the full session/executor stack under the fast engine
+// and the reference stepper and requires byte-identical output. This is
+// the end-to-end form of the cpu package's equivalence suite — it is
+// what guarantees that run-cache entries populated by either engine
+// (or by fleets running different engine defaults) can be mixed freely.
+func TestTablesByteIdenticalAcrossEngines(t *testing.T) {
+	render := func() string {
+		s := NewSessionWith(MicroScale(), NewExecutor(0))
+		var b strings.Builder
+		b.WriteString(s.Figure1().Render())
+		if !testing.Short() {
+			b.WriteString(s.Figure9().Render())
+			b.WriteString(s.Table4().Render())
+		}
+		return b.String()
+	}
+	fast := render()
+	runEngine = cpu.EngineReference
+	defer func() { runEngine = cpu.EngineFast }()
+	ref := render()
+	if fast != ref {
+		t.Fatal("rendered tables differ between the fast engine and the reference stepper")
+	}
+}

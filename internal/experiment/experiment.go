@@ -133,6 +133,12 @@ type attackCell struct {
 	seed     uint64
 }
 
+// runEngine selects the cpu execution engine for every simulation the
+// engine executes. It exists for the equivalence suite: flipping it to
+// cpu.EngineReference must leave every rendered table byte-identical,
+// which is what makes results cached by either engine interchangeable.
+var runEngine = cpu.EngineFast
+
 // run executes one simulation: warmup, stat reset, measurement — or,
 // for an attack job, the registered PoC measurement.
 func run(s runSpec) RunResult {
@@ -142,6 +148,7 @@ func run(s runSpec) RunResult {
 	ctrl := core.NewController(s.opts, s.scale.Seed)
 	dir := NewDirPredictor(s.predName, ctrl)
 	c := cpu.New(s.cfg, cpu.DefaultScheduler(s.timer), ctrl, dir)
+	c.SetEngine(runEngine)
 	var progs []workload.Program
 	for i, n := range s.names {
 		progs = append(progs, workload.NewGenerator(workload.MustByName(n), s.scale.Seed*1000+uint64(i)))

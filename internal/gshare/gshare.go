@@ -71,17 +71,30 @@ func (g *Gshare) Predict(d core.Domain, pc uint64) bool {
 // history.
 func (g *Gshare) Update(d core.Domain, pc uint64, taken bool) {
 	idx := g.scratch[d.Thread]
-	g.pht.Update(d, idx, func(v uint64) uint64 {
-		if taken {
-			if v < 3 {
-				v++
-			}
-		} else if v > 0 {
-			v--
-		}
-		return v
-	})
+	g.pht.Update(d, idx, func(v uint64) uint64 { return bump(v, taken) })
 	g.ghr[d.Thread] = g.ghr[d.Thread]<<1 | b2u(taken)
+}
+
+// PredictUpdate implements predictor.PredictUpdater: the fused
+// predict-then-train call the simulator dispatches once per
+// conditional branch. Predict already caches the physical index in
+// scratch for Update, so the plain composition computes it once.
+func (g *Gshare) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
+	pred := g.Predict(d, pc)
+	g.Update(d, pc, taken)
+	return pred
+}
+
+// bump saturates a 2-bit counter toward the outcome.
+func bump(v uint64, taken bool) uint64 {
+	if taken {
+		if v < 3 {
+			v++
+		}
+	} else if v > 0 {
+		v--
+	}
+	return v
 }
 
 // FlushAll implements core.Flusher.

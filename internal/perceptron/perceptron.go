@@ -186,3 +186,14 @@ func b2u(b bool) uint64 {
 
 var _ predictor.DirPredictor = (*Perceptron)(nil)
 var _ core.Flusher = (*Perceptron)(nil)
+
+// PredictUpdate implements predictor.PredictUpdater: the fused
+// predict-then-train call the simulator dispatches once per conditional
+// branch (identical to Predict followed by Update).
+func (p *Perceptron) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
+	pred := p.Predict(d, pc)
+	p.Update(d, pc, taken)
+	return pred
+}
+
+var _ predictor.PredictUpdater = (*Perceptron)(nil)

@@ -76,6 +76,19 @@ type DirPredictor interface {
 	StorageBits() uint64
 }
 
+// PredictUpdater is an optional DirPredictor fast path: one call that
+// performs Predict followed immediately by Update with the resolved
+// outcome — the simulator's only access pattern (see the DirPredictor
+// contract). The CPU model type-asserts for it once at construction and
+// saves an interface dispatch per conditional branch. Implementations
+// must behave exactly as Predict-then-Update; the engine equivalence
+// suite relies on it.
+type PredictUpdater interface {
+	// PredictUpdate predicts the branch at pc, trains with the resolved
+	// outcome, and returns the prediction.
+	PredictUpdate(d core.Domain, pc uint64, taken bool) bool
+}
+
 // Stats accumulates direction-prediction accuracy per hardware thread.
 type Stats struct {
 	Lookups     uint64

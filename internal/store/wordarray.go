@@ -33,6 +33,17 @@ type WordArray struct {
 	indexBits uint
 	initWords []uint64 // physical word pattern restored by a flush
 
+	// Hot-path precomputation: perWord is always a power of two (64 is
+	// only divisible by powers of two; awkward widths use one entry per
+	// word), so locate reduces to a shift and a mask. plain records a
+	// pass-through guard, skipping the codec calls entirely — Get/Set
+	// are the innermost operations of every predictor access.
+	wordShift  uint   // log2(perWord)
+	slotMask   uint64 // perWord - 1
+	entryMask  uint64 // Mask(entryBits)
+	entryShift uint64 // log2(entryBits) for packed layouts (slot * entryBits == slot << entryShift)
+	plain      bool   // guard performs no content encoding
+
 	// owners tracks the hardware thread that last wrote each *word* (the
 	// paper's Precise Flush augments entries with thread IDs; tracking at
 	// word granularity models the SRAM-row reality and is strictly
@@ -76,6 +87,15 @@ func NewWordArrayInit(guard *core.Guard, indexBits, entryBits uint, initFn func(
 		perWord:   perWord,
 		indexBits: indexBits,
 		initWords: make([]uint64, nWords),
+		wordShift: bitutil.Log2(uint64(perWord)),
+		slotMask:  uint64(perWord) - 1,
+		entryMask: bitutil.Mask(entryBits),
+		plain:     !guard.Encodes(),
+	}
+	if perWord > 1 {
+		// Packed layouts only exist for power-of-two entry widths (the
+		// divisors of 64), so the slot-to-bit-offset multiply is a shift.
+		a.entryShift = uint64(bitutil.Log2(uint64(entryBits)))
 	}
 	for idx := uint64(0); idx < uint64(entries); idx++ {
 		word, shift := a.locate(idx)
@@ -100,19 +120,25 @@ func (a *WordArray) EntryBits() uint { return a.entryBits }
 
 // locate maps a logical index to (word, bit offset).
 func (a *WordArray) locate(idx uint64) (word uint64, shift uint) {
-	if a.perWord == 1 {
-		return idx, 0
-	}
-	return idx / uint64(a.perWord), uint(idx%uint64(a.perWord)) * a.entryBits
+	return idx >> a.wordShift, uint(idx&a.slotMask) * a.entryBits
 }
 
 // Get reads entry idx as domain d, decoding the containing word with d's
 // content key. Reading a word written by a different domain (or before a
 // key rotation) therefore yields noise — the content-isolation property.
+// The pass-through case is kept small enough to inline into predictor
+// lookup loops; the encoded case pays one out-of-line call.
 func (a *WordArray) Get(d core.Domain, idx uint64) uint64 {
+	if a.plain {
+		return (a.words[idx>>a.wordShift] >> ((idx & a.slotMask) << a.entryShift)) & a.entryMask
+	}
+	return a.getEncoded(d, idx)
+}
+
+func (a *WordArray) getEncoded(d core.Domain, idx uint64) uint64 {
 	word, shift := a.locate(idx)
 	w := a.guard.DecodeWord(a.words[word], d, word)
-	return (w >> shift) & bitutil.Mask(a.entryBits)
+	return (w >> shift) & a.entryMask
 }
 
 // Set writes entry idx as domain d: the containing word is decoded,
@@ -122,10 +148,16 @@ func (a *WordArray) Get(d core.Domain, idx uint64) uint64 {
 // re-encoded, and written back").
 func (a *WordArray) Set(d core.Domain, idx uint64, v uint64) {
 	word, shift := a.locate(idx)
-	w := a.guard.DecodeWord(a.words[word], d, word)
-	m := bitutil.Mask(a.entryBits) << shift
+	w := a.words[word]
+	if !a.plain {
+		w = a.guard.DecodeWord(w, d, word)
+	}
+	m := a.entryMask << shift
 	w = (w &^ m) | ((v << shift) & m)
-	a.words[word] = a.guard.EncodeWord(w, d, word)
+	if !a.plain {
+		w = a.guard.EncodeWord(w, d, word)
+	}
+	a.words[word] = w
 	if a.owners != nil {
 		a.owners[word] = d.Thread
 		a.valid[word] = true
@@ -135,12 +167,18 @@ func (a *WordArray) Set(d core.Domain, idx uint64, v uint64) {
 // Update applies fn to entry idx under domain d in one decode/encode pass.
 func (a *WordArray) Update(d core.Domain, idx uint64, fn func(uint64) uint64) {
 	word, shift := a.locate(idx)
-	w := a.guard.DecodeWord(a.words[word], d, word)
-	old := (w >> shift) & bitutil.Mask(a.entryBits)
-	v := fn(old) & bitutil.Mask(a.entryBits)
-	m := bitutil.Mask(a.entryBits) << shift
+	w := a.words[word]
+	if !a.plain {
+		w = a.guard.DecodeWord(w, d, word)
+	}
+	old := (w >> shift) & a.entryMask
+	v := fn(old) & a.entryMask
+	m := a.entryMask << shift
 	w = (w &^ m) | (v << shift)
-	a.words[word] = a.guard.EncodeWord(w, d, word)
+	if !a.plain {
+		w = a.guard.EncodeWord(w, d, word)
+	}
+	a.words[word] = w
 	if a.owners != nil {
 		a.owners[word] = d.Thread
 		a.valid[word] = true

@@ -76,13 +76,21 @@ func LTAGEConfig() Config {
 // separate architectural array.
 const ctrBits = 3
 
+// tableFolds is one tagged table's three folded-history images, stored
+// contiguously: the per-branch fold update touches all of them, and one
+// bounds check plus one cache line per table beats three parallel
+// slices of heap pointers (this loop dominated the simulator profile).
+type tableFolds struct {
+	idx bitutil.Folded // index fold (width = TableBits)
+	t0  bitutil.Folded // tag fold 1 (width = TagBits)
+	t1  bitutil.Folded // tag fold 2 (width = TagBits-1)
+}
+
 // threadState is the per-hardware-thread speculative state: the raw
 // history register and the folded images used for indexing and tagging.
 type threadState struct {
-	hist    *bitutil.History
-	foldIdx []*bitutil.Folded // one per tagged table (width = TableBits)
-	foldT0  []*bitutil.Folded // tag fold 1 (width = TagBits)
-	foldT1  []*bitutil.Folded // tag fold 2 (width = TagBits-1)
+	hist  *bitutil.History
+	folds []tableFolds // one per tagged table
 }
 
 // scratch carries the prediction's provider metadata to the update.
@@ -106,15 +114,29 @@ type scratch struct {
 	loop loopScratch
 }
 
+// table bundles one tagged table's hot-path state: geometry masks and
+// shifts precomputed at construction, the guard, the storage and the
+// usefulness column. One slice of these replaces seven parallel slices,
+// so the per-branch table walk performs one bounds check per table.
+type table struct {
+	arr     *store.WordArray
+	guard   *core.Guard
+	u       []uint8 // usefulness per physical entry (architectural)
+	bits    uint    // log2 entries
+	tagBits uint
+	histLen uint
+	idxMask uint64
+	tagMask uint64
+	pcFold  uint // precomputed bits - i%bits shift of the index hash
+}
+
 // TAGE is the predictor.
 type TAGE struct {
 	cfg    Config
 	nTab   int
-	guards []*core.Guard // one per tagged table
-	guardB *core.Guard   // base table
+	guardB *core.Guard // base table
 	base   *store.WordArray
-	tabs   []*store.WordArray
-	u      [][]uint8 // usefulness per physical entry (architectural)
+	tabs   []table
 
 	loop *LoopPredictor
 
@@ -143,10 +165,19 @@ func New(cfg Config, ctrl *core.Controller) *TAGE {
 	t.base = store.NewWordArray(t.guardB, cfg.BaseBits, 2, 1)
 	for i := 0; i < n; i++ {
 		g := ctrl.Guard(0x7a61+uint64(i), core.StructPHT)
-		t.guards = append(t.guards, g)
 		width := cfg.TagBits[i] + ctrBits
-		t.tabs = append(t.tabs, store.NewWordArray(g, cfg.TableBits[i], width, 0))
-		t.u = append(t.u, make([]uint8, 1<<cfg.TableBits[i]))
+		bits := cfg.TableBits[i]
+		t.tabs = append(t.tabs, table{
+			arr:     store.NewWordArray(g, bits, width, 0),
+			guard:   g,
+			u:       make([]uint8, 1<<bits),
+			bits:    bits,
+			tagBits: cfg.TagBits[i],
+			histLen: cfg.HistLengths[i],
+			idxMask: bitutil.Mask(bits),
+			tagMask: bitutil.Mask(cfg.TagBits[i]),
+			pcFold:  bits - uint(i)%bits,
+		})
 	}
 	if cfg.Loop != nil {
 		t.loop = NewLoopPredictor(*cfg.Loop, ctrl)
@@ -166,9 +197,11 @@ func (t *TAGE) state(th core.HWThread) *threadState {
 	if t.threads[th] == nil {
 		ts := &threadState{hist: bitutil.NewHistory(t.maxHist() + 1)}
 		for i := 0; i < t.nTab; i++ {
-			ts.foldIdx = append(ts.foldIdx, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TableBits[i]))
-			ts.foldT0 = append(ts.foldT0, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]))
-			ts.foldT1 = append(ts.foldT1, bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]-1))
+			ts.folds = append(ts.folds, tableFolds{
+				idx: *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TableBits[i]),
+				t0:  *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]),
+				t1:  *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]-1),
+			})
 		}
 		t.threads[th] = ts
 		t.scratch[th] = &scratch{
@@ -181,29 +214,30 @@ func (t *TAGE) state(th core.HWThread) *threadState {
 
 // index computes tagged table i's physical index for (d, pc).
 func (t *TAGE) index(ts *threadState, d core.Domain, i int, pc uint64) uint64 {
-	bitsN := t.cfg.TableBits[i]
+	tb := &t.tabs[i]
 	p := pc >> pcShift
-	logical := p ^ (p >> (bitsN - uint(i)%bitsN)) ^ ts.foldIdx[i].Value()
-	return t.guards[i].ScrambleIndex(logical&bitutil.Mask(bitsN), d, bitsN)
+	logical := p ^ (p >> tb.pcFold) ^ ts.folds[i].idx.Value()
+	return tb.guard.ScrambleIndex(logical&tb.idxMask, d, tb.bits)
 }
 
 // tag computes tagged table i's logical tag for pc.
 func (t *TAGE) tag(ts *threadState, i int, pc uint64) uint64 {
 	p := pc >> pcShift
-	v := p ^ ts.foldT0[i].Value() ^ (ts.foldT1[i].Value() << 1)
-	return v & bitutil.Mask(t.cfg.TagBits[i])
+	f := &ts.folds[i]
+	v := p ^ f.t0.Value() ^ (f.t1.Value() << 1)
+	return v & t.tabs[i].tagMask
 }
 
 // unpack splits a tagged entry word into (tag, ctr).
 func (t *TAGE) unpack(i int, w uint64) (tag, ctr uint64) {
-	tb := t.cfg.TagBits[i]
-	return w & bitutil.Mask(tb), (w >> tb) & bitutil.Mask(ctrBits)
+	tb := &t.tabs[i]
+	return w & tb.tagMask, (w >> tb.tagBits) & bitutil.Mask(ctrBits)
 }
 
 // pack builds a tagged entry word.
 func (t *TAGE) pack(i int, tag, ctr uint64) uint64 {
-	tb := t.cfg.TagBits[i]
-	return (ctr << tb) | (tag & bitutil.Mask(tb))
+	tb := &t.tabs[i]
+	return (ctr << tb.tagBits) | (tag & tb.tagMask)
 }
 
 // Predict implements predictor.DirPredictor.
@@ -218,15 +252,18 @@ func (t *TAGE) Predict(d core.Domain, pc uint64) bool {
 	s.basePred = s.baseCtr >= 2
 
 	// Scan tagged tables from longest history down for the provider and
-	// the alternate.
+	// the alternate, computing each table's index hash and tag lazily as
+	// the scan reaches it. Tables below the early break never compute
+	// either: every later consumer of s.indexes/s.tags — the provider
+	// and alternate training, the usefulness update, and allocation
+	// (which only touches tables above the provider) — reads entries the
+	// scan visited, so the skipped hashes are provably dead.
 	s.provider, s.altTable = -1, -1
 	s.usedAlt = false
-	for i := 0; i < t.nTab; i++ {
+	for i := t.nTab - 1; i >= 0; i-- {
 		s.indexes[i] = t.index(ts, d, i, pc)
 		s.tags[i] = t.tag(ts, i, pc)
-	}
-	for i := t.nTab - 1; i >= 0; i-- {
-		w := t.tabs[i].Get(d, s.indexes[i])
+		w := t.tabs[i].arr.Get(d, s.indexes[i])
 		tag, ctr := t.unpack(i, w)
 		if tag != s.tags[i] {
 			continue
@@ -288,13 +325,13 @@ func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
 		}
 		// Train the provider counter.
 		i := s.provider
-		t.tabs[i].Update(d, s.provIdx, func(w uint64) uint64 {
+		t.tabs[i].arr.Update(d, s.provIdx, func(w uint64) uint64 {
 			tag, ctr := t.unpack(i, w)
 			return t.pack(i, tag, bump3(ctr, taken))
 		})
 		// Usefulness: provider distinguished itself from the alternate.
 		if s.provPred != s.altPred {
-			uc := &t.u[i][s.provIdx]
+			uc := &t.tabs[i].u[s.provIdx]
 			if s.provPred == taken {
 				if *uc < 3 {
 					*uc++
@@ -307,7 +344,7 @@ func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
 		// alternate too.
 		if s.usedAlt && s.altTable >= 0 {
 			j := s.altTable
-			t.tabs[j].Update(d, s.altIdx, func(w uint64) uint64 {
+			t.tabs[j].arr.Update(d, s.altIdx, func(w uint64) uint64 {
 				tag, ctr := t.unpack(j, w)
 				return t.pack(j, tag, bump3(ctr, taken))
 			})
@@ -332,13 +369,25 @@ func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
 		t.ageUsefulness()
 	}
 
-	// Advance history: raw register first, then the folded images.
+	// Advance history: raw register first, then the folded images. The
+	// three folds of table i share one history length, so the entering
+	// and leaving bits are read once per table, not once per fold.
 	ts.hist.Push(taken)
+	in := b2u64(taken)
 	for i := 0; i < t.nTab; i++ {
-		ts.foldIdx[i].Update(ts.hist)
-		ts.foldT0[i].Update(ts.hist)
-		ts.foldT1[i].Update(ts.hist)
+		out := ts.hist.Bit(t.cfg.HistLengths[i])
+		f := &ts.folds[i]
+		f.idx.UpdateBits(in, out)
+		f.t0.UpdateBits(in, out)
+		f.t1.UpdateBits(in, out)
 	}
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (t *TAGE) updateBase(d core.Domain, s *scratch, taken bool) {
@@ -358,17 +407,17 @@ func (t *TAGE) allocate(d core.Domain, s *scratch, taken bool) {
 	}
 	for i := start; i < t.nTab; i++ {
 		idx := s.indexes[i]
-		if t.u[i][idx] == 0 {
+		if t.tabs[i].u[idx] == 0 {
 			ctr := uint64(3)
 			if taken {
 				ctr = 4
 			}
-			t.tabs[i].Set(d, idx, t.pack(i, s.tags[i], ctr))
+			t.tabs[i].arr.Set(d, idx, t.pack(i, s.tags[i], ctr))
 			return
 		}
 	}
 	for i := start; i < t.nTab; i++ {
-		if uc := &t.u[i][s.indexes[i]]; *uc > 0 {
+		if uc := &t.tabs[i].u[s.indexes[i]]; *uc > 0 {
 			*uc--
 		}
 	}
@@ -377,9 +426,10 @@ func (t *TAGE) allocate(d core.Domain, s *scratch, taken bool) {
 // ageUsefulness halves every u counter. The reference predictors
 // periodically reset u so stale entries can be reclaimed.
 func (t *TAGE) ageUsefulness() {
-	for i := range t.u {
-		for j := range t.u[i] {
-			t.u[i][j] >>= 1
+	for i := range t.tabs {
+		u := t.tabs[i].u
+		for j := range u {
+			u[j] >>= 1
 		}
 	}
 }
@@ -387,10 +437,11 @@ func (t *TAGE) ageUsefulness() {
 // FlushAll implements core.Flusher.
 func (t *TAGE) FlushAll() {
 	t.base.FlushAll()
-	for i, tab := range t.tabs {
-		tab.FlushAll()
-		for j := range t.u[i] {
-			t.u[i][j] = 0
+	for i := range t.tabs {
+		t.tabs[i].arr.FlushAll()
+		u := t.tabs[i].u
+		for j := range u {
+			u[j] = 0
 		}
 	}
 	// The loop predictor registers its own flusher with the controller.
@@ -402,10 +453,11 @@ func (t *TAGE) FlushAll() {
 // allocatability, as a hardware flush of the metadata column would).
 func (t *TAGE) FlushThread(th core.HWThread) {
 	t.base.FlushThread(th)
-	for i, tab := range t.tabs {
-		tab.FlushThread(th)
-		for j := range t.u[i] {
-			t.u[i][j] = 0
+	for i := range t.tabs {
+		t.tabs[i].arr.FlushThread(th)
+		u := t.tabs[i].u
+		for j := range u {
+			u[j] = 0
 		}
 	}
 }
@@ -414,8 +466,8 @@ func (t *TAGE) FlushThread(th core.HWThread) {
 // tagged entry) count toward storage.
 func (t *TAGE) StorageBits() uint64 {
 	total := t.base.StorageBits()
-	for i, tab := range t.tabs {
-		total += tab.StorageBits() + 2*uint64(len(t.u[i]))
+	for i := range t.tabs {
+		total += t.tabs[i].arr.StorageBits() + 2*uint64(len(t.tabs[i].u))
 	}
 	if t.loop != nil {
 		total += t.loop.StorageBits()
@@ -472,8 +524,8 @@ func (t *TAGE) LastConfidence(th core.HWThread) int {
 // loop tables (for the Precise Flush walk cost model).
 func (t *TAGE) Entries() uint64 {
 	n := t.base.Len()
-	for _, tab := range t.tabs {
-		n += tab.Len()
+	for i := range t.tabs {
+		n += t.tabs[i].arr.Len()
 	}
 	if t.loop != nil {
 		n += t.loop.Entries()
@@ -509,3 +561,14 @@ func bump3(v uint64, up bool) uint64 {
 
 var _ predictor.DirPredictor = (*TAGE)(nil)
 var _ core.Flusher = (*TAGE)(nil)
+
+// PredictUpdate implements predictor.PredictUpdater: the fused
+// predict-then-train call the simulator dispatches once per conditional
+// branch (identical to Predict followed by Update).
+func (t *TAGE) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
+	pred := t.Predict(d, pc)
+	t.Update(d, pc, taken)
+	return pred
+}
+
+var _ predictor.PredictUpdater = (*TAGE)(nil)

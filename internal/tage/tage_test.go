@@ -260,8 +260,8 @@ func TestAllocationSpreadsAcrossTables(t *testing.T) {
 	}
 	nonzero := 0
 	for i := 1; i < p.nTab; i++ {
-		for idx := uint64(0); idx < p.tabs[i].Len(); idx++ {
-			if p.tabs[i].Get(d(0), idx) != 0 {
+		for idx := uint64(0); idx < p.tabs[i].arr.Len(); idx++ {
+			if p.tabs[i].arr.Get(d(0), idx) != 0 {
 				nonzero++
 			}
 		}

@@ -75,9 +75,9 @@ func Gem5Config() Config {
 
 // scThread is the per-hardware-thread corrector state.
 type scThread struct {
-	hist   *bitutil.History  // corrector's own global history
-	folds  []*bitutil.Folded // per global component
-	runLen uint64            // IMLI-like: current taken-run length
+	hist   *bitutil.History // corrector's own global history
+	folds  []bitutil.Folded // per global component (by value: hot update loop)
+	runLen uint64           // IMLI-like: current taken-run length
 }
 
 // scScratch carries predict-time corrector state to the update.
@@ -147,7 +147,7 @@ func (p *TAGESCL) state(th core.HWThread) *scThread {
 		}
 		ts := &scThread{hist: bitutil.NewHistory(maxLen + 1)}
 		for _, l := range p.cfg.GlobalLens {
-			ts.folds = append(ts.folds, bitutil.NewFolded(l, p.cfg.SCIndexBits))
+			ts.folds = append(ts.folds, *bitutil.NewFolded(l, p.cfg.SCIndexBits))
 		}
 		p.threads[th] = ts
 		p.scratch[th] = &scScratch{idx: make([]uint64, p.nComp)}
@@ -301,8 +301,8 @@ func (p *TAGESCL) Update(d core.Domain, pc uint64, taken bool) {
 
 	// Corrector histories.
 	ts.hist.Push(taken)
-	for _, f := range ts.folds {
-		f.Update(ts.hist)
+	for i := range ts.folds {
+		ts.folds[i].Update(ts.hist)
 	}
 	// IMLI-like counter, capped so long runs map to a stable index (index
 	// reuse is what lets the component retrain after a key rotation).
@@ -354,3 +354,14 @@ func b2u(b bool) uint64 {
 }
 
 var _ predictor.DirPredictor = (*TAGESCL)(nil)
+
+// PredictUpdate implements predictor.PredictUpdater: the fused
+// predict-then-train call the simulator dispatches once per conditional
+// branch (identical to Predict followed by Update).
+func (p *TAGESCL) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
+	pred := p.Predict(d, pc)
+	p.Update(d, pc, taken)
+	return pred
+}
+
+var _ predictor.PredictUpdater = (*TAGESCL)(nil)

@@ -189,3 +189,14 @@ func b2u(b bool) uint64 {
 
 var _ predictor.DirPredictor = (*Tournament)(nil)
 var _ core.Flusher = (*Tournament)(nil)
+
+// PredictUpdate implements predictor.PredictUpdater: the fused
+// predict-then-train call the simulator dispatches once per conditional
+// branch (identical to Predict followed by Update).
+func (t *Tournament) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
+	pred := t.Predict(d, pc)
+	t.Update(d, pc, taken)
+	return pred
+}
+
+var _ predictor.PredictUpdater = (*Tournament)(nil)

@@ -236,6 +236,20 @@ func (t *Reader) Next(ev *workload.BranchEvent) error {
 	return nil
 }
 
+// ReadBatch decodes up to len(evs) events straight into evs — the bulk
+// seam simulation rings refill through, so replay pays the decode loop
+// once per batch instead of a call per record. It returns the number of
+// events decoded; io.EOF (with n possibly > 0) after the verified
+// sentinel, or the first decode error.
+func (t *Reader) ReadBatch(evs []workload.BranchEvent) (int, error) {
+	for i := range evs {
+		if err := t.Next(&evs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
+
 // Program wraps a fully-buffered trace as a workload.Program that loops
 // over the recorded events (so simulations can run longer than the
 // capture).
@@ -281,23 +295,24 @@ func Record(src workload.Program, n int, w io.Writer) (*Program, error) {
 	return p, nil
 }
 
-// Load reads an entire trace from r into a replayable Program.
+// Load reads an entire trace from r into a replayable Program, decoding
+// in batches.
 func Load(name string, r io.Reader) (*Program, error) {
 	tr, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
 	p := &Program{name: name}
-	var ev workload.BranchEvent
+	var chunk [1024]workload.BranchEvent
 	for {
-		err := tr.Next(&ev)
+		n, err := tr.ReadBatch(chunk[:])
+		p.events = append(p.events, chunk[:n]...)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		p.events = append(p.events, ev)
 	}
 	if len(p.events) == 0 {
 		return nil, errors.New("trace: empty trace")
@@ -319,3 +334,20 @@ func (p *Program) Next(ev *workload.BranchEvent) {
 		p.pos = 0
 	}
 }
+
+// NextBatch implements workload.BatchProgram: recorded events are copied
+// straight into the caller's ring, wrapping over the capture boundary.
+func (p *Program) NextBatch(evs []workload.BranchEvent) int {
+	n := 0
+	for n < len(evs) {
+		c := copy(evs[n:], p.events[p.pos:])
+		p.pos += c
+		if p.pos == len(p.events) {
+			p.pos = 0
+		}
+		n += c
+	}
+	return n
+}
+
+var _ workload.BatchProgram = (*Program)(nil)

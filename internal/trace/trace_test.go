@@ -158,3 +158,76 @@ func TestTraceDrivesSimulator(t *testing.T) {
 		t.Fatalf("name = %q", prog.Name())
 	}
 }
+
+// TestReadBatchAndProgramNextBatch covers the bulk decode path: a
+// recorded stream batch-decoded straight into caller buffers matches
+// per-record decoding, and the buffered Program's NextBatch replays the
+// loop identically to Next.
+func TestReadBatchAndProgramNextBatch(t *testing.T) {
+	src := workload.NewGenerator(workload.MustByName("gcc"), 5)
+	var buf bytes.Buffer
+	if _, err := Record(src, 3000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	one, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []workload.BranchEvent
+	var ev workload.BranchEvent
+	for {
+		if err := one.Next(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ev)
+	}
+
+	batch, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []workload.BranchEvent
+	chunk := make([]workload.BranchEvent, 257)
+	for {
+		n, err := batch.ReadBatch(chunk)
+		got = append(got, chunk[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch decoded %d events, per-record %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs between decode paths", i)
+		}
+	}
+
+	// Program.NextBatch must loop over the capture exactly like Next.
+	pa, err := Load("a", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Load("b", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := make([]workload.BranchEvent, 331)
+	for round := 0; round < 20; round++ {
+		pb.NextBatch(ring)
+		for i := range ring {
+			pa.Next(&ev)
+			if ring[i] != ev {
+				t.Fatalf("round %d event %d differs between NextBatch and Next", round, i)
+			}
+		}
+	}
+}

@@ -45,6 +45,39 @@ type Program interface {
 	Next(ev *BranchEvent)
 }
 
+// BatchProgram is a Program that can hand out events in bulk. The
+// simulator's hot loop refills per-thread event rings through this seam,
+// amortizing interface dispatch over whole batches instead of paying it
+// per branch. Implementations must produce exactly the stream Next
+// would: interleaving Next and NextBatch calls observes one cursor.
+type BatchProgram interface {
+	Program
+	// NextBatch fills evs completely with the next len(evs) dynamic
+	// branches and returns the count filled (== len(evs)).
+	NextBatch(evs []BranchEvent) int
+}
+
+// Batched adapts any Program to BatchProgram. Programs that already
+// batch (the Generator, trace replays) are returned unchanged; others
+// get a loop-over-Next adapter, so callers can always refill rings with
+// one call.
+func Batched(p Program) BatchProgram {
+	if b, ok := p.(BatchProgram); ok {
+		return b
+	}
+	return singleBatch{p}
+}
+
+// singleBatch lifts a single-event Program into the batch interface.
+type singleBatch struct{ Program }
+
+func (s singleBatch) NextBatch(evs []BranchEvent) int {
+	for i := range evs {
+		s.Program.Next(&evs[i])
+	}
+	return len(evs)
+}
+
 // Profile parameterizes a synthetic benchmark.
 type Profile struct {
 	// Name of the modelled benchmark (e.g. "gcc").
@@ -253,6 +286,22 @@ func (g *Generator) Next(ev *BranchEvent) {
 	g.pos++
 }
 
+// NextBatch implements BatchProgram: whole region invocations are copied
+// out of the generation buffer at memmove speed, refilling as needed.
+// It shares the Next cursor, so mixing the two APIs is safe.
+func (g *Generator) NextBatch(evs []BranchEvent) int {
+	n := 0
+	for n < len(evs) {
+		if g.pos >= len(g.buf) {
+			g.refill()
+		}
+		c := copy(evs[n:], g.buf[g.pos:])
+		g.pos += c
+		n += c
+	}
+	return n
+}
+
 // gap draws the non-branch instruction count before a branch.
 func (g *Generator) gap() uint16 {
 	m := g.prof.GapMean
@@ -360,6 +409,8 @@ func (g *Generator) StaticBranches() int {
 	}
 	return n
 }
+
+var _ BatchProgram = (*Generator)(nil)
 
 func max(a, b int) int {
 	if a > b {

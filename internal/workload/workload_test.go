@@ -261,3 +261,85 @@ func TestCharacterizeUnknown(t *testing.T) {
 		t.Fatal("unknown benchmark did not error")
 	}
 }
+
+// TestNextBatchMatchesNext asserts the batch seam observes exactly the
+// single-event stream: a generator drained via NextBatch (in awkward
+// chunk sizes spanning refill boundaries) produces the same events as
+// an identical generator drained via Next.
+func TestNextBatchMatchesNext(t *testing.T) {
+	single := NewGenerator(MustByName("gcc"), 7)
+	batched := NewGenerator(MustByName("gcc"), 7)
+	var want []BranchEvent
+	var ev BranchEvent
+	for i := 0; i < 5000; i++ {
+		single.Next(&ev)
+		want = append(want, ev)
+	}
+	var got []BranchEvent
+	chunk := make([]BranchEvent, 0, 173)
+	for len(got) < len(want) {
+		n := cap(chunk)
+		if rem := len(want) - len(got); rem < n {
+			n = rem
+		}
+		buf := chunk[:n]
+		if filled := batched.NextBatch(buf); filled != n {
+			t.Fatalf("NextBatch filled %d of %d", filled, n)
+		}
+		got = append(got, buf...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs: batch %+v, single %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNextBatchInterleavesWithNext asserts the two APIs share one
+// cursor: alternating calls continue the same stream.
+func TestNextBatchInterleavesWithNext(t *testing.T) {
+	ref := NewGenerator(MustByName("mcf"), 3)
+	mix := NewGenerator(MustByName("mcf"), 3)
+	var want []BranchEvent
+	var ev BranchEvent
+	for i := 0; i < 600; i++ {
+		ref.Next(&ev)
+		want = append(want, ev)
+	}
+	var got []BranchEvent
+	buf := make([]BranchEvent, 97)
+	for len(got) < 500 {
+		mix.NextBatch(buf)
+		got = append(got, buf...)
+		mix.Next(&ev)
+		got = append(got, ev)
+	}
+	for i := range got {
+		if got[i] != want[i%len(want)] && i < len(want) {
+			t.Fatalf("event %d differs after interleaving", i)
+		}
+	}
+}
+
+// TestBatchedAdapter lifts a Next-only program and checks passthrough
+// for programs that already batch.
+func TestBatchedAdapter(t *testing.T) {
+	g := NewGenerator(MustByName("lbm"), 1)
+	if bp := Batched(g); bp != Program(g) {
+		t.Fatal("Batched re-wrapped a BatchProgram")
+	}
+	type nextOnly struct{ Program }
+	ref := NewGenerator(MustByName("lbm"), 9)
+	ad := Batched(nextOnly{NewGenerator(MustByName("lbm"), 9)})
+	buf := make([]BranchEvent, 256)
+	if n := ad.NextBatch(buf); n != len(buf) {
+		t.Fatalf("adapter filled %d, want %d", n, len(buf))
+	}
+	var ev BranchEvent
+	for i := range buf {
+		ref.Next(&ev)
+		if buf[i] != ev {
+			t.Fatalf("adapter event %d differs", i)
+		}
+	}
+}
