@@ -1,0 +1,71 @@
+// Command bpvet runs the repository's static-invariant analyzers
+// (determinism, hotpath, exhaustive, errcheck) over the given package
+// patterns and exits non-zero if any diagnostic survives the //bpvet
+// directives. It is the CI gate behind the engine's reproducibility and
+// zero-allocation guarantees; see internal/analysis for the framework
+// and the directive grammar.
+//
+// Usage:
+//
+//	go run ./cmd/bpvet ./...
+//
+// With no patterns, ./... is assumed. Diagnostics print one per line as
+// file:line:col: [analyzer] message, sorted by position.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xorbp/internal/analysis"
+	"xorbp/internal/analysis/determinism"
+	"xorbp/internal/analysis/errcheck"
+	"xorbp/internal/analysis/exhaustive"
+	"xorbp/internal/analysis/hotpath"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	errcheck.Analyzer,
+	exhaustive.Analyzer,
+	hotpath.Analyzer,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bpvet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bpvet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysis is the repository's static-invariant framework: a
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the //bpvet directive
+// grammar that lets code opt in to stricter rules (hotpath) or justify a
+// deviation (allow).
+//
+// Every guarantee the experiment engine rests on — byte-identical
+// results across serial/parallel/distributed execution, schema-keyed
+// caching, zero-allocation steady state — has at some point been
+// violated by an innocent-looking edit (the %+v cache key, the
+// mislabeled single-only attack cache entry, a blown inline budget).
+// The analyzers in the subpackages turn those runtime-test findings
+// into build-time facts: cmd/bpvet runs them as a CI gate.
+//
+// The framework is stdlib-only by necessity and by design: the build
+// environment bakes in the Go toolchain but no module proxy, so
+// golang.org/x/tools cannot be fetched. Packages are loaded with
+// `go list` and type-checked with go/types using the source importer
+// (see load.go); the analyzer API mirrors go/analysis closely enough
+// that porting to the real multichecker later is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the analyzer's one-paragraph description.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are reported
+	// through the pass; the error return is for operational failures
+	// (malformed anchor shapes, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's load results to an analyzer.
+type Pass struct {
+	// Analyzer is the checker being applied.
+	Analyzer *Analyzer
+	// Path is the package's import path. Scope predicates key off it.
+	Path string
+	// Fset maps positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (with comments).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the package's type information (Types, Defs, Uses,
+	// Selections, Implicits populated).
+	Info *types.Info
+	// Directives are the package's parsed //bpvet directives.
+	Directives *Directives
+	// Facts is the run-wide fact store for cross-package analysis
+	// (hotpath marks). Nil-safe: a pass run standalone gets an empty
+	// store.
+	Facts *FactStore
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one analyzer finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// FactStore shares analyzer facts across the packages of one run, in
+// dependency order: a pass may read facts about its imports because the
+// runner analyzes imported packages first.
+type FactStore struct {
+	// analyzed records which package paths have been processed, so
+	// consumers can distinguish "not marked" from "not analyzed".
+	analyzed map[string]bool
+	// facts maps "<analyzer>\x00<key>" to an opaque string value.
+	facts map[string]string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{analyzed: make(map[string]bool), facts: make(map[string]string)}
+}
+
+// MarkAnalyzed records that pkgPath has been processed by the run.
+func (s *FactStore) MarkAnalyzed(pkgPath string) {
+	if s != nil {
+		s.analyzed[pkgPath] = true
+	}
+}
+
+// Analyzed reports whether pkgPath was processed earlier in the run.
+func (s *FactStore) Analyzed(pkgPath string) bool {
+	return s != nil && s.analyzed[pkgPath]
+}
+
+// Set records fact key=value for the given analyzer.
+func (s *FactStore) Set(analyzer, key, value string) {
+	if s != nil {
+		s.facts[analyzer+"\x00"+key] = value
+	}
+}
+
+// Get reads a fact recorded by Set.
+func (s *FactStore) Get(analyzer, key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	v, ok := s.facts[analyzer+"\x00"+key]
+	return v, ok
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer,
+// message — the stable order bpvet prints and tests compare against.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

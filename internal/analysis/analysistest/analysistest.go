@@ -1,0 +1,197 @@
+// Package analysistest runs bpvet analyzers over golden testdata
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest with
+// the same expectation syntax: a trailing comment
+//
+//	// want "regexp"
+//
+// on a source line asserts that exactly one diagnostic is reported on
+// that line whose message matches the regexp; several quoted regexps
+// assert several diagnostics. Lines without a want comment must produce
+// no diagnostics.
+//
+// Testdata packages are parsed straight from a directory and
+// type-checked under a caller-chosen import path, so a test can place
+// its package anywhere in the virtual tree ("xorbp/internal/wire",
+// "xorbp/internal/fake") and exercise the analyzers' path-scoped
+// predicates without touching real packages. Diagnostics flow through
+// the real runner, so //bpvet:allow suppression, malformed-directive
+// and unused-allow reporting behave exactly as in cmd/bpvet.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xorbp/internal/analysis"
+)
+
+// Pkg names one testdata package: the directory holding its .go files
+// and the import path it should claim during type checking.
+type Pkg struct {
+	Dir  string
+	Path string
+}
+
+// Run loads one testdata package and checks the analyzers' diagnostics
+// against its // want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	RunPkgs(t, []Pkg{{Dir: dir, Path: pkgPath}}, analyzers...)
+}
+
+// RunPkgs loads several testdata packages — in the order given, which
+// the fact store treats as dependency order — runs the analyzers, and
+// checks diagnostics against the union of the packages' // want
+// comments.
+func RunPkgs(t *testing.T, pkgSpecs []Pkg, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	deps := make(map[string]*types.Package)
+	wants := make(map[string][]*want) // filename -> expectations
+	for _, ps := range pkgSpecs {
+		files, err := parseDir(fset, ps.Dir)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", ps.Dir, err)
+		}
+		pkg, err := analysis.CheckSource(fset, ps.Path, files, deps)
+		if err != nil {
+			t.Fatalf("type-checking %s as %s: %v", ps.Dir, ps.Path, err)
+		}
+		pkgs = append(pkgs, pkg)
+		deps[ps.Path] = pkg.Types
+		for _, f := range files {
+			collectWants(t, fset, f, wants)
+		}
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants[d.Pos.Filename], d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func claim(ws []*want, d analysis.Diagnostic) bool {
+	for _, w := range ws {
+		if !w.matched && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses every .go file in dir, sorted by name for stable
+// positions.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectWants extracts // want "re" expectations, keyed by filename.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]*want) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(text, "want ")
+			for _, q := range splitQuoted(rest) {
+				pattern, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want expectation %s: %v", pos.Filename, pos.Line, q, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+				}
+				wants[pos.Filename] = append(wants[pos.Filename], &want{
+					file: pos.Filename, line: pos.Line, re: re,
+				})
+			}
+		}
+	}
+}
+
+// splitQuoted returns the top-level quoted segments of s; both
+// "double-quoted" and `backquoted` forms are accepted, as in the
+// upstream analysistest.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		q := s[start]
+		i := start + 1
+		for i < len(s) {
+			if q == '"' && s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == q {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return out
+		}
+		out = append(out, s[start:i+1])
+		s = s[i+1:]
+	}
+}

@@ -1,0 +1,23 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"xorbp/internal/analysis/analysistest"
+	"xorbp/internal/analysis/determinism"
+)
+
+// TestWirePath pins the true positives (wall clock, math/rand, map
+// order into sinks, %v struct formatting) and true negatives (explicit
+// field formatting, Stringer/error rendering, sorted-key iteration,
+// allowed telemetry) under a wire-path import path.
+func TestWirePath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wire", "xorbp/internal/wire", determinism.Analyzer)
+}
+
+// TestTelemetryScope pins the scope boundary: outside the wire-path
+// packages, %v struct formatting is legal and an allowed time.Now
+// produces nothing — the package must be diagnostic-free.
+func TestTelemetryScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/telemetry", "xorbp/internal/fake", determinism.Analyzer)
+}

@@ -1,0 +1,24 @@
+// Package telemetry is determinism-analyzer testdata checked under the
+// spoofed path xorbp/internal/fake — inside internal (wall-clock rule
+// applies) but not on a wire path, so %v struct formatting is legal
+// here. The file expects no diagnostics: the one wall-clock read
+// carries a justified allow.
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+type snapshot struct {
+	Runs int
+	Hits int
+}
+
+func render(s snapshot) string {
+	return fmt.Sprintf("%+v", s) // not a wire path: fine
+}
+
+func stamp() time.Time {
+	return time.Now() //bpvet:allow log line timestamp, never keyed or serialized
+}

@@ -1,0 +1,7 @@
+package wire
+
+import "math/rand" // want `import of math/rand`
+
+func draw() int {
+	return rand.Int()
+}

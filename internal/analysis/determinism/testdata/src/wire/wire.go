@@ -1,0 +1,83 @@
+// Package wire is determinism-analyzer testdata checked under the
+// spoofed import path xorbp/internal/wire, so both the internal-only
+// wall-clock rule and the wire-path formatting rule apply.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type payload struct {
+	A int
+	B int
+}
+
+type named struct{ id string }
+
+func (n named) String() string { return n.id }
+
+func badKey(p payload) string {
+	return fmt.Sprintf("%+v", p) // want `formats a struct`
+}
+
+func badPtrKey(p *payload) string {
+	return fmt.Sprintf("spec=%v", p) // want `formats a struct`
+}
+
+func badMapKey(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want `formats a map`
+}
+
+func goodKey(p payload) string {
+	return fmt.Sprintf("a=%d;b=%d", p.A, p.B)
+}
+
+func goodStringer(n named) string {
+	return fmt.Sprintf("%v", n) // String() is an explicit contract
+}
+
+func goodError(err error) string {
+	return fmt.Sprintf("%v", err)
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func allowedStamp() time.Time {
+	return time.Now() //bpvet:allow telemetry timestamp, never part of a result or key
+}
+
+func badRender(m map[string]int, w io.Writer) {
+	for k, v := range m { // want `map iteration order is randomized`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badEncode(m map[string]int, enc *json.Encoder) error {
+	for k := range m { // want `map iteration order is randomized`
+		if err := enc.Encode(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodRender(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // no sink inside: collecting keys is fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

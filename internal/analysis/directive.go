@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //bpvet directive grammar. Directives are ordinary line comments
+// beginning exactly with "//bpvet:" (no space, mirroring //go:):
+//
+//	//bpvet:allow <reason>     suppress bpvet diagnostics on the
+//	                           directive's line (trailing form) or on the
+//	                           line directly below the comment group
+//	                           (lead form); the reason is mandatory and
+//	                           should say why the deviation is sound
+//	                           (e.g. "telemetry only, never keyed or
+//	                           serialized").
+//	//bpvet:hotpath            on a function declaration: the function is
+//	                           a simulation inner-loop; the hotpath
+//	                           analyzer bans allocation, interface
+//	                           boxing, map access and escaping closures
+//	                           in its body and requires its statically
+//	                           resolved callees to be hotpath or coldinit.
+//	//bpvet:coldinit <reason>  on a function declaration: callable from
+//	                           hotpath code but runs only outside the
+//	                           measured steady state (lazy per-thread
+//	                           state, construction). Body checks are
+//	                           waived; the runtime AllocsPerRun guards
+//	                           remain the safety net. Reason mandatory.
+//
+// Malformed directives (missing reason, unknown verb, hotpath/coldinit
+// not attached to a function) are themselves diagnostics: a directive
+// that silently does nothing is worse than none.
+
+// Directive verbs.
+const (
+	VerbAllow    = "allow"
+	VerbHotpath  = "hotpath"
+	VerbColdinit = "coldinit"
+)
+
+const directivePrefix = "//bpvet:"
+
+// Directive is one parsed //bpvet comment.
+type Directive struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+	// effectLines are the lines an allow directive covers: its own line
+	// (trailing form) and the first line after its comment group (lead
+	// form). Covering both keeps attachment independent of comment
+	// placement details.
+	effectLines [2]int
+	used        bool
+}
+
+// Directives holds one package's parsed //bpvet comments.
+type Directives struct {
+	fset *token.FileSet
+	// allows maps filename -> the file's allow directives.
+	allows map[string][]*Directive
+	// marks maps a function declaration to its hotpath/coldinit
+	// directive.
+	marks map[*ast.FuncDecl]*Directive
+	// malformed directives, reported by the runner.
+	malformed []Diagnostic
+}
+
+// ParseDirectives scans the files' comments for //bpvet directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:   fset,
+		allows: make(map[string][]*Directive),
+		marks:  make(map[*ast.FuncDecl]*Directive),
+	}
+	for _, f := range files {
+		// Map every function declaration to its doc comment so hotpath
+		// and coldinit directives attach to the function.
+		docOwner := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOwner[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				dir, errMsg := parseOne(c.Text)
+				dir.Pos = c.Pos()
+				if errMsg != "" {
+					d.malformed = append(d.malformed, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "directive",
+						Message:  errMsg,
+					})
+					continue
+				}
+				switch dir.Verb {
+				case VerbAllow:
+					pos := fset.Position(c.Pos())
+					dir.effectLines = [2]int{pos.Line, fset.Position(cg.End()).Line + 1}
+					d.allows[pos.Filename] = append(d.allows[pos.Filename], dir)
+				case VerbHotpath, VerbColdinit:
+					fd := docOwner[cg]
+					if fd == nil {
+						d.malformed = append(d.malformed, Diagnostic{
+							Pos:      fset.Position(c.Pos()),
+							Analyzer: "directive",
+							Message:  "//bpvet:" + dir.Verb + " must be part of a function declaration's doc comment",
+						})
+						continue
+					}
+					if prev, dup := d.marks[fd]; dup {
+						d.malformed = append(d.malformed, Diagnostic{
+							Pos:      fset.Position(c.Pos()),
+							Analyzer: "directive",
+							Message:  "function already marked //bpvet:" + prev.Verb,
+						})
+						continue
+					}
+					d.marks[fd] = dir
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseOne splits a //bpvet comment into verb and reason, validating the
+// grammar. The returned message is non-empty for malformed directives.
+func parseOne(text string) (*Directive, string) {
+	body := strings.TrimPrefix(text, directivePrefix)
+	verb, reason, _ := strings.Cut(body, " ")
+	reason = strings.TrimSpace(reason)
+	switch verb {
+	case VerbAllow:
+		if reason == "" {
+			return &Directive{Verb: verb}, "//bpvet:allow requires a reason: //bpvet:allow <why this deviation is sound>"
+		}
+	case VerbColdinit:
+		if reason == "" {
+			return &Directive{Verb: verb}, "//bpvet:coldinit requires a reason: //bpvet:coldinit <why this never runs in the measured steady state>"
+		}
+	case VerbHotpath:
+		if reason != "" {
+			return &Directive{Verb: verb}, "//bpvet:hotpath takes no argument (it is a marker, not an exemption)"
+		}
+	default:
+		return &Directive{Verb: verb}, "unknown //bpvet directive " + strconv.Quote(verb) + " (valid: allow, hotpath, coldinit)"
+	}
+	return &Directive{Verb: verb, Reason: reason}, ""
+}
+
+// Mark returns the hotpath/coldinit directive attached to fn, if any.
+func (d *Directives) Mark(fn *ast.FuncDecl) *Directive {
+	if d == nil {
+		return nil
+	}
+	return d.marks[fn]
+}
+
+// Allowed reports whether an allow directive covers the diagnostic
+// position, consuming (marking used) the directive.
+func (d *Directives) Allowed(pos token.Position) bool {
+	if d == nil {
+		return false
+	}
+	// Prefer an unused covering directive so overlapping allows each
+	// get credit before any is reported stale.
+	var hit *Directive
+	for _, dir := range d.allows[pos.Filename] {
+		if pos.Line == dir.effectLines[0] || pos.Line == dir.effectLines[1] {
+			if !dir.used {
+				dir.used = true
+				return true
+			}
+			hit = dir
+		}
+	}
+	return hit != nil
+}
+
+// Unused returns diagnostics for allow directives that suppressed
+// nothing: a stale allow hides the next real finding on its line, so the
+// set is ratcheted to exactly the justified ones.
+func (d *Directives) Unused() []Diagnostic {
+	var ds []Diagnostic
+	for _, dirs := range d.allows {
+		for _, dir := range dirs {
+			if !dir.used {
+				ds = append(ds, Diagnostic{
+					Pos:      d.fset.Position(dir.Pos),
+					Analyzer: "directive",
+					Message:  "unused //bpvet:allow (nothing to suppress here; remove it)",
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// Malformed returns the syntax diagnostics collected during parsing.
+func (d *Directives) Malformed() []Diagnostic { return d.malformed }

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirectives(t *testing.T, src string) (*token.FileSet, *Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, ParseDirectives(fset, []*ast.File{f})
+}
+
+func TestAllowRequiresReason(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:allow
+}
+
+func g() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("got %d malformed diagnostics, want 1: %v", len(mal), mal)
+	}
+	if !strings.Contains(mal[0].Message, "requires a reason") {
+		t.Errorf("message %q does not explain the missing reason", mal[0].Message)
+	}
+	if mal[0].Pos.Line != 4 {
+		t.Errorf("diagnostic at line %d, want 4", mal[0].Pos.Line)
+	}
+}
+
+func TestColdinitRequiresReason(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+//bpvet:coldinit
+func f() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "requires a reason") {
+		t.Fatalf("got %v, want one missing-reason diagnostic", mal)
+	}
+}
+
+func TestHotpathTakesNoArgument(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+//bpvet:hotpath because it is fast
+func f() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "takes no argument") {
+		t.Fatalf("got %v, want one no-argument diagnostic", mal)
+	}
+}
+
+func TestHotpathMustAttachToFunction(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+//bpvet:hotpath
+var x int
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "function declaration") {
+		t.Fatalf("got %v, want one attachment diagnostic", mal)
+	}
+}
+
+func TestUnknownVerb(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:permit because reasons
+}
+
+func g() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "unknown //bpvet directive") {
+		t.Fatalf("got %v, want one unknown-verb diagnostic", mal)
+	}
+}
+
+func TestAllowCoverageAndUnused(t *testing.T) {
+	fset, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:allow trailing form covers this line
+
+	//bpvet:allow lead form covers the next line
+	g()
+	g() //bpvet:allow this one suppresses nothing real
+}
+
+func g() {}
+`)
+	file := fset.Position(token.Pos(1)).Filename
+	if !d.Allowed(positionAt(file, 4)) {
+		t.Error("trailing allow does not cover its own line")
+	}
+	if !d.Allowed(positionAt(file, 7)) {
+		t.Error("lead allow does not cover the following line")
+	}
+	unused := d.Unused()
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused diagnostics, want 1 (only the third allow): %v", len(unused), unused)
+	}
+	if unused[0].Pos.Line != 8 {
+		t.Errorf("unused allow reported at line %d, want 8", unused[0].Pos.Line)
+	}
+}
+
+func TestDuplicateMarkRejected(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+//bpvet:hotpath
+//bpvet:coldinit it cannot be both
+func f() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "already marked") {
+		t.Fatalf("got %v, want one duplicate-mark diagnostic", mal)
+	}
+}
+
+func positionAt(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}

@@ -1,0 +1,21 @@
+package errcheck_test
+
+import (
+	"testing"
+
+	"xorbp/internal/analysis/analysistest"
+	"xorbp/internal/analysis/errcheck"
+)
+
+// TestDroppedErrors pins the true positive (a bare error-returning call
+// statement) and the sanctioned forms: explicit `_ =` discard, handled
+// errors, deferred cleanup, and calls without error results.
+func TestDroppedErrors(t *testing.T) {
+	analysistest.Run(t, "testdata/src/store", "xorbp/internal/store", errcheck.Analyzer)
+}
+
+// TestOutOfScope pins that the same code outside the I/O-bearing
+// packages produces nothing.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/outofscope", "xorbp/internal/fake", errcheck.Analyzer)
+}

@@ -1,0 +1,13 @@
+// Package outofscope mirrors the store testdata's dropped error under
+// a path outside the errcheck scope: no diagnostics expected.
+package outofscope
+
+import "errors"
+
+type file struct{}
+
+func (f *file) Sync() error { return errors.New("sync failed") }
+
+func flush(f *file) {
+	f.Sync() // outside the I/O scopes: not errcheck's business
+}

@@ -1,0 +1,36 @@
+// Package store is errcheck-analyzer testdata, checked under the
+// spoofed path xorbp/internal/store (an I/O-bearing scope).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type file struct{ dirty bool }
+
+func (f *file) Sync() error  { return errors.New("sync failed") }
+func (f *file) Close() error { return nil }
+func (f *file) touch()       { f.dirty = true }
+
+func flush(f *file) {
+	f.Sync()     // want `\(file\)\.Sync returns an error that is dropped`
+	_ = f.Sync() // explicit discard is visible in review: fine
+	f.touch()    // no error result: fine
+	if err := f.Sync(); err != nil {
+		_ = err
+	}
+}
+
+func withCleanup(f *file) error {
+	defer f.Close() // deferred cleanup is exempt
+	return f.Sync()
+}
+
+func report(b *strings.Builder) {
+	b.WriteString("ok")              // strings.Builder never fails: exempt
+	fmt.Fprintf(os.Stderr, "done\n") // console diagnostics: exempt
+	fmt.Fprintf(os.Stdout, "done\n") // console diagnostics: exempt
+}

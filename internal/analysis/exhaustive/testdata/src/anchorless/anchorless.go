@@ -1,0 +1,8 @@
+package anchorless // want `predictor anchor functions missing: NewDirPredictor, validPredictor`
+
+// A package on the experiment path whose anchors have been refactored
+// away must say so rather than silently passing.
+
+func PredictorNames() []string {
+	return []string{"gshare"}
+}

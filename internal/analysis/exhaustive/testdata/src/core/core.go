@@ -1,0 +1,33 @@
+// Package core is exhaustive-analyzer testdata for the ByName registry
+// rule, checked under the spoofed path xorbp/internal/core.
+package core
+
+type Codec interface {
+	Name() string
+	Encode(uint64) uint64
+}
+
+type AddCodec struct{}
+
+func (AddCodec) Name() string           { return "add" }
+func (AddCodec) Encode(x uint64) uint64 { return x + 1 }
+
+type SwapCodec struct{}
+
+func (SwapCodec) Name() string           { return "swap" }
+func (SwapCodec) Encode(x uint64) uint64 { return x<<32 | x>>32 }
+
+type MulCodec struct{} // want `MulCodec implements Codec but is missing from CodecByName`
+
+func (MulCodec) Name() string           { return "mul" }
+func (MulCodec) Encode(x uint64) uint64 { return x * 3 }
+
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case AddCodec{}.Name():
+		return AddCodec{}, true
+	case SwapCodec{}.Name(): // want `case key is SwapCodec.* but the clause returns AddCodec`
+		return AddCodec{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,28 @@
+// Package experiment is exhaustive-analyzer testdata for the predictor
+// list rule, checked under the spoofed path xorbp/internal/experiment:
+// the name list, constructor switch, and wire validator have been
+// deliberately drifted apart.
+package experiment
+
+func PredictorNames() []string { // want `PredictorNames lists "mystery" but NewDirPredictor has no case for it`
+	return []string{"gshare", "mystery"}
+}
+
+func NewDirPredictor(name string) int {
+	switch name {
+	case "gshare":
+		return 1
+	case "tage":
+		return 2
+	default:
+		panic(name)
+	}
+}
+
+func validPredictor(name string) bool { // want `NewDirPredictor accepts "tage" but validPredictor rejects it` `validPredictor accepts "extra" but NewDirPredictor cannot construct it`
+	switch name {
+	case "gshare", "extra":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package wire is exhaustive-analyzer testdata for the Kind-switch
+// rule, checked under a spoofed path ending in "wire" so the Spec
+// anchor matches.
+package wire
+
+const (
+	KindAttack = "attack"
+	KindSweep  = "sweep"
+)
+
+type Spec struct {
+	Kind string
+	Seed uint64
+}
+
+func dispatchGood(s Spec) int {
+	switch s.Kind {
+	case KindAttack:
+		return 1
+	case KindSweep:
+		return 2
+	case "":
+		return 0
+	default:
+		return -1
+	}
+}
+
+func dispatchMissing(s Spec) int {
+	switch s.Kind { // want `does not handle .*KindSweep` `has no default arm`
+	case KindAttack:
+		return 1
+	case "":
+		return 0
+	}
+	return -1
+}
+
+func notAKindSwitch(s Spec) int {
+	switch s.Seed { // switches on other fields are not anchored
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,25 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"xorbp/internal/analysis/analysistest"
+	"xorbp/internal/analysis/hotpath"
+)
+
+// TestHotpath pins one true positive per banned construct and the
+// sanctioned counterparts: value literals, direct-arg closures,
+// interface dispatch, coldinit callees, allowed appends, math/bits.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hot", "xorbp/internal/fake", hotpath.Analyzer)
+}
+
+// TestCrossPackageFacts pins the fact-store handshake: a hot function
+// may call a //bpvet:hotpath function from an already-analyzed package
+// but not an unmarked one.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunPkgs(t, []analysistest.Pkg{
+		{Dir: "testdata/src/dep", Path: "xorbp/fakedep"},
+		{Dir: "testdata/src/driver", Path: "xorbp/fakedriver"},
+	}, hotpath.Analyzer)
+}

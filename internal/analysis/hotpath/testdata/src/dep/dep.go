@@ -1,0 +1,12 @@
+// Package dep is the fact-store producer half of the cross-package
+// hotpath testdata: Hot exports a hotpath fact, Cold exports nothing.
+package dep
+
+//bpvet:hotpath
+func Hot(x uint64) uint64 {
+	return x * 2654435761
+}
+
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,16 @@
+// Package driver is the fact-store consumer half of the cross-package
+// hotpath testdata: calling a marked function in another analyzed
+// package is fine, calling an unmarked one is a diagnostic.
+package driver
+
+import "xorbp/fakedep"
+
+//bpvet:hotpath
+func Drive(x uint64) uint64 {
+	return dep.Hot(x) // marked in dep: fine
+}
+
+//bpvet:hotpath
+func DriveCold(n int) int {
+	return len(dep.Cold(n)) // want `not marked //bpvet:hotpath or //bpvet:coldinit`
+}

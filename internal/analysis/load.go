@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Imports are the package's direct imports (module-internal only),
+	// used to order passes so fact producers run before consumers.
+	Imports []string
+	// Fset, Files, Types, Info are the parse and type-check results.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Directives are the package's parsed //bpvet comments.
+	Directives *Directives
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load resolves the package patterns with `go list` (run in dir, which
+// must be inside the module) and returns the matched non-standard
+// packages parsed and type-checked, ordered so every package appears
+// after its in-set imports (dependency order, ties broken by path).
+//
+// Type checking uses go/types with the stdlib source importer:
+// dependencies — standard library and module-internal alike — are
+// type-checked from source, so no compiled export data and no module
+// proxy are required. One importer instance is shared across the load,
+// so each dependency is checked once per process.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	inSet := make(map[string]*listEntry, len(entries))
+	for _, e := range entries {
+		inSet[e.ImportPath] = e
+	}
+	order := topoOrder(entries, inSet)
+
+	var pkgs []*Package
+	for _, e := range order {
+		p, err := check(fset, imp, e, inSet)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList shells out to the go command to resolve patterns. The go
+// toolchain is the one component the build environment guarantees, and
+// it is the only authority on build constraints and file sets.
+func goList(dir string, patterns []string) ([]*listEntry, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports,Standard", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, errb.Bytes())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if e.Standard {
+			continue
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// topoOrder sorts entries so imports precede importers (within the
+// loaded set), with lexicographic tie-breaking for deterministic output.
+func topoOrder(entries []*listEntry, inSet map[string]*listEntry) []*listEntry {
+	sorted := append([]*listEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	var order []*listEntry
+	state := make(map[string]int, len(sorted)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(e *listEntry)
+	visit = func(e *listEntry) {
+		switch state[e.ImportPath] {
+		case 1, 2:
+			return // Go forbids import cycles, so "visiting" only recurs on diamonds.
+		}
+		state[e.ImportPath] = 1
+		deps := append([]string(nil), e.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if de, ok := inSet[d]; ok {
+				visit(de)
+			}
+		}
+		state[e.ImportPath] = 2
+		order = append(order, e)
+	}
+	for _, e := range sorted {
+		visit(e)
+	}
+	return order
+}
+
+// check parses and type-checks one package.
+func check(fset *token.FileSet, imp types.Importer, e *listEntry, inSet map[string]*listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	for _, dep := range e.Imports {
+		if _, ok := inSet[dep]; ok {
+			imports = append(imports, dep)
+		}
+	}
+	return &Package{
+		Path:       e.ImportPath,
+		Dir:        e.Dir,
+		Imports:    imports,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: ParseDirectives(fset, files),
+	}, nil
+}
+
+// CheckSource type-checks an already-parsed file set as one package —
+// the analysistest entry point, where testdata files are parsed directly
+// rather than resolved through go list. pkgPath is the import path the
+// package claims; scope predicates key off it, so tests can place a
+// testdata package anywhere in the virtual tree. deps supplies
+// already-checked packages (earlier testdata packages) consulted before
+// the on-disk source importer, letting testdata packages import each
+// other under spoofed paths.
+func CheckSource(fset *token.FileSet, pkgPath string, files []*ast.File, deps map[string]*types.Package) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: &chainImporter{deps: deps, base: importer.ForCompiler(fset, "source", nil)}}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:       pkgPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: ParseDirectives(fset, files),
+	}, nil
+}
+
+// chainImporter resolves imports from a fixed set of already-checked
+// packages first, falling back to the source importer.
+type chainImporter struct {
+	deps map[string]*types.Package
+	base types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.deps[path]; ok {
+		return p, nil
+	}
+	return c.base.Import(path)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.deps[path]; ok {
+		return p, nil
+	}
+	if from, ok := c.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.base.Import(path)
+}

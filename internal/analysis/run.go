@@ -1,0 +1,45 @@
+package analysis
+
+// Run applies the analyzers to the packages, in the order given (the
+// loader emits dependency order, so fact producers run before
+// consumers), and returns the surviving diagnostics sorted by position.
+//
+// Suppression happens here, not in the analyzers: a //bpvet:allow on
+// the diagnostic's line (or the line below the directive's comment
+// group) consumes the diagnostic, and analyzers stay oblivious to the
+// directive grammar. Malformed directives and allows that suppressed
+// nothing are themselves diagnostics, so the allow set ratchets down to
+// exactly the justified ones.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Path:       pkg.Path,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Directives: pkg.Directives,
+				Facts:      facts,
+				report:     func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		facts.MarkAnalyzed(pkg.Path)
+		for _, d := range raw {
+			if !pkg.Directives.Allowed(d.Pos) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, pkg.Directives.Malformed()...)
+		out = append(out, pkg.Directives.Unused()...)
+	}
+	SortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Callee returns the function or method statically called by call, or
+// nil when the callee is dynamic (a func value, an interface method) or
+// not a function at all (a conversion, a builtin).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		// A method-value selection through an interface receiver is
+		// dynamic dispatch, not a static call.
+		if sel, ok := info.Selections[fun]; ok && types.IsInterface(sel.Recv()) {
+			return nil
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if _, isSig := fn.Type().(*types.Signature); !isSig {
+		return nil
+	}
+	return fn
+}
+
+// IsPkgCall reports whether call statically invokes pkgPath.name (a
+// package-level function, e.g. "time".Now).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsInterfaceCall reports whether call dispatches through an interface
+// method (dynamic dispatch).
+func IsInterfaceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv())
+}
+
+// FuncKey is the fact-store key for a function: "Name" for
+// package-level functions, "(Recv).Name" for methods, where Recv is the
+// receiver's named type (pointer stripped).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return "(" + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// DeclKey is FuncKey computed from a declaration's AST, matching the
+// key FuncKey derives from the types.Func.
+func DeclKey(info *types.Info, fd *ast.FuncDecl) string {
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return FuncKey(obj)
+	}
+	return fd.Name.Name
+}

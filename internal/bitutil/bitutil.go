@@ -29,6 +29,8 @@ func NewSatCounter(bits uint, v uint8) SatCounter {
 }
 
 // Inc increments towards the maximum, saturating.
+//
+//bpvet:hotpath
 func (c *SatCounter) Inc() {
 	if c.value < c.max {
 		c.value++
@@ -36,6 +38,8 @@ func (c *SatCounter) Inc() {
 }
 
 // Dec decrements towards zero, saturating.
+//
+//bpvet:hotpath
 func (c *SatCounter) Dec() {
 	if c.value > 0 {
 		c.value--
@@ -43,6 +47,8 @@ func (c *SatCounter) Dec() {
 }
 
 // Update increments on taken, decrements otherwise.
+//
+//bpvet:hotpath
 func (c *SatCounter) Update(taken bool) {
 	if taken {
 		c.Inc()
@@ -52,15 +58,23 @@ func (c *SatCounter) Update(taken bool) {
 }
 
 // Taken reports the predicted direction: the counter's MSB.
+//
+//bpvet:hotpath
 func (c *SatCounter) Taken() bool { return c.value > c.max/2 }
 
 // Value returns the raw counter value.
+//
+//bpvet:hotpath
 func (c *SatCounter) Value() uint8 { return c.value }
 
 // Max returns the saturation ceiling.
+//
+//bpvet:hotpath
 func (c *SatCounter) Max() uint8 { return c.max }
 
 // Set clamps v into range and stores it.
+//
+//bpvet:hotpath
 func (c *SatCounter) Set(v uint8) {
 	if c.max == 0 {
 		c.max = 3 // zero value behaves as a 2-bit counter
@@ -73,6 +87,8 @@ func (c *SatCounter) Set(v uint8) {
 
 // Weak reports whether the counter is in one of the two central (weak)
 // states. For even widths this is the pair around the midpoint.
+//
+//bpvet:hotpath
 func (c *SatCounter) Weak() bool {
 	mid := c.max / 2
 	return c.value == mid || c.value == mid+1
@@ -102,6 +118,8 @@ func NewSignedCounter(bits uint, v int16) SignedCounter {
 }
 
 // Inc saturating-increments.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Inc() {
 	if c.value < c.max {
 		c.value++
@@ -109,6 +127,8 @@ func (c *SignedCounter) Inc() {
 }
 
 // Dec saturating-decrements.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Dec() {
 	if c.value > c.min {
 		c.value--
@@ -116,6 +136,8 @@ func (c *SignedCounter) Dec() {
 }
 
 // Update increments on up, decrements otherwise.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Update(up bool) {
 	if up {
 		c.Inc()
@@ -125,9 +147,13 @@ func (c *SignedCounter) Update(up bool) {
 }
 
 // Value returns the current value.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Value() int16 { return c.value }
 
 // Set clamps v into range and stores it.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Set(v int16) {
 	if c.min == 0 && c.max == 0 {
 		c.min, c.max = -4, 3 // zero value behaves as 3-bit
@@ -142,9 +168,13 @@ func (c *SignedCounter) Set(v int16) {
 }
 
 // Min and Max return the saturation bounds.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Min() int16 { return c.min }
 
 // Max returns the upper saturation bound.
+//
+//bpvet:hotpath
 func (c *SignedCounter) Max() int16 { return c.max }
 
 // History is a shift register of branch outcomes of bounded length,
@@ -167,9 +197,13 @@ func NewHistory(length uint) *History {
 }
 
 // Len returns the register length in bits.
+//
+//bpvet:hotpath
 func (h *History) Len() uint { return h.length }
 
 // Push shifts in a new outcome as bit 0.
+//
+//bpvet:hotpath
 func (h *History) Push(taken bool) {
 	carry := uint64(0)
 	if taken {
@@ -188,6 +222,8 @@ func (h *History) Push(taken bool) {
 }
 
 // Bit returns outcome i (0 = most recent). Out-of-range bits read as 0.
+//
+//bpvet:hotpath
 func (h *History) Bit(i uint) uint64 {
 	if i >= h.length {
 		return 0
@@ -196,6 +232,8 @@ func (h *History) Bit(i uint) uint64 {
 }
 
 // Low returns the least significant n bits (n <= 64) as an integer.
+//
+//bpvet:hotpath
 func (h *History) Low(n uint) uint64 {
 	if n > 64 {
 		panic("bitutil: History.Low beyond 64 bits")
@@ -208,6 +246,8 @@ func (h *History) Low(n uint) uint64 {
 }
 
 // Reset clears the register.
+//
+//bpvet:hotpath
 func (h *History) Reset() {
 	for i := range h.bits {
 		h.bits[i] = 0
@@ -253,6 +293,8 @@ func NewFolded(origLen, compLen uint) *Folded {
 // Update incorporates a new outcome given the full history register h,
 // which must already contain the new outcome at bit 0. The bit leaving the
 // window is h.Bit(origLen), i.e. the one just pushed past the end.
+//
+//bpvet:hotpath
 func (f *Folded) Update(h *History) {
 	f.UpdateBits(h.Bit(0), h.Bit(uint(f.origLen)))
 }
@@ -262,6 +304,8 @@ func (f *Folded) Update(h *History) {
 // origLen). Predictors that maintain several folds over the same history
 // length — TAGE keeps three per table — read the two bits once and share
 // them across the folds; this is the simulator's hottest loop.
+//
+//bpvet:hotpath
 func (f *Folded) UpdateBits(in, out uint64) {
 	f.comp = (f.comp << 1) | in
 	f.comp ^= out << f.outPoint
@@ -270,12 +314,18 @@ func (f *Folded) UpdateBits(in, out uint64) {
 }
 
 // Value returns the folded image.
+//
+//bpvet:hotpath
 func (f *Folded) Value() uint64 { return f.comp }
 
 // Reset clears the folded image (call together with History.Reset).
+//
+//bpvet:hotpath
 func (f *Folded) Reset() { f.comp = 0 }
 
 // Mask returns a value with the low n bits set. n must be <= 64.
+//
+//bpvet:hotpath
 func Mask(n uint) uint64 {
 	if n >= 64 {
 		return ^uint64(0)
@@ -284,6 +334,8 @@ func Mask(n uint) uint64 {
 }
 
 // Log2 returns floor(log2(n)) for n >= 1.
+//
+//bpvet:hotpath
 func Log2(n uint64) uint {
 	var l uint
 	for n > 1 {
@@ -294,6 +346,8 @@ func Log2(n uint64) uint {
 }
 
 // IsPow2 reports whether n is a power of two (n >= 1).
+//
+//bpvet:hotpath
 func IsPow2(n uint64) bool { return n != 0 && n&(n-1) == 0 }
 
 // Zipf samples ranks in [0, n) with probability proportional to
@@ -321,6 +375,8 @@ func NewZipf(n int, s float64) *Zipf {
 }
 
 // Sample draws a rank using g.
+//
+//bpvet:hotpath
 func (z *Zipf) Sample(g *rng.Xoshiro256) int {
 	u := g.Float64()
 	lo, hi := 0, len(z.cdf)-1

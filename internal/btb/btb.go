@@ -103,6 +103,8 @@ func (b *BTB) tagOf(pc uint64) uint64 {
 // 2^-TagBits — the content-isolation property. On a hit the stored target
 // is decoded with the same key; a false hit therefore yields a garbage
 // target, which the pipeline discovers at execute as a misprediction.
+//
+//bpvet:hotpath
 func (b *BTB) Lookup(d core.Domain, pc uint64) (target uint64, hit bool) {
 	b.lookups++
 	set := b.sets[b.index(d, pc)]
@@ -132,6 +134,8 @@ func (b *BTB) Lookup(d core.Domain, pc uint64) (target uint64, hit bool) {
 // Update records a taken branch's target. Existing matching entries are
 // refreshed; otherwise the LRU way is replaced. Tag and target are
 // encoded with d's content key before being stored.
+//
+//bpvet:hotpath
 func (b *BTB) Update(d core.Domain, pc uint64, target uint64, class predictor.Class) {
 	set := b.sets[b.index(d, pc)]
 	want := b.tagOf(pc)
@@ -170,6 +174,8 @@ func (b *BTB) touch(set []entry, i int) {
 }
 
 // FlushAll invalidates every entry (Complete Flush).
+//
+//bpvet:hotpath
 func (b *BTB) FlushAll() {
 	for s := range b.sets {
 		for w := range b.sets[s] {
@@ -181,6 +187,8 @@ func (b *BTB) FlushAll() {
 // FlushThread invalidates entries owned by t (Precise Flush). Ownership is
 // tracked unconditionally in the BTB because, unlike the PHT, BTB entries
 // are wide enough that a thread-ID field is plausible (§4.1).
+//
+//bpvet:hotpath
 func (b *BTB) FlushThread(t core.HWThread) {
 	for s := range b.sets {
 		for w := range b.sets[s] {

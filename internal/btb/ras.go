@@ -42,6 +42,8 @@ func (r *RAS) stack(t core.HWThread) ([]uint64, *int) {
 }
 
 // Push records a return address for a call executed by d.
+//
+//bpvet:hotpath
 func (r *RAS) Push(d core.Domain, retAddr uint64) {
 	s, top := r.stack(d.Thread)
 	s[*top%r.depth] = r.guard.Encode(retAddr, d)
@@ -50,6 +52,8 @@ func (r *RAS) Push(d core.Domain, retAddr uint64) {
 
 // Pop predicts the target of a return executed by d. ok is false when the
 // stack has underflowed.
+//
+//bpvet:hotpath
 func (r *RAS) Pop(d core.Domain) (retAddr uint64, ok bool) {
 	s, top := r.stack(d.Thread)
 	if *top == 0 {
@@ -63,6 +67,8 @@ func (r *RAS) Pop(d core.Domain) (retAddr uint64, ok bool) {
 func (r *RAS) Depth() int { return r.depth }
 
 // FlushAll clears all stacks.
+//
+//bpvet:hotpath
 func (r *RAS) FlushAll() {
 	for i := range r.tops {
 		r.tops[i] = 0
@@ -71,6 +77,8 @@ func (r *RAS) FlushAll() {
 
 // FlushThread clears thread t's stack (for the shared variant this clears
 // the common stack, the conservative behaviour).
+//
+//bpvet:hotpath
 func (r *RAS) FlushThread(t core.HWThread) {
 	if r.shared {
 		r.tops[0] = 0

@@ -28,9 +28,13 @@ type Codec interface {
 type XORCodec struct{}
 
 // Encode XORs v with k.
+//
+//bpvet:hotpath
 func (XORCodec) Encode(v uint64, k Key) uint64 { return v ^ uint64(k) }
 
 // Decode XORs v with k (XOR is an involution).
+//
+//bpvet:hotpath
 func (XORCodec) Decode(v uint64, k Key) uint64 { return v ^ uint64(k) }
 
 // Name returns "xor".
@@ -49,11 +53,15 @@ type RotXORCodec struct{}
 func rotAmount(k Key) int { return int(uint64(k)>>58) & 63 }
 
 // Encode rotates v left by a key-derived amount, then XORs with k.
+//
+//bpvet:hotpath
 func (RotXORCodec) Encode(v uint64, k Key) uint64 {
 	return bits.RotateLeft64(v, rotAmount(k)) ^ uint64(k)
 }
 
 // Decode inverts Encode: XOR first, then rotate right.
+//
+//bpvet:hotpath
 func (RotXORCodec) Decode(v uint64, k Key) uint64 {
 	return bits.RotateLeft64(v^uint64(k), -rotAmount(k))
 }
@@ -66,9 +74,13 @@ func (RotXORCodec) Name() string { return "rotxor" }
 type IdentityCodec struct{}
 
 // Encode returns v unchanged.
+//
+//bpvet:hotpath
 func (IdentityCodec) Encode(v uint64, _ Key) uint64 { return v }
 
 // Decode returns v unchanged.
+//
+//bpvet:hotpath
 func (IdentityCodec) Decode(v uint64, _ Key) uint64 { return v }
 
 // Name returns "identity".
@@ -91,6 +103,8 @@ type Scrambler interface {
 type XORScrambler struct{}
 
 // Scramble XORs the index with the low bits of the key.
+//
+//bpvet:hotpath
 func (XORScrambler) Scramble(idx uint64, k Key, nbits uint) uint64 {
 	return (idx ^ uint64(k)) & mask(nbits)
 }
@@ -107,6 +121,8 @@ type FeistelScrambler struct{}
 
 // Scramble applies two Feistel rounds. For odd widths the left half gets
 // the extra bit.
+//
+//bpvet:hotpath
 func (FeistelScrambler) Scramble(idx uint64, k Key, nbits uint) uint64 {
 	if nbits < 2 {
 		return (idx ^ uint64(k)) & mask(nbits)
@@ -138,6 +154,8 @@ func (FeistelScrambler) Name() string { return "feistel" }
 type IdentityScrambler struct{}
 
 // Scramble returns idx unchanged (masked to nbits).
+//
+//bpvet:hotpath
 func (IdentityScrambler) Scramble(idx uint64, _ Key, nbits uint) uint64 {
 	return idx & mask(nbits)
 }

@@ -52,6 +52,8 @@ func NewController(opts Options, seed uint64) *Controller {
 }
 
 // Options returns the normalized options in effect.
+//
+//bpvet:hotpath
 func (c *Controller) Options() Options { return c.opts }
 
 // Register adds a table of the given structure class to the flush
@@ -69,6 +71,8 @@ func (c *Controller) inScope(kind Structure) bool {
 // software thread. For encoding mechanisms this rotates t's keys; for
 // flush mechanisms it flushes (whole tables for CompleteFlush, only t's
 // entries for PreciseFlush) — in-scope structures only.
+//
+//bpvet:hotpath
 func (c *Controller) ContextSwitch(t HWThread) {
 	c.contextSwitches++
 	switch {
@@ -85,6 +89,8 @@ func (c *Controller) ContextSwitch(t HWThread) {
 // level 'to'. Encoding mechanisms rotate the destination domain's keys
 // when RotateOnPrivilege is set; flush mechanisms flush when
 // FlushOnPrivilege is set.
+//
+//bpvet:hotpath
 func (c *Controller) PrivilegeChange(t HWThread, to Privilege) {
 	c.privSwitches++
 	switch {
@@ -104,6 +110,8 @@ func (c *Controller) PrivilegeChange(t HWThread, to Privilege) {
 // PeriodicFlush forces a flush event independent of scheduling, modelling
 // the paper's Figure 1 experiment ("the predictor is flushed every 4
 // million cycles"). It is a no-op for non-flush mechanisms.
+//
+//bpvet:hotpath
 func (c *Controller) PeriodicFlush() {
 	switch c.opts.Mechanism {
 	case CompleteFlush:
@@ -181,6 +189,8 @@ type Guard struct {
 
 // ContentKey returns the effective content key for a domain, or 0 when
 // content encoding does not apply to this structure.
+//
+//bpvet:hotpath
 func (g *Guard) ContentKey(d Domain) Key {
 	if !g.encode {
 		return 0
@@ -190,6 +200,8 @@ func (g *Guard) ContentKey(d Domain) Key {
 
 // IndexKey returns the effective index key for a domain, or 0 when index
 // encoding does not apply to this structure.
+//
+//bpvet:hotpath
 func (g *Guard) IndexKey(d Domain) Key {
 	if !g.scramix {
 		return 0
@@ -204,6 +216,8 @@ func (g *Guard) IndexKey(d Domain) Key {
 // inside every predictor table access.
 
 // Encode applies the content codec (identity when out of scope).
+//
+//bpvet:hotpath
 func (g *Guard) Encode(v uint64, d Domain) uint64 {
 	if !g.encode {
 		return v
@@ -220,6 +234,8 @@ func (g *Guard) encodeEnc(v uint64, d Domain) uint64 {
 }
 
 // Decode inverts Encode.
+//
+//bpvet:hotpath
 func (g *Guard) Decode(v uint64, d Domain) uint64 {
 	if !g.encode {
 		return v
@@ -238,6 +254,8 @@ func (g *Guard) decodeEnc(v uint64, d Domain) uint64 {
 // EncodeWord encodes v with a word-indexed key derived from the domain
 // key: the Enhanced-XOR-PHT schedule ("different logical entries nearby in
 // the PHT can use different keys", §5.2). Identity when out of scope.
+//
+//bpvet:hotpath
 func (g *Guard) EncodeWord(v uint64, d Domain, word uint64) uint64 {
 	if !g.encode {
 		return v
@@ -250,6 +268,8 @@ func (g *Guard) EncodeWord(v uint64, d Domain, word uint64) uint64 {
 }
 
 // DecodeWord inverts EncodeWord.
+//
+//bpvet:hotpath
 func (g *Guard) DecodeWord(v uint64, d Domain, word uint64) uint64 {
 	if !g.encode {
 		return v
@@ -273,6 +293,8 @@ func (g *Guard) wordKey(d Domain, word uint64) Key {
 // is NoisyXOR and the structure is in scope). Index widths are always
 // below 64 bits, so the mask is computed directly to keep the
 // pass-through case within the inlining budget.
+//
+//bpvet:hotpath
 func (g *Guard) ScrambleIndex(idx uint64, d Domain, nbits uint) uint64 {
 	if !g.scramix {
 		return idx & (1<<nbits - 1)
@@ -290,6 +312,8 @@ func (g *Guard) scrambleEnc(idx uint64, d Domain, nbits uint) uint64 {
 
 // TracksOwners reports whether tables should maintain per-entry owner
 // thread IDs (needed by Precise Flush).
+//
+//bpvet:hotpath
 func (g *Guard) TracksOwners() bool {
 	return g.active && g.ctrl.opts.Mechanism == PreciseFlush
 }
@@ -297,4 +321,6 @@ func (g *Guard) TracksOwners() bool {
 // Encodes reports whether content encoding applies to this structure.
 // Storage primitives use it to skip the decode/encode calls entirely on
 // pass-through guards (the baseline and the flush mechanisms).
+//
+//bpvet:hotpath
 func (g *Guard) Encodes() bool { return g.encode }

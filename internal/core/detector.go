@@ -34,6 +34,8 @@ func NewSingleStepDetector() *SingleStepDetector {
 
 // KernelEntry reports a kernel entry after userInstructions retired since
 // the previous one, and returns whether update bypass is (now) active.
+//
+//bpvet:hotpath
 func (d *SingleStepDetector) KernelEntry(userInstructions uint64) bool {
 	if userInstructions < d.MinProgress {
 		if d.starved < d.Window {
@@ -47,9 +49,13 @@ func (d *SingleStepDetector) KernelEntry(userInstructions uint64) bool {
 
 // Bypass reports whether predictor updates should currently be
 // suppressed.
+//
+//bpvet:hotpath
 func (d *SingleStepDetector) Bypass() bool {
 	return d.Window > 0 && d.starved >= d.Window
 }
 
 // Reset clears the detector (e.g. on a context switch).
+//
+//bpvet:hotpath
 func (d *SingleStepDetector) Reset() { d.starved = 0 }

@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/predictor"
+	"xorbp/internal/workload"
+)
+
+// These guards are the runtime counterpart of the bpvet hotpath
+// analyzer: every function marked //bpvet:hotpath must be alloc-free in
+// steady state, and these tests measure that the annotated closures of
+// functions — both simulation engines and each predictor's
+// predict/update path — actually allocate nothing once the per-thread
+// lazy state (//bpvet:coldinit) has been touched. A regression here
+// means an annotation lies or an inline budget broke; fix the code (or
+// the annotation), not the test.
+
+// warmCore builds the Figure-1 cell (FPGA core, time-shared pair) for
+// one predictor and engine and runs it past all cold-start allocation:
+// generator buffers, event rings, lazy per-thread predictor state.
+func warmCore(t testing.TB, pred string, e Engine) *Core {
+	t.Helper()
+	ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 7)
+	dir := newPred(pred, ctrl)
+	c := New(FPGAConfig(), DefaultScheduler(1_000_000), ctrl, dir)
+	c.SetEngine(e)
+	c.Assign(
+		workload.NewGenerator(workload.MustByName("gcc"), 2000),
+		workload.NewGenerator(workload.MustByName("calculix"), 2001),
+	)
+	c.RunTargetInstructions(200_000)
+	return c
+}
+
+// TestEnginesSteadyStateAllocFree pins zero allocations per simulated
+// chunk for both engines across every predictor the experiments build.
+func TestEnginesSteadyStateAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guards need full warmup")
+	}
+	for _, pred := range allPredictors {
+		for _, e := range []Engine{EngineReference, EngineFast} {
+			name := pred + "/reference"
+			if e == EngineFast {
+				name = pred + "/fast"
+			}
+			t.Run(name, func(t *testing.T) {
+				c := warmCore(t, pred, e)
+				avg := testing.AllocsPerRun(10, func() {
+					c.RunTargetInstructions(20_000)
+				})
+				if avg != 0 {
+					t.Errorf("steady-state run allocates %.1f objects per 20k-instruction chunk, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestPredictorPathsAllocFree exercises each predictor's fused
+// PredictUpdate directly (the call the engines dispatch per conditional
+// branch), bypassing the core, so an allocation is attributable to the
+// predictor itself rather than the fetch loop around it.
+func TestPredictorPathsAllocFree(t *testing.T) {
+	for _, name := range allPredictors {
+		t.Run(name, func(t *testing.T) {
+			ctrl := core.NewController(core.OptionsFor(core.NoisyXOR), 9)
+			dir := newPred(name, ctrl)
+			pu, ok := dir.(predictor.PredictUpdater)
+			if !ok {
+				t.Fatalf("%s does not implement PredictUpdater", name)
+			}
+			d := core.Domain{Thread: 0, Priv: core.User}
+			// Warm the lazy per-thread state and fill the tables.
+			pc := uint64(0x4000)
+			for i := 0; i < 50_000; i++ {
+				pc = 0x4000 + uint64(i%257)*16
+				pu.PredictUpdate(d, pc, i%3 != 0)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(2000, func() {
+				pc := 0x4000 + uint64(i%257)*16
+				pu.PredictUpdate(d, pc, i%3 != 0)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s.PredictUpdate allocates %.2f objects per call, want 0", name, avg)
+			}
+		})
+	}
+}

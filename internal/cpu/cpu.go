@@ -159,6 +159,8 @@ func newSWThread(p workload.Program, kernel bool) *swThread {
 // bulk when it drains. The ring preserves the per-thread event stream
 // exactly: programs are pure sources, so pulling events ahead of the
 // cycle they are fetched on cannot change what they contain.
+//
+//bpvet:hotpath
 func (t *swThread) load() {
 	if t.ringPos == t.ringLen {
 		t.ringLen = t.batch.NextBatch(t.ring)
@@ -184,6 +186,8 @@ type hwContext struct {
 }
 
 // active returns the stream the context is fetching from.
+//
+//bpvet:hotpath
 func (hc *hwContext) active() *swThread {
 	if hc.kernelLeft > 0 {
 		return hc.kernel
@@ -307,6 +311,8 @@ func (c *Core) ResetStats() {
 // path on its behalf — so one thread's mispredictions cost the whole SMT
 // core bandwidth rather than being silently absorbed by its siblings.
 // Returns the number of user instructions retired this cycle.
+//
+//bpvet:hotpath
 func (c *Core) step() uint64 {
 	c.cycle++
 	if len(c.hw) == 1 {
@@ -324,6 +330,8 @@ func (c *Core) step() uint64 {
 
 // fetchGroup fetches up to FetchWidth instructions for hc, stopping at a
 // taken branch or a stall. Returns user instructions retired.
+//
+//bpvet:hotpath
 func (c *Core) fetchGroup(hc *hwContext) uint64 {
 	// Timer interrupts are taken at user-mode fetch boundaries.
 	if hc.kernelLeft == 0 && c.cycle >= hc.nextTimer {
@@ -389,6 +397,8 @@ func (c *Core) fetchGroup(hc *hwContext) uint64 {
 
 // enterKernel models a privilege switch into the kernel: the isolation
 // event fires and the synthetic handler is scheduled.
+//
+//bpvet:hotpath
 func (c *Core) enterKernel(hc *hwContext) {
 	hc.priv = core.Kernel
 	c.ctrl.PrivilegeChange(hc.id, core.Kernel)
@@ -405,6 +415,8 @@ func (c *Core) enterKernel(hc *hwContext) {
 // exitKernel returns to user mode, firing the privilege event (fresh user
 // key under the encoding mechanisms — the §5.5 scenario 5 property), and
 // performs any pending context switch.
+//
+//bpvet:hotpath
 func (c *Core) exitKernel(hc *hwContext) {
 	if hc.pendingCtx {
 		hc.pendingCtx = false
@@ -419,6 +431,8 @@ func (c *Core) exitKernel(hc *hwContext) {
 
 // chargeFlushWalk stalls the context for the Precise Flush row walk when
 // the event actually flushed.
+//
+//bpvet:hotpath
 func (c *Core) chargeFlushWalk(hc *hwContext, privEvent bool) {
 	if c.pfWalkCycles == 0 {
 		return
@@ -433,6 +447,8 @@ func (c *Core) chargeFlushWalk(hc *hwContext, privEvent bool) {
 
 // resolve predicts and immediately resolves one branch, returning whether
 // fetch redirects (taken) and the stall penalty in cycles.
+//
+//bpvet:hotpath
 func (c *Core) resolve(hc *hwContext, t *swThread) (redirect bool, stall uint64) {
 	d := core.Domain{Thread: hc.id, Priv: hc.priv}
 	ev := &t.ev
@@ -520,6 +536,8 @@ const targetMask = (1 << 32) - 1
 // RunTargetInstructions runs until software thread 0 on hardware context
 // 0 (the "target benchmark") retires n more user instructions, the
 // paper's single-threaded measurement. It returns the elapsed cycles.
+//
+//bpvet:hotpath
 func (c *Core) RunTargetInstructions(n uint64) uint64 {
 	start := c.cycle
 	target := c.hw[0].sw[0]
@@ -541,6 +559,8 @@ func (c *Core) RunTargetInstructions(n uint64) uint64 {
 // all threads, the paper's SMT measurement ("the execution cycles of the
 // next two billion instructions executed by either thread"). It returns
 // the elapsed cycles.
+//
+//bpvet:hotpath
 func (c *Core) RunTotalInstructions(n uint64) uint64 {
 	start := c.cycle
 	switch {

@@ -60,6 +60,8 @@ func (c *Core) EngineInUse() Engine { return c.engine }
 // context 0's software thread 0 has retired `limit` total instructions
 // (RunTargetInstructions); false stops when `limit` user instructions
 // have retired across all threads since the call (RunTotalInstructions).
+//
+//bpvet:hotpath
 func (c *Core) fastRun1(targetOnly bool, limit uint64) {
 	hc := c.hw[0]
 	fw := uint64(c.cfg.FetchWidth)
@@ -144,6 +146,8 @@ func (c *Core) fastRun1(targetOnly bool, limit uint64) {
 // groups — whole rounds are skipped at once. A round is len(hw) cycles
 // with the round-robin pointer back where it started, so skipping whole
 // rounds cannot change which context fetches on which cycle.
+//
+//bpvet:hotpath
 func (c *Core) fastRunN(targetOnly bool, limit uint64) {
 	nhw := uint64(len(c.hw))
 	fw := uint64(c.cfg.FetchWidth)

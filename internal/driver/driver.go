@@ -44,7 +44,7 @@ func Summarize(exec *experiment.Executor, client *wire.Client, backendName strin
 		Simulated: exec.Runs(),
 		Cached:    exec.Replays(),
 		Skipped:   exec.Skipped(),
-		WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond),
+		WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond), //bpvet:allow wall-clock telemetry in the summary line; never part of a result or cache key
 		Backend:   backendName,
 		Workers:   exec.Workers(),
 	}

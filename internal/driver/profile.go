@@ -57,7 +57,9 @@ func StartProfiles(prog, cpuProfile, memProfile string) (stop func()) {
 				if err := pprof.WriteHeapProfile(f); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
 				}
-				f.Close()
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", prog, err)
+				}
 			}
 		})
 	}

@@ -60,6 +60,8 @@ func (g *Gshare) index(d core.Domain, pc uint64) uint64 {
 }
 
 // Predict implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (g *Gshare) Predict(d core.Domain, pc uint64) bool {
 	idx := g.index(d, pc)
 	g.scratch[d.Thread] = idx
@@ -69,6 +71,8 @@ func (g *Gshare) Predict(d core.Domain, pc uint64) bool {
 // Update implements predictor.DirPredictor. It trains the counter that
 // produced the prediction and shifts the outcome into the thread's global
 // history.
+//
+//bpvet:hotpath
 func (g *Gshare) Update(d core.Domain, pc uint64, taken bool) {
 	idx := g.scratch[d.Thread]
 	g.pht.Update(d, idx, func(v uint64) uint64 { return bump(v, taken) })
@@ -79,6 +83,8 @@ func (g *Gshare) Update(d core.Domain, pc uint64, taken bool) {
 // predict-then-train call the simulator dispatches once per
 // conditional branch. Predict already caches the physical index in
 // scratch for Update, so the plain composition computes it once.
+//
+//bpvet:hotpath
 func (g *Gshare) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
 	pred := g.Predict(d, pc)
 	g.Update(d, pc, taken)
@@ -98,12 +104,16 @@ func bump(v uint64, taken bool) uint64 {
 }
 
 // FlushAll implements core.Flusher.
+//
+//bpvet:hotpath
 func (g *Gshare) FlushAll() { g.pht.FlushAll() }
 
 // FlushThread implements core.Flusher. The PHT has no owner bits (the
 // paper's point about 2-bit entries), so this degrades to a full flush —
 // except that a history-less structure owned entirely by one thread on a
 // single-threaded core behaves identically either way.
+//
+//bpvet:hotpath
 func (g *Gshare) FlushThread(t core.HWThread) { g.pht.FlushThread(t) }
 
 // StorageBits implements predictor.DirPredictor.

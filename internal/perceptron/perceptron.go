@@ -108,6 +108,8 @@ func (p *Perceptron) encode(w int) uint64 {
 }
 
 // Predict implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (p *Perceptron) Predict(d core.Domain, pc uint64) bool {
 	row := p.row(d, pc)
 	hist := p.ghr[d.Thread]
@@ -126,6 +128,8 @@ func (p *Perceptron) Predict(d core.Domain, pc uint64) bool {
 
 // Update implements predictor.DirPredictor: threshold training against
 // the predict-time scratch state, then history shift.
+//
+//bpvet:hotpath
 func (p *Perceptron) Update(d core.Domain, pc uint64, taken bool) {
 	s := p.scratch[d.Thread]
 	predicted := s.sum >= 0
@@ -134,12 +138,6 @@ func (p *Perceptron) Update(d core.Domain, pc uint64, taken bool) {
 		margin = -margin
 	}
 	if predicted != taken || margin <= p.theta {
-		step := func(agree bool) int {
-			if agree {
-				return 1
-			}
-			return -1
-		}
 		p.weights[0].Update(d, s.row, func(v uint64) uint64 {
 			return p.encode(p.decode(v) + step(taken))
 		})
@@ -153,7 +151,18 @@ func (p *Perceptron) Update(d core.Domain, pc uint64, taken bool) {
 	p.ghr[d.Thread] = p.ghr[d.Thread]<<1 | b2u(taken)
 }
 
+// step is the per-weight training delta: +1 when the history bit (or
+// the branch itself, for the bias weight) agreed with the outcome.
+func step(agree bool) int {
+	if agree {
+		return 1
+	}
+	return -1
+}
+
 // FlushAll implements core.Flusher.
+//
+//bpvet:hotpath
 func (p *Perceptron) FlushAll() {
 	for _, w := range p.weights {
 		w.FlushAll()
@@ -162,6 +171,8 @@ func (p *Perceptron) FlushAll() {
 
 // FlushThread implements core.Flusher; like the PHTs, weight rows carry
 // no owner bits, so this degrades to whatever the arrays track.
+//
+//bpvet:hotpath
 func (p *Perceptron) FlushThread(t core.HWThread) {
 	for _, w := range p.weights {
 		w.FlushThread(t)
@@ -190,6 +201,8 @@ var _ core.Flusher = (*Perceptron)(nil)
 // PredictUpdate implements predictor.PredictUpdater: the fused
 // predict-then-train call the simulator dispatches once per conditional
 // branch (identical to Predict followed by Update).
+//
+//bpvet:hotpath
 func (p *Perceptron) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
 	pred := p.Predict(d, pc)
 	p.Update(d, pc, taken)

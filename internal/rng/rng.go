@@ -21,6 +21,8 @@ import "math/bits"
 // statistically independent 64-bit value and is its own documentation of
 // the constants from Steele et al., "Fast Splittable Pseudorandom Number
 // Generators" (OOPSLA 2014).
+//
+//bpvet:hotpath
 func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -68,6 +70,8 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 }
 
 // Uint64 returns the next value in the stream.
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Uint64() uint64 {
 	result := bits.RotateLeft64(g.s[1]*5, 7) * 9
 	t := g.s[1] << 17
@@ -82,10 +86,14 @@ func (g *Xoshiro256) Uint64() uint64 {
 
 // Uint32 returns the high 32 bits of the next value (the high bits of
 // xoshiro256** have the best statistical quality).
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Uint32() uint32 { return uint32(g.Uint64() >> 32) }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 // Lemire's multiply-shift rejection method avoids modulo bias.
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
@@ -94,6 +102,8 @@ func (g *Xoshiro256) Intn(n int) int {
 }
 
 // Uint64n returns a uniform value in [0, n). It panics if n == 0.
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n with zero n")
@@ -109,11 +119,15 @@ func (g *Xoshiro256) Uint64n(n uint64) uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Float64() float64 {
 	return float64(g.Uint64()>>11) / (1 << 53)
 }
 
 // Bool returns true with probability p.
+//
+//bpvet:hotpath
 func (g *Xoshiro256) Bool(p float64) bool { return g.Float64() < p }
 
 // Fork returns a new generator seeded from this one's stream. Forked
@@ -139,4 +153,6 @@ func NewHWRNG(seed uint64) *HWRNG {
 }
 
 // Draw returns the next random key-generation value.
+//
+//bpvet:hotpath
 func (r *HWRNG) Draw() uint64 { return r.g.Uint64() }

@@ -1,0 +1,68 @@
+package runcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenEntry feeds arbitrary bytes to the store's entry loader: a
+// cache directory is shared, crash-prone state, so any on-disk file —
+// torn, truncated, tampered, or from a foreign tool — must either load
+// as a valid entry or be quarantined. Open must never panic and never
+// trust a file whose recorded schema or key disagrees with its
+// location.
+func FuzzOpenEntry(f *testing.F) {
+	const schema = "fuzz-schema-v1"
+	const key = "00deadbeef"
+	good, _ := json.Marshal(entry{Schema: schema, Key: key, Value: json.RawMessage(`{"x":1}`)})
+	f.Add(good)
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"schema":"fuzz-schema-v1","key":"wrong","value":{}}`))
+	f.Add([]byte(`{"schema":"other","key":"00deadbeef","value":{}}`))
+	f.Add([]byte(`{"schema":"fuzz-schema-v1","key":"00deadbeef","value":null}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		sub := filepath.Join(dir, schemaID(schema))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(sub, key+".json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, schema)
+		if err != nil {
+			t.Fatalf("Open must tolerate arbitrary entry bytes, got: %v", err)
+		}
+		st := s.Stats()
+		if st.Loaded+st.Quarantined != 1 {
+			t.Fatalf("entry neither loaded nor quarantined: %+v", st)
+		}
+		if st.Loaded == 1 {
+			// A loaded entry must be exactly the recorded value, and the
+			// file must re-parse as the entry it claimed to be.
+			var e entry
+			if json.Unmarshal(raw, &e) != nil || e.Schema != schema || e.Key != key {
+				t.Fatal("loader accepted an entry the strict parse rejects")
+			}
+			got, ok := s.Get(key)
+			if !ok || !bytes.Equal(got, e.Value) {
+				t.Fatalf("loaded value mismatch: got %q want %q", got, e.Value)
+			}
+		} else {
+			// Quarantine renames aside; the original name must be gone and
+			// a re-Open must see an empty store, not re-trip on the file.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("quarantined entry still present under its live name")
+			}
+			s2, err := Open(dir, schema)
+			if err != nil || s2.Len() != 0 {
+				t.Fatalf("re-Open after quarantine: len=%d err=%v", s2.Len(), err)
+			}
+		}
+	})
+}

@@ -194,16 +194,16 @@ func (s *Store) writeFile(key string, raw []byte) error {
 		return fmt.Errorf("runcache: %w", err)
 	}
 	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key+".json")); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
 	}
 	return nil

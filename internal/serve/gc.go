@@ -32,10 +32,10 @@ func StartGC(dir string, schemas []string, interval time.Duration, opts runcache
 			return
 		}
 		if err != nil {
-			fmt.Fprintf(log, "cache-gc %s: %v\n", dir, err)
+			fmt.Fprintf(log, "cache-gc %s: %v\n", dir, err) //bpvet:allow best-effort GC telemetry to the worker log
 			return
 		}
-		fmt.Fprintf(log, "cache-gc %s: %s\n", dir, rep)
+		fmt.Fprintf(log, "cache-gc %s: %s\n", dir, rep) //bpvet:allow best-effort GC telemetry to the worker log
 	}
 	go func() {
 		// One pass up front: a worker restarted more often than the

@@ -207,9 +207,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.inflight.Add(1)
-	start := time.Now()
+	start := time.Now() //bpvet:allow per-request duration telemetry for the worker log
 	res, err := s.backend.Run(r.Context(), req.Spec)
-	dur := time.Since(start)
+	dur := time.Since(start) //bpvet:allow per-request duration telemetry for the worker log
 	s.inflight.Add(-1)
 	<-s.sem
 	if err != nil {

@@ -128,6 +128,8 @@ func (a *WordArray) locate(idx uint64) (word uint64, shift uint) {
 // key rotation) therefore yields noise — the content-isolation property.
 // The pass-through case is kept small enough to inline into predictor
 // lookup loops; the encoded case pays one out-of-line call.
+//
+//bpvet:hotpath
 func (a *WordArray) Get(d core.Domain, idx uint64) uint64 {
 	if a.plain {
 		return (a.words[idx>>a.wordShift] >> ((idx & a.slotMask) << a.entryShift)) & a.entryMask
@@ -146,6 +148,8 @@ func (a *WordArray) getEncoded(d core.Domain, idx uint64) uint64 {
 // read-modify-write of a sub-word update (§5.2 "the original counter needs
 // to be read out of the PHT (and decoded) first before being updated,
 // re-encoded, and written back").
+//
+//bpvet:hotpath
 func (a *WordArray) Set(d core.Domain, idx uint64, v uint64) {
 	word, shift := a.locate(idx)
 	w := a.words[word]
@@ -165,6 +169,8 @@ func (a *WordArray) Set(d core.Domain, idx uint64, v uint64) {
 }
 
 // Update applies fn to entry idx under domain d in one decode/encode pass.
+//
+//bpvet:hotpath
 func (a *WordArray) Update(d core.Domain, idx uint64, fn func(uint64) uint64) {
 	word, shift := a.locate(idx)
 	w := a.words[word]
@@ -186,6 +192,8 @@ func (a *WordArray) Update(d core.Domain, idx uint64, fn func(uint64) uint64) {
 }
 
 // FlushAll resets every entry to the init value (Complete Flush).
+//
+//bpvet:hotpath
 func (a *WordArray) FlushAll() {
 	copy(a.words, a.initWords)
 	if a.owners != nil {
@@ -198,6 +206,8 @@ func (a *WordArray) FlushAll() {
 // FlushThread resets words last written by thread t (Precise Flush). On an
 // array without owner tracking it degrades to FlushAll, mirroring the
 // paper's point that precise flushing requires the extra thread-ID state.
+//
+//bpvet:hotpath
 func (a *WordArray) FlushThread(t core.HWThread) {
 	if a.owners == nil {
 		a.FlushAll()

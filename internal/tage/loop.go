@@ -108,6 +108,8 @@ func (l *LoopPredictor) rowIdx(set uint64, way int) uint64 {
 // noise; its valid bit and tag gate with probability 2^-(TagBits+1), so
 // cross-domain loop state is effectively invisible — the same isolation
 // property as the other tables.
+//
+//bpvet:hotpath
 func (l *LoopPredictor) Predict(d core.Domain, pc uint64, s *loopScratch) (pred, ok bool) {
 	s.set = l.set(d, pc)
 	s.tag = l.tagOf(pc)
@@ -136,6 +138,8 @@ func (l *LoopPredictor) Predict(d core.Domain, pc uint64, s *loopScratch) (pred,
 }
 
 // Update trains the loop entry with the resolved outcome.
+//
+//bpvet:hotpath
 func (l *LoopPredictor) Update(d core.Domain, pc uint64, taken bool, s *loopScratch) {
 	if !s.predSeen {
 		return
@@ -200,6 +204,8 @@ func (l *LoopPredictor) Update(d core.Domain, pc uint64, taken bool, s *loopScra
 }
 
 // FlushAll implements core.Flusher.
+//
+//bpvet:hotpath
 func (l *LoopPredictor) FlushAll() {
 	l.rows.FlushAll()
 	for i := range l.age {
@@ -209,6 +215,8 @@ func (l *LoopPredictor) FlushAll() {
 
 // FlushThread implements core.Flusher. Ages reset with the rows so the
 // flushed sets are allocatable again.
+//
+//bpvet:hotpath
 func (l *LoopPredictor) FlushThread(t core.HWThread) {
 	l.rows.FlushThread(t)
 	for i := range l.age {

@@ -193,6 +193,8 @@ func (t *TAGE) Name() string { return t.cfg.Name }
 func (t *TAGE) maxHist() uint { return t.cfg.HistLengths[t.nTab-1] }
 
 // state returns (lazily creating) the per-thread history state.
+//
+//bpvet:coldinit allocates once per hardware thread on first touch; every later call is a nil-checked array load
 func (t *TAGE) state(th core.HWThread) *threadState {
 	if t.threads[th] == nil {
 		ts := &threadState{hist: bitutil.NewHistory(t.maxHist() + 1)}
@@ -241,6 +243,8 @@ func (t *TAGE) pack(i int, tag, ctr uint64) uint64 {
 }
 
 // Predict implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (t *TAGE) Predict(d core.Domain, pc uint64) bool {
 	ts := t.state(d.Thread)
 	s := t.scratch[d.Thread]
@@ -308,6 +312,8 @@ func (t *TAGE) Predict(d core.Domain, pc uint64) bool {
 }
 
 // Update implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
 	ts := t.state(d.Thread)
 	s := t.scratch[d.Thread]
@@ -435,6 +441,8 @@ func (t *TAGE) ageUsefulness() {
 }
 
 // FlushAll implements core.Flusher.
+//
+//bpvet:hotpath
 func (t *TAGE) FlushAll() {
 	t.base.FlushAll()
 	for i := range t.tabs {
@@ -451,6 +459,8 @@ func (t *TAGE) FlushAll() {
 // wholesale: it has no owner tags, and leaving stale high u values would
 // block the flushed thread's re-allocations (a flush must restore
 // allocatability, as a hardware flush of the metadata column would).
+//
+//bpvet:hotpath
 func (t *TAGE) FlushThread(th core.HWThread) {
 	t.base.FlushThread(th)
 	for i := range t.tabs {
@@ -478,6 +488,8 @@ func (t *TAGE) StorageBits() uint64 {
 // ProviderIsLoop reports whether the last prediction on thread th was
 // overridden by the loop predictor (diagnostics, and the TAGE-SC-L
 // combination rule: a confident loop prediction is final).
+//
+//bpvet:hotpath
 func (t *TAGE) ProviderIsLoop(th core.HWThread) bool {
 	s := t.scratch[th]
 	return s != nil && t.loop != nil && s.loop.used
@@ -487,6 +499,8 @@ func (t *TAGE) ProviderIsLoop(th core.HWThread) bool {
 // 1 (medium) or 2 (high), from the provider counter's distance to its
 // midpoint. The statistical corrector weighs the TAGE prediction by this
 // grade.
+//
+//bpvet:hotpath
 func (t *TAGE) LastConfidence(th core.HWThread) int {
 	s := t.scratch[th]
 	if s == nil {
@@ -565,6 +579,8 @@ var _ core.Flusher = (*TAGE)(nil)
 // PredictUpdate implements predictor.PredictUpdater: the fused
 // predict-then-train call the simulator dispatches once per conditional
 // branch (identical to Predict followed by Update).
+//
+//bpvet:hotpath
 func (t *TAGE) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
 	pred := t.Predict(d, pc)
 	t.Update(d, pc, taken)

@@ -137,6 +137,7 @@ func New(cfg Config, ctrl *core.Controller) *TAGESCL {
 // Name implements predictor.DirPredictor.
 func (p *TAGESCL) Name() string { return p.cfg.TAGE.Name }
 
+//bpvet:coldinit allocates once per hardware thread on first touch; every later call is a nil-checked array load
 func (p *TAGESCL) state(th core.HWThread) *scThread {
 	if p.threads[th] == nil {
 		maxLen := uint(0)
@@ -186,6 +187,8 @@ func (p *TAGESCL) componentIndexes(ts *scThread, d core.Domain, pc uint64, idx [
 }
 
 // Predict implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (p *TAGESCL) Predict(d core.Domain, pc uint64) bool {
 	ts := p.state(d.Thread)
 	s := p.scratch[d.Thread]
@@ -231,6 +234,8 @@ func (p *TAGESCL) Predict(d core.Domain, pc uint64) bool {
 }
 
 // Update implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (p *TAGESCL) Update(d core.Domain, pc uint64, taken bool) {
 	ts := p.state(d.Thread)
 	s := p.scratch[d.Thread]
@@ -358,6 +363,8 @@ var _ predictor.DirPredictor = (*TAGESCL)(nil)
 // PredictUpdate implements predictor.PredictUpdater: the fused
 // predict-then-train call the simulator dispatches once per conditional
 // branch (identical to Predict followed by Update).
+//
+//bpvet:hotpath
 func (p *TAGESCL) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
 	pred := p.Predict(d, pc)
 	p.Update(d, pc, taken)

@@ -93,6 +93,8 @@ func New(cfg Config, ctrl *core.Controller) *Tournament {
 func (t *Tournament) Name() string { return "tournament" }
 
 // Predict implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (t *Tournament) Predict(d core.Domain, pc uint64) bool {
 	s := &t.scratch[d.Thread]
 
@@ -116,6 +118,8 @@ func (t *Tournament) Predict(d core.Domain, pc uint64) bool {
 }
 
 // Update implements predictor.DirPredictor.
+//
+//bpvet:hotpath
 func (t *Tournament) Update(d core.Domain, pc uint64, taken bool) {
 	s := &t.scratch[d.Thread]
 
@@ -138,6 +142,8 @@ func (t *Tournament) Update(d core.Domain, pc uint64, taken bool) {
 }
 
 // FlushAll implements core.Flusher.
+//
+//bpvet:hotpath
 func (t *Tournament) FlushAll() {
 	t.localHist.FlushAll()
 	t.localPred.FlushAll()
@@ -146,6 +152,8 @@ func (t *Tournament) FlushAll() {
 }
 
 // FlushThread implements core.Flusher.
+//
+//bpvet:hotpath
 func (t *Tournament) FlushThread(th core.HWThread) {
 	t.localHist.FlushThread(th)
 	t.localPred.FlushThread(th)
@@ -193,6 +201,8 @@ var _ core.Flusher = (*Tournament)(nil)
 // PredictUpdate implements predictor.PredictUpdater: the fused
 // predict-then-train call the simulator dispatches once per conditional
 // branch (identical to Predict followed by Update).
+//
+//bpvet:hotpath
 func (t *Tournament) PredictUpdate(d core.Domain, pc uint64, taken bool) bool {
 	pred := t.Predict(d, pc)
 	t.Update(d, pc, taken)

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The decode fuzzers guard the trust boundary of the wire schema: every
+// byte string a bpserve worker or cache loader can receive must either
+// decode cleanly or return an error — never panic — and anything that
+// decodes must survive a canonical re-encode/re-decode round trip
+// unchanged. The committed corpora under testdata/fuzz/ seed the
+// interesting shapes; `go test -fuzz=FuzzDecodeSpec` explores from
+// there.
+
+// seedGoldens adds every golden encoding as a fuzz seed, so the corpus
+// always contains the current canonical forms.
+func seedGoldens(f *testing.F, names ...string) {
+	f.Helper()
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatalf("reading golden seed: %v", err)
+		}
+		f.Add(b)
+	}
+}
+
+func FuzzDecodeSpec(f *testing.F) {
+	seedGoldens(f, "spec.golden.json", "attack_spec.golden.json")
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"attack"}`))
+	f.Add([]byte(`{"threads":["gcc","gcc"],"timer":1}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSpec(b)
+		if err != nil {
+			return // rejected input; the absence of a panic is the pass
+		}
+		enc := s.Encode()
+		s2, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(enc, s2.Encode()) {
+			t.Fatalf("decode/encode round trip is not a fixed point:\n%s\n%s", enc, s2.Encode())
+		}
+		// The cache key is a pure function of the canonical form; two
+		// derivations must agree.
+		if s.Key() != s2.Key() {
+			t.Fatal("equal canonical encodings derive different cache keys")
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	seedGoldens(f, "result.golden.json", "attack_result.golden.json")
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"target_mpki":1.5,"elapsed_cycles":9}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeResult(b)
+		if err != nil {
+			return
+		}
+		enc := r.Encode()
+		r2, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(enc, r2.Encode()) {
+			t.Fatalf("decode/encode round trip is not a fixed point:\n%s\n%s", enc, r2.Encode())
+		}
+	})
+}

@@ -71,6 +71,7 @@ func Batched(p Program) BatchProgram {
 // singleBatch lifts a single-event Program into the batch interface.
 type singleBatch struct{ Program }
 
+//bpvet:hotpath
 func (s singleBatch) NextBatch(evs []BranchEvent) int {
 	for i := range evs {
 		s.Program.Next(&evs[i])
@@ -278,6 +279,8 @@ func (g *Generator) build() {
 func (g *Generator) Name() string { return g.prof.Name }
 
 // Next implements Program.
+//
+//bpvet:hotpath
 func (g *Generator) Next(ev *BranchEvent) {
 	for g.pos >= len(g.buf) {
 		g.refill()
@@ -289,6 +292,8 @@ func (g *Generator) Next(ev *BranchEvent) {
 // NextBatch implements BatchProgram: whole region invocations are copied
 // out of the generation buffer at memmove speed, refilling as needed.
 // It shares the Next cursor, so mixing the two APIs is safe.
+//
+//bpvet:hotpath
 func (g *Generator) NextBatch(evs []BranchEvent) int {
 	n := 0
 	for n < len(evs) {
@@ -322,7 +327,7 @@ func (g *Generator) emit(pc, target uint64, class predictor.Class, taken bool) {
 		g.sysAccum--
 		e.Syscall = true
 	}
-	g.buf = append(g.buf, e)
+	g.buf = append(g.buf, e) //bpvet:allow amortized: refill truncates to buf[:0], so capacity is reused after the first invocation
 }
 
 // outcomeOf resolves one conditional site's direction.
