@@ -75,11 +75,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one analyzer finding, positioned and attributed.
+// ReportFix records a diagnostic at pos carrying one suggested fix.
+// Fixes must be safe mechanical edits: applying them (cmd/bpvet -fix)
+// resolves the diagnostic without changing behavior.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [pos, end) with
+// newText, resolved to a file offset pair immediately so fixes survive
+// being serialized (JSON reports) and applied in a later process.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	from := p.Fset.Position(pos)
+	to := p.Fset.Position(end)
+	return TextEdit{File: from.Filename, Offset: from.Offset, End: to.Offset, NewText: newText}
+}
+
+// Diagnostic is one analyzer finding, positioned and attributed, with
+// zero or more suggested mechanical fixes.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// SuggestedFix is one safe mechanical resolution of a diagnostic: a
+// message describing the edit plus the text edits realizing it.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the byte range [Offset, End) of File with NewText.
+// Ranges are file offsets (not token.Pos values) so edits can round-trip
+// through the machine-readable report formats.
+type TextEdit struct {
+	File    string
+	Offset  int
+	End     int
+	NewText string
 }
 
 // String renders the conventional file:line:col: [analyzer] message form.

@@ -91,6 +91,62 @@ func RunPkgs(t *testing.T, pkgSpecs []Pkg, analyzers ...*analysis.Analyzer) {
 			}
 		}
 	}
+	checkFixes(t, pkgSpecs, diags)
+}
+
+// checkFixes verifies suggested fixes against golden files: every
+// source file some diagnostic wants to edit must have a sibling
+// <file>.fixed whose content equals the source with all edits applied,
+// and a .fixed golden for a file no diagnostic edits is stale. The
+// goldens double as documentation of what `bpvet -fix` does to each
+// violation.
+func checkFixes(t *testing.T, pkgSpecs []Pkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	edits := make(map[string][]analysis.TextEdit)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				edits[e.File] = append(edits[e.File], e)
+			}
+		}
+	}
+	for _, ps := range pkgSpecs {
+		entries, err := os.ReadDir(ps.Dir)
+		if err != nil {
+			t.Fatalf("listing %s: %v", ps.Dir, err)
+		}
+		for _, entry := range entries {
+			if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".go") {
+				continue
+			}
+			src := filepath.Join(ps.Dir, entry.Name())
+			golden := src + ".fixed"
+			want, goldenErr := os.ReadFile(golden)
+			es := edits[src]
+			if len(es) == 0 {
+				if goldenErr == nil {
+					t.Errorf("%s exists but no diagnostic suggests fixes for %s", golden, src)
+				}
+				continue
+			}
+			if goldenErr != nil {
+				t.Errorf("diagnostics suggest fixes for %s but reading its golden failed: %v", src, goldenErr)
+				continue
+			}
+			orig, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatalf("reading %s: %v", src, err)
+			}
+			got, err := analysis.ApplyEdits(orig, es)
+			if err != nil {
+				t.Errorf("applying fixes to %s: %v", src, err)
+				continue
+			}
+			if string(got) != string(want) {
+				t.Errorf("fixed output for %s does not match %s\n--- got ---\n%s--- want ---\n%s", src, golden, got, want)
+			}
+		}
+	}
 }
 
 type want struct {
@@ -144,11 +200,18 @@ func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[stri
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, "want ") {
+			var rest string
+			if strings.HasPrefix(text, "want ") {
+				rest = strings.TrimPrefix(text, "want ")
+			} else if i := strings.LastIndex(text, "// want "); i >= 0 {
+				// A "// want" embedded in another comment's tail, for
+				// lines whose only comment is itself under test (e.g. an
+				// unused //bpvet directive).
+				rest = text[i+len("// want "):]
+			} else {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			rest := strings.TrimPrefix(text, "want ")
 			for _, q := range splitQuoted(rest) {
 				pattern, err := strconv.Unquote(q)
 				if err != nil {

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the framework's interprocedural layer. Analyzers that
+// need to see through calls (keytaint's transitive purity, lockcheck's
+// callee-acquires deadlock check) build a Summarizer: a memoized
+// bottom-up walk that assigns every function a summary string, where ""
+// always means "clean" and anything else is an analyzer-defined
+// description of the property, typically carrying a call chain and a
+// position ("readClock → time.Now (wall-clock read) at util.go:14").
+//
+// Cross-package reach costs nothing extra: the runner analyzes packages
+// in dependency order, so when a pass asks about a callee in an import,
+// that package's summaries are already published in the FactStore. Only
+// non-clean summaries are stored — absence of a fact for an analyzed
+// package means clean, which keeps the store proportional to the
+// violations, not the tree.
+
+// Funcs indexes a package's function declarations by their type-checker
+// object, the lookup a Summarizer needs to descend into same-package
+// callees.
+func Funcs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// Summarizer computes memoized per-function summaries across the call
+// graph. Construct with NewSummarizer, then set Local (and optionally
+// External) before the first Summary call; Local typically re-enters
+// Summary on the declaration's callees, which is what makes the result
+// transitive.
+type Summarizer struct {
+	// Pass is the package being analyzed.
+	Pass *Pass
+	// Name namespaces the published facts (conventionally the analyzer
+	// name).
+	Name string
+	// Decls indexes the pass's function declarations (from Funcs).
+	Decls map[*types.Func]*ast.FuncDecl
+	// Local computes the summary of one same-package declaration from
+	// its body, folding in callee summaries via Summary. "" means clean.
+	Local func(decl *ast.FuncDecl) string
+	// External classifies a function outside the module (stdlib). Nil or
+	// "" means trusted clean.
+	External func(obj *types.Func) string
+
+	// modPrefix is the module path prefix ("xorbp/") distinguishing
+	// module-internal callees (fact lookups) from stdlib ones.
+	modPrefix string
+	memo      map[*types.Func]string
+	busy      map[*types.Func]bool
+}
+
+// NewSummarizer builds a Summarizer for the pass publishing facts under
+// name. The caller must set Local before use.
+func NewSummarizer(pass *Pass, name string) *Summarizer {
+	prefix := pass.Path
+	if i := strings.IndexByte(prefix, '/'); i >= 0 {
+		prefix = prefix[:i]
+	}
+	return &Summarizer{
+		Pass:      pass,
+		Name:      name,
+		Decls:     Funcs(pass),
+		modPrefix: prefix + "/",
+		memo:      make(map[*types.Func]string),
+		busy:      make(map[*types.Func]bool),
+	}
+}
+
+// Summary returns obj's summary: "" for clean, else the analyzer's
+// description. Same-package functions are walked (recursion is broken
+// optimistically: a cycle member contributes "" to itself, so a
+// recursive function's summary reflects everything but the back edge);
+// module-internal imports are answered from the fact store; anything
+// else is classified by External.
+func (s *Summarizer) Summary(obj *types.Func) string {
+	if v, ok := s.memo[obj]; ok {
+		return v
+	}
+	if s.busy[obj] {
+		return ""
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		// Universe-scope functions (error.Error) have no package and
+		// nothing to report.
+		return ""
+	}
+	if pkg.Path() != s.Pass.Path {
+		var v string
+		if strings.HasPrefix(pkg.Path(), s.modPrefix) {
+			v, _ = s.Pass.Facts.Get(s.Name, pkg.Path()+"."+FuncKey(obj))
+		} else if s.External != nil {
+			v = s.External(obj)
+		}
+		s.memo[obj] = v
+		return v
+	}
+	decl := s.Decls[obj]
+	if decl == nil || decl.Body == nil {
+		s.memo[obj] = ""
+		return ""
+	}
+	s.busy[obj] = true
+	v := s.Local(decl)
+	delete(s.busy, obj)
+	s.memo[obj] = v
+	return v
+}
+
+// Publish computes every declared function's summary and records the
+// non-clean ones in the fact store, making them visible to passes over
+// importing packages. Call once at the end of the analyzer's Run.
+func (s *Summarizer) Publish() {
+	for obj := range s.Decls {
+		if v := s.Summary(obj); v != "" {
+			s.Pass.Facts.Set(s.Name, s.Pass.Path+"."+FuncKey(obj), v)
+		}
+	}
+}

@@ -29,16 +29,27 @@ import (
 //	                           state, construction). Body checks are
 //	                           waived; the runtime AllocsPerRun guards
 //	                           remain the safety net. Reason mandatory.
+//	//bpvet:locked(mu) <reason> the statement on the directive's line
+//	                           (trailing form) or directly below (lead
+//	                           form) intentionally runs while holding the
+//	                           named lock — a blocking call or nested
+//	                           acquisition the lockcheck analyzer would
+//	                           otherwise reject. The lock name must match
+//	                           the held lock's receiver expression
+//	                           (e.g. e.pmu), so the annotation breaks
+//	                           when the code it justifies moves. Reason
+//	                           mandatory.
 //
 // Malformed directives (missing reason, unknown verb, hotpath/coldinit
-// not attached to a function) are themselves diagnostics: a directive
-// that silently does nothing is worse than none.
+// not attached to a function, locked without a lock name) are themselves
+// diagnostics: a directive that silently does nothing is worse than none.
 
 // Directive verbs.
 const (
 	VerbAllow    = "allow"
 	VerbHotpath  = "hotpath"
 	VerbColdinit = "coldinit"
+	VerbLocked   = "locked"
 )
 
 const directivePrefix = "//bpvet:"
@@ -47,10 +58,16 @@ const directivePrefix = "//bpvet:"
 type Directive struct {
 	Verb   string
 	Reason string
-	Pos    token.Pos
-	// effectLines are the lines an allow directive covers: its own line
-	// (trailing form) and the first line after its comment group (lead
-	// form). Covering both keeps attachment independent of comment
+	// Lock is the locked directive's lock name (the held lock's receiver
+	// expression, e.g. "e.pmu").
+	Lock string
+	Pos  token.Pos
+	// end is the comment's end position, kept so suggested fixes can
+	// delete the directive exactly.
+	end token.Pos
+	// effectLines are the lines an allow/locked directive covers: its own
+	// line (trailing form) and the first line after its comment group
+	// (lead form). Covering both keeps attachment independent of comment
 	// placement details.
 	effectLines [2]int
 	used        bool
@@ -61,6 +78,8 @@ type Directives struct {
 	fset *token.FileSet
 	// allows maps filename -> the file's allow directives.
 	allows map[string][]*Directive
+	// locked maps filename -> the file's locked directives.
+	locked map[string][]*Directive
 	// marks maps a function declaration to its hotpath/coldinit
 	// directive.
 	marks map[*ast.FuncDecl]*Directive
@@ -73,6 +92,7 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	d := &Directives{
 		fset:   fset,
 		allows: make(map[string][]*Directive),
+		locked: make(map[string][]*Directive),
 		marks:  make(map[*ast.FuncDecl]*Directive),
 	}
 	for _, f := range files {
@@ -91,6 +111,7 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 				}
 				dir, errMsg := parseOne(c.Text)
 				dir.Pos = c.Pos()
+				dir.end = c.End()
 				if errMsg != "" {
 					d.malformed = append(d.malformed, Diagnostic{
 						Pos:      fset.Position(c.Pos()),
@@ -104,6 +125,10 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					pos := fset.Position(c.Pos())
 					dir.effectLines = [2]int{pos.Line, fset.Position(cg.End()).Line + 1}
 					d.allows[pos.Filename] = append(d.allows[pos.Filename], dir)
+				case VerbLocked:
+					pos := fset.Position(c.Pos())
+					dir.effectLines = [2]int{pos.Line, fset.Position(cg.End()).Line + 1}
+					d.locked[pos.Filename] = append(d.locked[pos.Filename], dir)
 				case VerbHotpath, VerbColdinit:
 					fd := docOwner[cg]
 					if fd == nil {
@@ -136,6 +161,16 @@ func parseOne(text string) (*Directive, string) {
 	body := strings.TrimPrefix(text, directivePrefix)
 	verb, reason, _ := strings.Cut(body, " ")
 	reason = strings.TrimSpace(reason)
+	if lock, isLocked := strings.CutPrefix(verb, VerbLocked); isLocked {
+		lock, closed := strings.CutSuffix(strings.TrimPrefix(lock, "("), ")")
+		if !strings.HasPrefix(strings.TrimPrefix(verb, VerbLocked), "(") || !closed || lock == "" {
+			return &Directive{Verb: VerbLocked}, "//bpvet:locked requires the held lock in parentheses: //bpvet:locked(<lock>) <why the lock is intentionally held here>"
+		}
+		if reason == "" {
+			return &Directive{Verb: VerbLocked}, "//bpvet:locked(" + lock + ") requires a reason: //bpvet:locked(" + lock + ") <why the lock is intentionally held here>"
+		}
+		return &Directive{Verb: VerbLocked, Lock: lock, Reason: reason}, ""
+	}
 	switch verb {
 	case VerbAllow:
 		if reason == "" {
@@ -150,7 +185,7 @@ func parseOne(text string) (*Directive, string) {
 			return &Directive{Verb: verb}, "//bpvet:hotpath takes no argument (it is a marker, not an exemption)"
 		}
 	default:
-		return &Directive{Verb: verb}, "unknown //bpvet directive " + strconv.Quote(verb) + " (valid: allow, hotpath, coldinit)"
+		return &Directive{Verb: verb}, "unknown //bpvet directive " + strconv.Quote(verb) + " (valid: allow, hotpath, coldinit, locked)"
 	}
 	return &Directive{Verb: verb, Reason: reason}, ""
 }
@@ -184,19 +219,62 @@ func (d *Directives) Allowed(pos token.Position) bool {
 	return hit != nil
 }
 
-// Unused returns diagnostics for allow directives that suppressed
-// nothing: a stale allow hides the next real finding on its line, so the
-// set is ratcheted to exactly the justified ones.
+// LockedAt reports whether a locked directive naming lock covers the
+// diagnostic position, consuming (marking used) the directive. The lock
+// name must match the held lock's receiver expression exactly.
+func (d *Directives) LockedAt(pos token.Position, lock string) bool {
+	if d == nil {
+		return false
+	}
+	var hit *Directive
+	for _, dir := range d.locked[pos.Filename] {
+		if dir.Lock != lock {
+			continue
+		}
+		if pos.Line == dir.effectLines[0] || pos.Line == dir.effectLines[1] {
+			if !dir.used {
+				dir.used = true
+				return true
+			}
+			hit = dir
+		}
+	}
+	return hit != nil
+}
+
+// Unused returns diagnostics for allow and locked directives that
+// suppressed nothing: a stale directive hides the next real finding on
+// its line, so the set is ratcheted to exactly the justified ones. Each
+// diagnostic carries a suggested fix deleting the directive comment.
 func (d *Directives) Unused() []Diagnostic {
 	var ds []Diagnostic
+	report := func(dir *Directive, what string) {
+		pos := d.fset.Position(dir.Pos)
+		ds = append(ds, Diagnostic{
+			Pos:      pos,
+			Analyzer: "directive",
+			Message:  "unused //bpvet:" + what + " (nothing to suppress here; remove it)",
+			Fixes: []SuggestedFix{{
+				Message: "delete the unused //bpvet:" + what + " directive",
+				Edits: []TextEdit{{
+					File:   pos.Filename,
+					Offset: pos.Offset,
+					End:    d.fset.Position(dir.end).Offset,
+				}},
+			}},
+		})
+	}
 	for _, dirs := range d.allows {
 		for _, dir := range dirs {
 			if !dir.used {
-				ds = append(ds, Diagnostic{
-					Pos:      d.fset.Position(dir.Pos),
-					Analyzer: "directive",
-					Message:  "unused //bpvet:allow (nothing to suppress here; remove it)",
-				})
+				report(dir, VerbAllow)
+			}
+		}
+	}
+	for _, dirs := range d.locked {
+		for _, dir := range dirs {
+			if !dir.used {
+				report(dir, VerbLocked+"("+dir.Lock+")")
 			}
 		}
 	}

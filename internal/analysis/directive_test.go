@@ -132,6 +132,82 @@ func f() {}
 	}
 }
 
+func TestLockedRequiresLockName(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:locked the lock name is missing
+}
+
+func g() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "requires the held lock in parentheses") {
+		t.Fatalf("got %v, want one missing-lock diagnostic", mal)
+	}
+}
+
+func TestLockedRequiresReason(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:locked(e.mu)
+}
+
+func g() {}
+`)
+	mal := d.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "requires a reason") {
+		t.Fatalf("got %v, want one missing-reason diagnostic", mal)
+	}
+}
+
+func TestLockedCoverageMatchesLockName(t *testing.T) {
+	fset, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:locked(e.mu) the write must be atomic with the read above
+}
+
+func g() {}
+`)
+	file := fset.Position(token.Pos(1)).Filename
+	if d.LockedAt(positionAt(file, 4), "e.other") {
+		t.Error("locked directive matched a different lock name")
+	}
+	if !d.LockedAt(positionAt(file, 4), "e.mu") {
+		t.Error("locked directive does not cover its own line for the named lock")
+	}
+	if len(d.Unused()) != 0 {
+		t.Errorf("consumed locked directive still reported unused: %v", d.Unused())
+	}
+}
+
+func TestUnusedLockedCarriesDeletionFix(t *testing.T) {
+	_, d := parseDirectives(t, `package p
+
+func f() {
+	g() //bpvet:locked(e.mu) nothing here needs it
+}
+
+func g() {}
+`)
+	unused := d.Unused()
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused diagnostics, want 1: %v", len(unused), unused)
+	}
+	if !strings.Contains(unused[0].Message, "//bpvet:locked(e.mu)") {
+		t.Errorf("message %q does not name the directive", unused[0].Message)
+	}
+	if len(unused[0].Fixes) != 1 || len(unused[0].Fixes[0].Edits) != 1 {
+		t.Fatalf("unused locked directive carries no deletion fix: %+v", unused[0])
+	}
+	e := unused[0].Fixes[0].Edits[0]
+	if e.NewText != "" || e.End <= e.Offset {
+		t.Errorf("fix is not a deletion of the comment span: %+v", e)
+	}
+}
+
 func positionAt(file string, line int) token.Position {
 	return token.Position{Filename: file, Line: line}
 }

@@ -63,7 +63,17 @@ func run(pass *analysis.Pass) error {
 			}
 			if returnsError(pass.Info, call) && !exemptSink(pass.Info, call) {
 				name := callName(pass.Info, call)
-				pass.Reportf(stmt.Pos(), "%s returns an error that is dropped; handle it, or make a best-effort discard explicit with `_ = %s(...)`", name, name)
+				// One blank per result, so the fix compiles for
+				// multi-valued callees too.
+				blanks := "_ = "
+				if t, ok := pass.Info.Types[call].Type.(*types.Tuple); ok {
+					blanks = strings.Repeat("_, ", t.Len()-1) + "_ = "
+				}
+				fix := analysis.SuggestedFix{
+					Message: "make the discard explicit with `" + blanks + name + "(...)`",
+					Edits:   []analysis.TextEdit{pass.Edit(stmt.Pos(), stmt.Pos(), blanks)},
+				}
+				pass.ReportFix(stmt.Pos(), fix, "%s returns an error that is dropped; handle it, or make a best-effort discard explicit with `_ = %s(...)`", name, name)
 			}
 			return true
 		})

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes collects every suggested fix carried by the diagnostics and
+// returns the rewritten content of each affected file (keyed by the
+// path the edits name), without writing anything. Callers decide what
+// to do with the result: cmd/bpvet -fix writes the files back,
+// analysistest diffs them against .fixed goldens.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	perFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				perFile[e.File] = append(perFile[e.File], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for file := range perFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	out := make(map[string][]byte, len(perFile))
+	for _, file := range files {
+		edits := perFile[file]
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+		fixed, err := ApplyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes to %s: %v", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// ApplyEdits applies the edits (all naming the same file) to src.
+// Identical duplicate edits collapse; distinct overlapping edits are an
+// error, because applying either would invalidate the other's offsets.
+//
+// Pure deletions get a small amount of cleanup: the deleted range is
+// widened over the horizontal whitespace before it, and when that
+// leaves the line blank the line itself is removed — so deleting a
+// trailing directive comment doesn't strand a trailing space, and
+// deleting a lead-form directive doesn't leave an empty line behind.
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	es := append([]TextEdit(nil), edits...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Offset != es[j].Offset {
+			return es[i].Offset < es[j].Offset
+		}
+		return es[i].End < es[j].End
+	})
+	var buf bytes.Buffer
+	last := 0
+	for i, e := range es {
+		if i > 0 && e == es[i-1] {
+			continue
+		}
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit range [%d,%d) outside file of %d bytes", e.Offset, e.End, len(src))
+		}
+		if e.Offset < last {
+			return nil, fmt.Errorf("overlapping edits at offset %d", e.Offset)
+		}
+		start, end := e.Offset, e.End
+		if e.NewText == "" {
+			start, end = widenDeletion(src, start, end)
+			if start < last {
+				start = last
+			}
+		}
+		buf.Write(src[last:start])
+		buf.WriteString(e.NewText)
+		last = end
+	}
+	buf.Write(src[last:])
+	return buf.Bytes(), nil
+}
+
+// widenDeletion grows a deletion range leftward over spaces and tabs,
+// then — if the deletion now spans a complete line — takes the trailing
+// newline with it.
+func widenDeletion(src []byte, start, end int) (int, int) {
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	atLineStart := start == 0 || src[start-1] == '\n'
+	if atLineStart && end < len(src) && src[end] == '\n' {
+		end++
+	}
+	return start, end
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyEditsReplacement(t *testing.T) {
+	src := []byte("f.Sync()\n")
+	got, err := ApplyEdits(src, []TextEdit{{Offset: 0, End: 0, NewText: "_ = "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "_ = f.Sync()\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestApplyEditsDeletionWidensTrailingComment(t *testing.T) {
+	src := []byte("\tdo() //bpvet:allow stale\n\tnext()\n")
+	start := strings.Index(string(src), "//")
+	got, err := ApplyEdits(src, []TextEdit{{Offset: start, End: start + len("//bpvet:allow stale")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "\tdo()\n\tnext()\n" {
+		t.Errorf("trailing-comment deletion left %q", got)
+	}
+}
+
+func TestApplyEditsDeletionRemovesBlankLine(t *testing.T) {
+	src := []byte("\t//bpvet:allow stale\n\tnext()\n")
+	got, err := ApplyEdits(src, []TextEdit{{Offset: 1, End: 1 + len("//bpvet:allow stale")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "\tnext()\n" {
+		t.Errorf("lead-form deletion left %q", got)
+	}
+}
+
+func TestApplyEditsCollapsesDuplicates(t *testing.T) {
+	src := []byte("x\n")
+	e := TextEdit{Offset: 0, End: 0, NewText: "_ = "}
+	got, err := ApplyEdits(src, []TextEdit{e, e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "_ = x\n" {
+		t.Errorf("duplicate edits applied twice: %q", got)
+	}
+}
+
+func TestApplyEditsRejectsOverlap(t *testing.T) {
+	src := []byte("abcdef\n")
+	_, err := ApplyEdits(src, []TextEdit{
+		{Offset: 0, End: 4, NewText: "x"},
+		{Offset: 2, End: 5, NewText: "y"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("overlapping edits not rejected: %v", err)
+	}
+}
+
+func TestApplyEditsRejectsOutOfRange(t *testing.T) {
+	if _, err := ApplyEdits([]byte("ab"), []TextEdit{{Offset: 1, End: 9}}); err == nil {
+		t.Fatal("out-of-range edit not rejected")
+	}
+}

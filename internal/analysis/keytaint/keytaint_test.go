@@ -1,0 +1,25 @@
+package keytaint_test
+
+import (
+	"testing"
+
+	"xorbp/internal/analysis/analysistest"
+	"xorbp/internal/analysis/keytaint"
+)
+
+// TestKeytaintCrossPackage proves taint travels through fact-store
+// summaries: the wall-clock read lives two calls down in kcore, the
+// report lands on the runcache roots.
+func TestKeytaintCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, []analysistest.Pkg{
+		{Dir: "testdata/src/kcore", Path: "xorbp/internal/kcore"},
+		{Dir: "testdata/src/runcache", Path: "xorbp/internal/runcache"},
+	}, keytaint.Analyzer)
+}
+
+// TestKeytaintWire exercises the single-package rules: mutable-global
+// memoization, %p formatting, recursion safety, and init-populated
+// registry reads.
+func TestKeytaintWire(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wire", "xorbp/internal/wire", keytaint.Analyzer)
+}

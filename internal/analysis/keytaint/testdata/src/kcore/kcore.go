@@ -1,0 +1,38 @@
+// Package kcore is the dependency half of the keytaint cross-package
+// fixture: its function summaries must travel through the fact store
+// to the purity roots in the runcache package.
+package kcore
+
+import "time"
+
+// Codec is a module-internal interface; dispatch through it is opaque
+// to the analysis and therefore tainted.
+type Codec interface {
+	Name() string
+}
+
+// Stamp is tainted two hops down: Stamp → clock → time.Now.
+func Stamp() int64 {
+	return clock()
+}
+
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Salt reads the clock too, but the deviation is justified at its
+// source: the allow cleans this site for every caller.
+func Salt() int64 {
+	return time.Now().Unix() //bpvet:allow telemetry only; the salt is logged beside results, never keyed
+}
+
+// Fold is a pure helper: deterministic arithmetic over its input.
+func Fold(parts []string) uint32 {
+	var h uint32 = 2166136261
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint32(p[i])) * 16777619
+		}
+	}
+	return h
+}

@@ -1,0 +1,33 @@
+// Package runcache spoofs the real cache-key package: Key, schemaID
+// and (Store).Key are purity roots, and the taints they reach live in
+// the kcore dependency — visible only through published facts.
+package runcache
+
+import "xorbp/internal/kcore"
+
+// Key folds a wall-clock stamp into the cache key; the reach is two
+// calls down in another package.
+func Key(spec string) uint32 {
+	n := kcore.Stamp() // want `Key must stay cache-key pure but reaches Stamp → clock → time\.Now \(wall-clock read\)`
+	return kcore.Fold([]string{spec}) + uint32(n)
+}
+
+// schemaID is clean: Salt's clock read is allow-justified at its
+// source, so the summary arriving here is pure.
+func schemaID() string {
+	_ = kcore.Salt()
+	return "bp-cache-v1"
+}
+
+// Store keys through an interface it cannot see the implementations
+// of.
+type Store struct {
+	codec kcore.Codec
+}
+
+// Key derives the store's key prefix through dynamic dispatch.
+func (s *Store) Key(spec string) string {
+	return s.codec.Name() + "/" + spec // want `\(Store\)\.Key must stay cache-key pure but reaches a dynamic call through Codec\.Name \(implementation not statically known\)`
+}
+
+var _ = schemaID

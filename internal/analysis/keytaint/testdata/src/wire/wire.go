@@ -1,0 +1,63 @@
+// Package wire spoofs the real wire package: the encoder, key and
+// schema-version roots must reject pointer identity and mutable
+// package state, while init-populated registries and self-recursion
+// stay clean.
+package wire
+
+import "fmt"
+
+// schemaCache memoizes through a mutable package variable — the
+// antipattern: the root both writes it and reads it back.
+var schemaCache string
+
+// SchemaVersion is a purity root; every touch of schemaCache is a
+// separate finding.
+func SchemaVersion() string {
+	if schemaCache == "" { // want `SchemaVersion must stay cache-key pure but reaches package variable schemaCache, which is reassigned after initialization`
+		schemaCache = "v1+" + typeSig(0) // want `SchemaVersion must stay cache-key pure but reaches a write to package variable schemaCache`
+	}
+	return schemaCache // want `SchemaVersion must stay cache-key pure but reaches package variable schemaCache, which is reassigned after initialization`
+}
+
+// Spec is the canonical run description.
+type Spec struct {
+	Name string
+}
+
+// Encode leaks a pointer address into what should be canonical bytes.
+func (s *Spec) Encode() string {
+	return fmt.Sprintf("%s@%p", s.Name, s) // want `\(Spec\)\.Encode must stay cache-key pure but reaches a %p format verb \(renders a pointer address\)`
+}
+
+// Key is clean: canonical string building through the pure recursive
+// helper.
+func (s *Spec) Key() string {
+	return s.Name + "/" + typeSig(0)
+}
+
+// typeSig is itself a root; the self-recursion must neither hang the
+// summarizer nor taint the summary.
+func typeSig(depth int) string {
+	if depth > 3 {
+		return ""
+	}
+	return "s" + typeSig(depth+1)
+}
+
+// kinds is populated element-wise in init and never rebound: reading
+// it by key is pure.
+var kinds = map[string]int{}
+
+func init() {
+	kinds["perf"] = 1
+	kinds["attack"] = 2
+}
+
+// DecodeSpec validates against the init-populated registry — a clean
+// read despite touching package state.
+func DecodeSpec(kind string) (Spec, error) {
+	if _, ok := kinds[kind]; !ok {
+		return Spec{}, fmt.Errorf("wire: unknown kind %q", kind)
+	}
+	return Spec{Name: kind}, nil
+}

@@ -1,0 +1,893 @@
+// Package lockcheck audits sync.Mutex/RWMutex/WaitGroup discipline by
+// abstract interpretation over each function body: it tracks which
+// locks are held (definitely, or only on some paths) at every
+// statement and reports
+//
+//   - returning, panicking, or falling off the end of a function while
+//     a lock is held with no deferred unlock registered;
+//   - blocking operations — file/network I/O, channel sends and
+//     receives, select, sync waits, writes through io.Writer-shaped
+//     stdlib helpers, dynamic calls whose target cannot be seen — while
+//     a lock is held;
+//   - acquiring a second lock while one is held (lock-ordering risk),
+//     and re-acquiring a lock this function already holds (deadlock);
+//   - calling a function that transitively acquires a lock the caller
+//     already holds (deadlock through the call graph, resolved via
+//     same-package summaries and cross-package FactStore facts);
+//   - copying a value containing a sync primitive;
+//   - WaitGroup.Add inside the goroutine it accounts for, which races
+//     the corresponding Wait.
+//
+// Intentional held-across-call sections — the progress write under
+// Executor.pmu, the documented pmu→mu nesting — are annotated
+// //bpvet:locked(<lock>) <reason>; the directive names the held lock,
+// so it stops matching (and is reported stale) when the code moves.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"xorbp/internal/analysis"
+)
+
+// Analyzer is the lockcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "report lock-discipline violations: leaks on return paths, blocking calls and nested acquisitions under a held lock, lock copies, WaitGroup.Add races",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sum := analysis.NewSummarizer(pass, "lockcheck")
+	sum.Local = func(decl *ast.FuncDecl) string { return acquiredKeys(pass, sum, decl) }
+
+	c := &ctx{pass: pass, sum: sum}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.fn(fd)
+			}
+		}
+		c.copyLocks(f)
+		c.goroutineAdds(f)
+	}
+	sum.Publish()
+	return nil
+}
+
+// lock-operation classification
+
+type opKind int
+
+const (
+	opNone   opKind = iota
+	opLock          // Mutex.Lock, RWMutex.Lock
+	opRLock         // RWMutex.RLock
+	opUnlock        // Mutex.Unlock, RWMutex.Unlock
+	opRUnlock
+	opWait // WaitGroup.Wait, Cond.Wait, Once.Do — blocking sync ops
+)
+
+// lockOp classifies a call on a sync primitive, returning the receiver
+// expression rendered as the lock's key ("e.mu", "s.fmu", "mu").
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, kind opKind) {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	recv := analysis.FuncKey(fn) // "(Mutex).Lock" etc.
+	key = types.ExprString(sel.X)
+	switch recv {
+	case "(Mutex).Lock", "(RWMutex).Lock":
+		return key, opLock
+	case "(RWMutex).RLock":
+		return key, opRLock
+	case "(Mutex).Unlock", "(RWMutex).Unlock":
+		return key, opUnlock
+	case "(RWMutex).RUnlock":
+		return key, opRUnlock
+	case "(WaitGroup).Wait", "(Cond).Wait", "(Once).Do":
+		return key, opWait
+	}
+	return "", opNone
+}
+
+// blockingFuncs classifies stdlib calls that can block for I/O or
+// scheduling. "*" covers a whole package; otherwise entries are FuncKey
+// forms.
+var blockingFuncs = map[string]map[string]bool{
+	"net":      {"*": true},
+	"net/http": {"*": true},
+	"os/exec":  {"*": true},
+	"bufio":    {"*": true},
+	"log":      {"*": true},
+	"time":     {"Sleep": true},
+	"os": {
+		"Create": true, "Open": true, "OpenFile": true, "ReadFile": true,
+		"WriteFile": true, "Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "ReadDir": true, "Stat": true,
+		"Lstat": true, "Chmod": true, "Chtimes": true, "Truncate": true,
+		"Symlink": true, "Link": true, "CreateTemp": true, "MkdirTemp": true,
+		"(File).Read": true, "(File).ReadAt": true, "(File).Write": true,
+		"(File).WriteAt": true, "(File).WriteString": true, "(File).Close": true,
+		"(File).Sync": true, "(File).Seek": true, "(File).Readdir": true,
+		"(File).ReadDir": true,
+	},
+	"io": {
+		"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true,
+		"ReadFull": true, "WriteString": true,
+	},
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+		"Scan": true, "Scanf": true, "Scanln": true,
+		"Fscan": true, "Fscanf": true, "Fscanln": true,
+	},
+	"encoding/json": {
+		"(Encoder).Encode": true, "(Decoder).Decode": true,
+		"(Decoder).More": true, "(Decoder).Token": true,
+	},
+}
+
+// blockingDesc describes why a static stdlib call may block, or "".
+func blockingDesc(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	set := blockingFuncs[pkg.Path()]
+	if set == nil {
+		return ""
+	}
+	if set["*"] || set[analysis.FuncKey(fn)] {
+		return "calling " + pkg.Name() + "." + fn.Name() + " (may block)"
+	}
+	return ""
+}
+
+// abstract lock state
+
+type lockInfo struct {
+	pos      token.Pos // acquisition site
+	maybe    bool      // held on some paths only
+	read     bool      // RLock
+	deferred bool      // a deferred unlock is registered
+}
+
+type state map[string]lockInfo
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge joins the states of two reachable paths: locks held on both
+// stay definite, locks held on one become maybe-held.
+func merge(a, b state) state {
+	out := make(state, len(a))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			va.maybe = va.maybe || vb.maybe
+			va.deferred = va.deferred || vb.deferred
+		} else {
+			va.maybe = true
+		}
+		out[k] = va
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			vb.maybe = true
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+// heldKeys returns the held lock keys in sorted order, optionally
+// restricted to definitely-held ones.
+func heldKeys(st state, definiteOnly bool) []string {
+	var keys []string
+	for k, v := range st {
+		if definiteOnly && v.maybe {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type ctx struct {
+	pass *analysis.Pass
+	sum  *analysis.Summarizer
+}
+
+// fn interprets one function declaration from an empty lock state.
+func (c *ctx) fn(decl *ast.FuncDecl) {
+	st, reachable := c.block(decl.Body.List, make(state))
+	if reachable {
+		for _, k := range heldKeys(st, true) {
+			if info := st[k]; !info.deferred {
+				c.pass.Reportf(info.pos, "%s is still held when the function returns: no unlock on the fall-through path and no deferred unlock", k)
+			}
+		}
+	}
+}
+
+// fresh interprets a function literal as its own context: it runs on
+// its own goroutine or call frame, so it inherits no lock state.
+func (c *ctx) fresh(body *ast.BlockStmt) {
+	c.freshWith(body, nil)
+}
+
+// freshWith interprets a function literal starting from seed — the
+// lock state a deferred closure inherits for the locks it is
+// responsible for releasing.
+func (c *ctx) freshWith(body *ast.BlockStmt, seed state) {
+	st := make(state, len(seed))
+	for k, v := range seed {
+		st[k] = v
+	}
+	st, reachable := c.block(body.List, st)
+	if reachable {
+		for _, k := range heldKeys(st, true) {
+			if info := st[k]; !info.deferred {
+				c.pass.Reportf(info.pos, "%s is still held when the function literal returns: no unlock on the fall-through path and no deferred unlock", k)
+			}
+		}
+	}
+}
+
+// block interprets a statement list, returning the post-state and
+// whether the end of the list is reachable.
+func (c *ctx) block(list []ast.Stmt, st state) (state, bool) {
+	for _, s := range list {
+		var ok bool
+		st, ok = c.stmt(s, st)
+		if !ok {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+func (c *ctx) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := analysis.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := analysis.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, a := range call.Args {
+						c.scanExpr(a, st)
+					}
+					c.checkExit(call.Pos(), st, "panicking")
+					return st, false
+				}
+			}
+			return c.call(call, st, true), true
+		}
+		c.scanExpr(s.X, st)
+		return st, true
+
+	case *ast.DeferStmt:
+		if key, kind := lockOp(c.pass.Info, s.Call); kind == opUnlock || kind == opRUnlock {
+			if info, held := st[key]; held {
+				info.deferred = true
+				st[key] = info
+			}
+			return st, true
+		}
+		if lit, ok := analysis.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// The closure runs at function exit holding whatever it is
+			// responsible for releasing, so seed those locks into its
+			// context instead of analyzing it cold — a closure that only
+			// unlocks is not a stray unlock.
+			seed := make(state)
+			for _, k := range deferredClosureUnlocks(c.pass.Info, lit) {
+				if info, held := st[k]; held {
+					info.deferred = true
+					st[k] = info
+					seed[k] = lockInfo{pos: s.Pos()}
+				}
+			}
+			c.freshWith(lit.Body, seed)
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, st)
+		}
+		return st, true
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, st)
+		}
+		c.checkExit(s.Pos(), st, "returning")
+		return st, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, st)
+		}
+		return st, true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, st)
+		thenSt, thenOK := c.block(s.Body.List, st.clone())
+		elseSt, elseOK := st, true
+		if s.Else != nil {
+			elseSt, elseOK = c.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenOK && elseOK:
+			return merge(thenSt, elseSt), true
+		case thenOK:
+			return thenSt, true
+		case elseOK:
+			return elseSt, true
+		default:
+			return st, false
+		}
+
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st)
+		}
+		bodySt, bodyOK := c.block(s.Body.List, st.clone())
+		if s.Post != nil && bodyOK {
+			bodySt, _ = c.stmt(s.Post, bodySt)
+		}
+		if bodyOK {
+			return merge(st, bodySt), true
+		}
+		return st, true
+
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st)
+		if t := c.pass.Info.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				c.checkBlocking(s.Pos(), "receiving from a channel", st)
+			}
+		}
+		bodySt, bodyOK := c.block(s.Body.List, st.clone())
+		if bodyOK {
+			return merge(st, bodySt), true
+		}
+		return st, true
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.checkBlocking(s.Pos(), "blocking in select", st)
+		}
+		return c.clauses(s.Body.List, st, hasDefault)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st)
+		}
+		return c.clauses(s.Body.List, st, !hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		return c.clauses(s.Body.List, st, !hasDefaultClause(s.Body.List))
+
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st)
+		c.scanExpr(s.Value, st)
+		c.checkBlocking(s.Pos(), "sending on a channel", st)
+		return st, true
+
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine with its own lock
+		// state; only its argument expressions evaluate here.
+		if lit, ok := analysis.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.fresh(lit.Body)
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		return st, s.Tok == token.FALLTHROUGH
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st)
+		return st, true
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, st)
+					}
+				}
+			}
+		}
+		return st, true
+
+	default:
+		return st, true
+	}
+}
+
+// hasDefaultClause reports whether a switch body contains a default
+// case.
+func hasDefaultClause(list []ast.Stmt) bool {
+	for _, cl := range list {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// clauses interprets switch/select clause bodies, each from a copy of
+// the entry state, merging the reachable exits. skipped indicates the
+// construct can fall through without entering any clause (no default).
+func (c *ctx) clauses(list []ast.Stmt, st state, skipped bool) (state, bool) {
+	out := st
+	reached := skipped
+	for _, cl := range list {
+		var body []ast.Stmt
+		clSt := st.clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, clSt)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				clSt, _ = c.stmt(cl.Comm, clSt)
+			}
+			body = cl.Body
+		default:
+			continue
+		}
+		exit, ok := c.block(body, clSt)
+		if ok {
+			if reached {
+				out = merge(out, exit)
+			} else {
+				out = exit
+			}
+			reached = true
+		}
+	}
+	return out, reached
+}
+
+// scanExpr walks an expression for blocking operations (calls, channel
+// receives) and function literals. Lock-state mutations cannot occur in
+// expression position (Lock returns nothing), so the state is read-only
+// here.
+func (c *ctx) scanExpr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.fresh(n.Body)
+			return false
+		case *ast.CallExpr:
+			// call scans the arguments and callee base itself.
+			c.call(n, st, false)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.checkBlocking(n.Pos(), "receiving from a channel", st)
+			}
+		}
+		return true
+	})
+}
+
+// call processes one call expression. stmtLevel is true when the call
+// is its own statement, where lock-state mutations (Lock/Unlock) take
+// effect; in expression position sync ops other than the blocking waits
+// are ignored.
+func (c *ctx) call(call *ast.CallExpr, st state, stmtLevel bool) state {
+	for _, a := range call.Args {
+		c.scanExpr(a, st)
+	}
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		// Immediately-invoked literal: interpreted as a fresh context,
+		// which keeps the model simple and errs toward missing, not
+		// inventing, violations.
+		c.fresh(fun.Body)
+		return st
+	case *ast.SelectorExpr:
+		c.scanExpr(fun.X, st)
+	case *ast.Ident:
+		// nothing nested to scan
+	default:
+		c.scanExpr(call.Fun, st)
+	}
+
+	if key, kind := lockOp(c.pass.Info, call); kind != opNone {
+		switch kind {
+		case opWait:
+			c.checkBlocking(call.Pos(), "calling sync."+analysis.Unparen(call.Fun).(*ast.SelectorExpr).Sel.Name+" (may block)", st)
+		case opLock, opRLock:
+			if !stmtLevel {
+				return st
+			}
+			if info, held := st[key]; held && !info.maybe {
+				c.pass.Reportf(call.Pos(), "%s is locked again while already held (acquired at %s): deadlock", key, c.pos(info.pos))
+			} else {
+				for _, h := range heldKeys(st, true) {
+					if h == key {
+						continue
+					}
+					if c.pass.Directives.LockedAt(c.pass.Fset.Position(call.Pos()), h) {
+						continue
+					}
+					c.pass.Reportf(call.Pos(), "acquiring %s while holding %s (acquired at %s) risks deadlock by lock-order inversion; annotate //bpvet:locked(%s) <reason> if the nesting order is intentional", key, h, c.pos(st[h].pos), h)
+				}
+			}
+			st[key] = lockInfo{pos: call.Pos(), read: kind == opRLock}
+		case opUnlock, opRUnlock:
+			if !stmtLevel {
+				return st
+			}
+			if _, held := st[key]; !held {
+				c.pass.Reportf(call.Pos(), "unlocking %s, which this function does not hold on any path", key)
+			}
+			delete(st, key)
+		}
+		return st
+	}
+
+	fn := analysis.Callee(c.pass.Info, call)
+	if fn == nil {
+		if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return st // conversion
+		}
+		if id, ok := analysis.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return st
+			}
+		}
+		c.checkBlocking(call.Pos(), "a dynamic call (func value or interface method, may block)", st)
+		return st
+	}
+	if desc := blockingDesc(fn); desc != "" {
+		c.checkBlocking(call.Pos(), desc, st)
+		return st
+	}
+	// Module-internal static call: consult the callee's transitive
+	// acquired-locks summary for deadlock through the call graph.
+	for _, k := range strings.Split(c.sum.Summary(fn), ",") {
+		if k == "" {
+			continue
+		}
+		ck := qualifyKey(callerKey(k, call), fn, c.pass.Pkg)
+		if ck == "" {
+			continue
+		}
+		if info, held := st[ck]; held && !info.maybe {
+			c.pass.Reportf(call.Pos(), "calling %s, which acquires %s — already held here (acquired at %s): deadlock", analysis.FuncKey(fn), ck, c.pos(info.pos))
+		}
+	}
+	return st
+}
+
+// checkBlocking reports desc happening while any lock is held, unless a
+// //bpvet:locked directive naming the held lock covers the line.
+func (c *ctx) checkBlocking(pos token.Pos, desc string, st state) {
+	for _, k := range heldKeys(st, false) {
+		if c.pass.Directives.LockedAt(c.pass.Fset.Position(pos), k) {
+			continue
+		}
+		c.pass.Reportf(pos, "%s while %s is held (acquired at %s); release the lock first or annotate //bpvet:locked(%s) <reason> if holding it here is intentional", desc, k, c.pos(st[k].pos), k)
+	}
+}
+
+// checkExit reports definitely-held locks without a deferred unlock at
+// an explicit exit (return, panic).
+func (c *ctx) checkExit(pos token.Pos, st state, how string) {
+	for _, k := range heldKeys(st, true) {
+		if info := st[k]; !info.deferred {
+			c.pass.Reportf(pos, "%s while %s is held (acquired at %s) with no deferred unlock", how, k, c.pos(info.pos))
+		}
+	}
+}
+
+func (c *ctx) pos(p token.Pos) string {
+	pp := c.pass.Fset.Position(p)
+	return pp.Filename[strings.LastIndexByte(pp.Filename, '/')+1:] + ":" + itoa(pp.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// deferredClosureUnlocks returns the lock keys a deferred closure
+// reliably releases: an Unlock(k) in the closure not preceded by a
+// Lock(k) there (a closure that locks then unlocks nets to zero for a
+// lock already held at the defer).
+func deferredClosureUnlocks(info *types.Info, lit *ast.FuncLit) []string {
+	locked := make(map[string]bool)
+	var unlocks []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch key, kind := lockOp(info, call); kind {
+		case opLock, opRLock:
+			locked[key] = true
+		case opUnlock, opRUnlock:
+			if !locked[key] {
+				unlocks = append(unlocks, key)
+			}
+		}
+		return true
+	})
+	return unlocks
+}
+
+// interprocedural acquired-locks summaries
+
+// recvName returns the receiver identifier of a method declaration.
+func recvName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return decl.Recv.List[0].Names[0].Name
+}
+
+// relKey rewrites a lock key on the declaration's receiver to
+// receiver-relative form ("e.mu" → ".mu"), so callers can translate it
+// to their own receiver expression.
+func relKey(key, recv string) string {
+	if recv != "" && strings.HasPrefix(key, recv+".") {
+		return key[len(recv):]
+	}
+	return key
+}
+
+// callerKey translates a summary key into the caller's frame:
+// receiver-relative keys attach to the call's receiver expression,
+// absolute keys pass through. "" means untranslatable (dropped).
+func callerKey(sumKey string, call *ast.CallExpr) string {
+	if !strings.HasPrefix(sumKey, ".") {
+		return sumKey
+	}
+	if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + sumKey
+	}
+	return ""
+}
+
+// qualifyKey prefixes a callee's unqualified package-level lock key
+// ("Mu") with the callee's package name when the call crosses a package
+// boundary, matching how the caller's own source spells the lock
+// ("liblock.Mu").
+func qualifyKey(key string, fn *types.Func, caller *types.Package) string {
+	if key == "" || strings.Contains(key, ".") || fn.Pkg() == nil || fn.Pkg() == caller {
+		return key
+	}
+	return fn.Pkg().Name() + "." + key
+}
+
+// acquiredKeys is the Summarizer.Local callback: the set of lock keys
+// the function (transitively) acquires, receiver-relative, sorted,
+// comma-joined.
+func acquiredKeys(pass *analysis.Pass, sum *analysis.Summarizer, decl *ast.FuncDecl) string {
+	recv := recvName(decl)
+	set := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, kind := lockOp(pass.Info, call); kind == opLock || kind == opRLock {
+			set[relKey(key, recv)] = true
+			return true
+		}
+		if fn := analysis.Callee(pass.Info, call); fn != nil {
+			for _, k := range strings.Split(sum.Summary(fn), ",") {
+				if k == "" {
+					continue
+				}
+				if ck := qualifyKey(callerKey(k, call), fn, pass.Pkg); ck != "" {
+					set[relKey(ck, recv)] = true
+				}
+			}
+		}
+		return true
+	})
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// structural checks (copylocks, WaitGroup.Add placement)
+
+// lockTypeName reports the sync primitive a type contains by value, or
+// "".
+func lockTypeName(t types.Type) string {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockIn(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return ""
+}
+
+// addressable reports whether copying e duplicates existing state (an
+// identifier, field, element or dereference — not a fresh composite
+// literal or call result).
+func addressable(e ast.Expr) bool {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = e
+		return true
+	}
+	return false
+}
+
+// copyLocks reports by-value copies of lock-containing values in
+// assignments, declarations, call arguments and range clauses.
+func (c *ctx) copyLocks(f *ast.File) {
+	check := func(e ast.Expr, what string) {
+		if e == nil || !addressable(e) {
+			return
+		}
+		tv, ok := c.pass.Info.Types[e]
+		if !ok {
+			return
+		}
+		if name := lockTypeName(tv.Type); name != "" {
+			c.pass.Reportf(e.Pos(), "%s copies %s, which contains a %s by value; use a pointer", what, types.ExprString(e), name)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				// Assigning to the blank identifier discards the value;
+				// no second copy of the lock survives.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				check(r, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				check(v, "declaration")
+			}
+		case *ast.CallExpr:
+			if key, kind := lockOp(c.pass.Info, n); kind != opNone && key != "" {
+				return true // method on the primitive itself, not a copy
+			}
+			if tv, ok := c.pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, a := range n.Args {
+				check(a, "call argument")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if tv, ok := c.pass.Info.Types[n.Value]; ok {
+					if name := lockTypeName(tv.Type); name != "" {
+						c.pass.Reportf(n.Value.Pos(), "range value copies an element containing a %s by value; iterate by index or use pointer elements", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// goroutineAdds reports WaitGroup.Add calls inside the goroutine they
+// account for: the spawned body may not run before Wait, so the Add
+// must happen on the spawning side.
+func (c *ctx) goroutineAdds(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := analysis.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if inner, ok := m.(*ast.FuncLit); ok && inner != lit {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" && analysis.FuncKey(fn) == "(WaitGroup).Add" {
+					c.pass.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races the corresponding Wait; call Add before the go statement", types.ExprString(sel.X))
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

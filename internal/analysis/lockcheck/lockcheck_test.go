@@ -1,0 +1,22 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"xorbp/internal/analysis/analysistest"
+	"xorbp/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/locks", "xorbp/internal/locks", lockcheck.Analyzer)
+}
+
+// TestLockcheckCrossPackage exercises the acquired-locks summaries
+// through the fact store: the deadlock in uselock is only visible via
+// liblock's published facts.
+func TestLockcheckCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, []analysistest.Pkg{
+		{Dir: "testdata/src/liblock", Path: "xorbp/internal/liblock"},
+		{Dir: "testdata/src/uselock", Path: "xorbp/internal/uselock"},
+	}, lockcheck.Analyzer)
+}

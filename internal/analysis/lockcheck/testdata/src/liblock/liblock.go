@@ -1,0 +1,19 @@
+// Package liblock is the dependency half of the cross-package
+// lockcheck fixture: its acquired-locks summary must travel through
+// the fact store to the caller package.
+package liblock
+
+import "sync"
+
+// Mu guards Count.
+var Mu sync.Mutex
+
+// Count is the guarded state.
+var Count int
+
+// Locked bumps Count under Mu; callers must not already hold it.
+func Locked() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	Count++
+}

@@ -1,0 +1,15 @@
+package locks
+
+import "sync"
+
+var smu sync.Mutex
+
+// stale holds a directive the code outgrew: the critical section is
+// pure arithmetic now, so the annotation suppresses nothing and the
+// ratchet reports it with a deletion fix (see stale.go.fixed).
+func stale() int {
+	smu.Lock()
+	defer smu.Unlock()
+	//bpvet:locked(smu) arithmetic only, nothing blocks here // want `unused //bpvet:locked\(smu\)`
+	return 1 + 2
+}

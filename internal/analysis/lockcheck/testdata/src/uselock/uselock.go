@@ -1,0 +1,20 @@
+// Package uselock calls into liblock while holding its lock: the
+// deadlock is only visible through the cross-package summary facts.
+package uselock
+
+import "xorbp/internal/liblock"
+
+// Reenter deadlocks: Locked acquires the mutex Reenter already holds.
+func Reenter() {
+	liblock.Mu.Lock()
+	defer liblock.Mu.Unlock()
+	liblock.Locked() // want `calling Locked, which acquires liblock\.Mu — already held`
+}
+
+// Sequential is the fixed shape: the helper runs after release.
+func Sequential() {
+	liblock.Mu.Lock()
+	liblock.Count = 0
+	liblock.Mu.Unlock()
+	liblock.Locked()
+}

@@ -1,16 +1,34 @@
 package analysis
 
-// Run applies the analyzers to the packages, in the order given (the
+// RunOpts tunes one analyzer run.
+type RunOpts struct {
+	// ReportUnused enables the unused-directive ratchet (stale
+	// //bpvet:allow and //bpvet:locked comments become diagnostics). It
+	// must be off when the analyzer set is filtered (cmd/bpvet -run): a
+	// directive justifying a lockcheck finding is legitimately unused in
+	// a determinism-only run.
+	ReportUnused bool
+}
+
+// Run applies the analyzers to the packages with the default options
+// (full ratchet). See RunWith.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWith(pkgs, analyzers, RunOpts{ReportUnused: true})
+}
+
+// RunWith applies the analyzers to the packages, in the order given (the
 // loader emits dependency order, so fact producers run before
 // consumers), and returns the surviving diagnostics sorted by position.
 //
 // Suppression happens here, not in the analyzers: a //bpvet:allow on
 // the diagnostic's line (or the line below the directive's comment
 // group) consumes the diagnostic, and analyzers stay oblivious to the
-// directive grammar. Malformed directives and allows that suppressed
-// nothing are themselves diagnostics, so the allow set ratchets down to
-// exactly the justified ones.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// directive grammar. (The one exception is //bpvet:locked, which is
+// lock-specific and consumed by the lockcheck analyzer itself.)
+// Malformed directives and — under RunOpts.ReportUnused — directives
+// that suppressed nothing are themselves diagnostics, so the directive
+// set ratchets down to exactly the justified ones.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts RunOpts) ([]Diagnostic, error) {
 	facts := NewFactStore()
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -38,7 +56,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 		out = append(out, pkg.Directives.Malformed()...)
-		out = append(out, pkg.Directives.Unused()...)
+		if opts.ReportUnused {
+			out = append(out, pkg.Directives.Unused()...)
+		}
 	}
 	SortDiagnostics(out)
 	return out, nil

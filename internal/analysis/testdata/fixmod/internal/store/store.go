@@ -1,0 +1,16 @@
+// Package store seeds the CI -fix smoke: a nested module (invisible
+// to the repo's own build and sweep) carrying exactly the violations
+// `bpvet -fix` can repair — a dropped I/O error and a stale allow
+// directive. The smoke job copies this module aside, asserts bpvet
+// fails on it, fixes it, and asserts a second -fix changes nothing.
+package store
+
+import "os"
+
+// Flush persists the file. The bare Sync drops its error (errcheck
+// inserts `_ = `), and the directive below it suppresses nothing
+// (the unused-directive ratchet deletes it).
+func Flush(f *os.File) {
+	f.Sync()
+	f.Name() //bpvet:allow stale justification kept so -fix has a deletion to apply
+}

@@ -511,6 +511,7 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		eta := e.etaLocked()
 		e.mu.Unlock()
 		if e.progress != nil {
+			//bpvet:locked(e.pmu) the progress line must be atomic with the counters read under e.mu above; pmu orders writers and is held only for one Fprintf to a local writer
 			fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)%s\n",
 				done, planned, specLabel(missSpecs[i]),
 				dur.Round(time.Millisecond), eta)
@@ -594,7 +595,7 @@ func (e *Executor) emit(rec RunRecord) {
 		return
 	}
 	e.rmu.Lock()
-	e.record(rec)
+	e.record(rec) //bpvet:locked(e.rmu) rmu exists to serialize this hook call; the hook is caller-owned and documented to be brief and non-reentrant
 	e.rmu.Unlock()
 }
 

@@ -25,8 +25,8 @@ func specToWire(s runSpec) wire.Spec {
 	w := wire.Spec{
 		Kind:      s.kind,
 		Opts:      o,
-		Codec:     o.Codec.Name(),
-		Scrambler: o.Scrambler.Name(),
+		Codec:     o.Codec.Name(),     //bpvet:allow Codec.Name implementations are compile-time string literals; the registry round-trip test pins them
+		Scrambler: o.Scrambler.Name(), //bpvet:allow Scrambler.Name implementations are compile-time string literals; the registry round-trip test pins them
 		Pred:      s.predName,
 		Cfg:       s.cfg,
 		Timer:     s.timer,
