@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bpbench [-quick] [-seed N] [-out BENCH_5.json]
+//	bpbench [-quick] [-seed N] [-out BENCH_8.json]
 //	        [-check BASELINE.json] [-max-regress 0.20] [-min-speedup R]
 //
 // It measures simulation throughput — nanoseconds per simulated
@@ -14,14 +14,22 @@
 // reference-to-fast ratio: both engines share the predictor stack, so
 // the ratio isolates what event batching and cycle fast-forwarding buy.
 //
-// -out writes the results as JSON (the repo commits BENCH_5.json at the
+// Beyond the engine grid, the report carries a fork section: the
+// re-key-period sweep (eight cells differing only in RekeyPeriod)
+// resolved through the executor's prefix-sharing fork path, timed
+// against the same cells run cold and against one single cold run.
+//
+// -out writes the results as JSON (the repo commits BENCH_8.json at the
 // root). -check reads a previously committed baseline and fails (exit
 // 1) when any cell's fast-engine ns/kinst regressed by more than
 // -max-regress (default 20%), when a zero-allocation cell started
-// allocating, or when the mean engine speedup fell below -min-speedup.
-// Absolute ns/kinst is machine-dependent — CI compares runs on its own
-// runner class against the committed baseline, accepting the tolerance;
-// the speedup and allocation gates are machine-independent.
+// allocating, when the mean engine speedup fell below -min-speedup, or
+// when the fork section shows the forked sweep costing more than
+// experiment.MaxForkRatio single runs (or diverging from the straight
+// results). Absolute ns/kinst is machine-dependent — CI compares runs
+// on its own runner class against the committed baseline, accepting the
+// tolerance; the speedup, allocation and fork-ratio gates are
+// machine-independent.
 package main
 
 import (
@@ -67,6 +75,8 @@ type Report struct {
 	Cells       []Cell  `json:"cells"`
 	MeanSpeedup float64 `json:"mean_speedup"`
 	MaxSpeedup  float64 `json:"max_speedup"`
+	// Fork is the prefix-sharing fork-vs-straight sweep measurement.
+	Fork *experiment.ForkBench `json:"fork,omitempty"`
 	// SeedNote documents the one-time measurement against the pre-PR
 	// tree recorded in EXPERIMENTS.md; the live gate compares against
 	// this file, not against that tree.
@@ -233,6 +243,17 @@ func main() {
 	}
 	rep.MeanSpeedup = sum / float64(len(rep.Cells))
 
+	// Bench scale even under -quick: at micro scale the per-member fixed
+	// costs (construction, snapshot, restore) dwarf the simulated tails
+	// and the ratio stops measuring prefix sharing. A few seconds total.
+	scale := experiment.BenchScale()
+	scale.Seed = *seed
+	fb := experiment.MeasureForkBench(scale)
+	rep.Fork = &fb
+	fmt.Fprintf(os.Stderr,
+		"[fork sweep: 8 periods over %d cycles; forked %.0f ms = %.2fx one run (straight %.0f ms, %.1fx slower), match=%v]\n",
+		fb.BaseCycles, fb.ForkedMs, fb.RatioVsSingle, fb.StraightMs, fb.SpeedupVsStraight, fb.Match)
+
 	t := &report.Table{
 		Title:  "bpbench: simulation throughput per cell",
 		Header: []string{"cell", "fast ns/kinst", "ref ns/kinst", "speedup", "allocs/Minst"},
@@ -245,6 +266,9 @@ func main() {
 	}
 	t.AddRow("mean", "", "", fmt.Sprintf("%.2fx", rep.MeanSpeedup), "")
 	fmt.Println(t.Render())
+	fmt.Printf("fork sweep: 8-period re-key family forked in %.2fx one cold run\n"+
+		"(straight re-simulation: %.2fx); results byte-identical: %v\n\n",
+		fb.RatioVsSingle, fb.StraightMs/fb.SingleMs, fb.Match)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -314,6 +338,19 @@ func checkAgainst(cur Report, path string, maxRegress, minSpeedup float64) error
 	if cur.MeanSpeedup < minSpeedup {
 		failures = append(failures, fmt.Sprintf(
 			"mean engine speedup %.2fx below required %.2fx", cur.MeanSpeedup, minSpeedup))
+	}
+	// The fork gates are self-contained (ratio and identity within the
+	// current report), so they need no baseline counterpart and are
+	// machine-independent.
+	if cur.Fork != nil {
+		if !cur.Fork.Match {
+			failures = append(failures, "fork sweep: forked results diverge from straight runs")
+		}
+		if cur.Fork.RatioVsSingle >= experiment.MaxForkRatio {
+			failures = append(failures, fmt.Sprintf(
+				"fork sweep: forked 8-period sweep cost %.2fx one run (gate %.1fx)",
+				cur.Fork.RatioVsSingle, experiment.MaxForkRatio))
+		}
 	}
 	if len(failures) > 0 {
 		sort.Strings(failures)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table4|table5|mpki|residency|all
+//	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|rekey|table4|table5|mpki|residency|all
 //	      [-scale full|bench|micro] [-seed N] [-workers N] [-progress] [-json]
 //	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N] [-token T]
 //	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
@@ -65,7 +65,7 @@ import (
 // these names (plus "all", which runs them in this order). The package
 // doc and the flag help are derived from / reconciled with this slice.
 var order = []string{"table2", "table3", "workloads", "fig1", "fig2", "fig3",
-	"fig7", "fig8", "fig9", "fig10", "table4", "table5", "mpki", "residency"}
+	"fig7", "fig8", "fig9", "fig10", "rekey", "table4", "table5", "mpki", "residency"}
 
 // expRunner couples an experiment with whether it resolves simulations
 // through the session's executor (and therefore participates in grid
@@ -96,6 +96,7 @@ func runners() map[string]expRunner {
 		"fig8":      sim((*experiment.Session).Figure8),
 		"fig9":      sim((*experiment.Session).Figure9),
 		"fig10":     sim((*experiment.Session).Figure10),
+		"rekey":     sim((*experiment.Session).RekeySweep),
 		"table2":    static(experiment.Table2),
 		"table3":    static(experiment.Table3),
 		"table4":    sim((*experiment.Session).Table4),

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"xorbp/internal/rng"
+	"xorbp/internal/snap"
 )
 
 // SatCounter is an n-bit unsigned saturating counter, the basic storage
@@ -94,6 +95,19 @@ func (c *SatCounter) Weak() bool {
 	return c.value == mid || c.value == mid+1
 }
 
+// Snapshot writes the counter value (the width is static configuration).
+func (c *SatCounter) Snapshot(w *snap.Writer) { w.U8(c.value) }
+
+// Restore replaces the counter value, clamped to the configured width so a
+// corrupt snapshot cannot produce an out-of-range counter.
+func (c *SatCounter) Restore(r *snap.Reader) {
+	v := r.U8()
+	if c.max != 0 && v > c.max {
+		v = c.max
+	}
+	c.value = v
+}
+
 // SignedCounter is an n-bit signed saturating counter in
 // [-2^(bits-1), 2^(bits-1)-1], used by TAGE usefulness/USEALT counters and
 // GEHL weight tables.
@@ -176,6 +190,23 @@ func (c *SignedCounter) Min() int16 { return c.min }
 //
 //bpvet:hotpath
 func (c *SignedCounter) Max() int16 { return c.max }
+
+// Snapshot writes the counter value.
+func (c *SignedCounter) Snapshot(w *snap.Writer) { w.U16(uint16(c.value)) }
+
+// Restore replaces the counter value, clamped to the configured range.
+func (c *SignedCounter) Restore(r *snap.Reader) {
+	v := int16(r.U16())
+	if c.min != 0 || c.max != 0 {
+		if v < c.min {
+			v = c.min
+		}
+		if v > c.max {
+			v = c.max
+		}
+	}
+	c.value = v
+}
 
 // History is a shift register of branch outcomes of bounded length,
 // supporting the long histories (up to 3000 bits for TAGE_SC_L) as a bit
@@ -261,6 +292,13 @@ func (h *History) Clone() *History {
 	return c
 }
 
+// Snapshot writes the outcome bits (the length is static configuration).
+func (h *History) Snapshot(w *snap.Writer) { w.U64s(h.bits) }
+
+// Restore replaces the outcome bits. The snapshot must have been taken
+// from a register of the same length.
+func (h *History) Restore(r *snap.Reader) { r.U64sInto(h.bits) }
+
 // Folded maintains a cyclically-folded image of a long history, the
 // standard TAGE trick: an L-bit history is compressed into W bits such
 // that pushing one outcome and retiring the outcome that falls off the far
@@ -322,6 +360,42 @@ func (f *Folded) Value() uint64 { return f.comp }
 //
 //bpvet:hotpath
 func (f *Folded) Reset() { f.comp = 0 }
+
+// Snapshot writes the folded image (the fold geometry is static).
+func (f *Folded) Snapshot(w *snap.Writer) { w.U64(f.comp) }
+
+// Restore replaces the folded image, masked to the fold width so corrupt
+// input cannot set bits a live fold could never hold.
+func (f *Folded) Restore(r *snap.Reader) {
+	v := r.U64()
+	if f.compLen != 0 {
+		v &= (1 << f.compLen) - 1
+	}
+	f.comp = v
+}
+
+// FoldLane advances a contiguous lane of folds by one history push, with
+// one leaving bit per fold. It is the lane-packed form of calling
+// UpdateBits on each fold in turn: TAGE-family predictors keep their folds
+// in three parallel lanes (index, tag-0, tag-1) over the same table order,
+// gather the leaving bits once per push, and run this loop once per lane.
+// The loop body keeps the fold image in a register and touches each Folded
+// exactly once, so a whole lane streams through in a few cache lines.
+// outs[i] is the bit leaving fold i's window (history bit origLen(i)).
+//
+//bpvet:hotpath
+func FoldLane(fs []Folded, in uint64, outs []uint64) {
+	if len(outs) < len(fs) {
+		panic("bitutil: FoldLane outs shorter than lane")
+	}
+	for i := range fs {
+		f := &fs[i]
+		c := (f.comp << 1) | in
+		c ^= outs[i] << f.outPoint
+		c ^= c >> f.compLen
+		f.comp = c & (1<<f.compLen - 1)
+	}
+}
 
 // Mask returns a value with the low n bits set. n must be <= 64.
 //

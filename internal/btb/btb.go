@@ -8,6 +8,7 @@ import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
+	"xorbp/internal/snap"
 )
 
 // pcShift drops the instruction alignment bits before indexing (4-byte
@@ -197,6 +198,43 @@ func (b *BTB) FlushThread(t core.HWThread) {
 			}
 		}
 	}
+}
+
+// Snapshot writes every way of every set plus the lookup/hit counters.
+// Tags and targets are serialized in their stored (encoded) form, so the
+// snapshot round-trips without touching keys.
+func (b *BTB) Snapshot(w *snap.Writer) {
+	for s := range b.sets {
+		for i := range b.sets[s] {
+			e := &b.sets[s][i]
+			w.Bool(e.valid)
+			w.U8(uint8(e.owner))
+			w.U8(uint8(e.class))
+			w.U8(e.lru)
+			w.U64(e.tag)
+			w.U64(e.target)
+		}
+	}
+	w.U64(b.lookups)
+	w.U64(b.hits)
+}
+
+// Restore replaces every way and the counters. The snapshot must come
+// from a BTB of identical geometry.
+func (b *BTB) Restore(r *snap.Reader) {
+	for s := range b.sets {
+		for i := range b.sets[s] {
+			e := &b.sets[s][i]
+			e.valid = r.Bool()
+			e.owner = core.HWThread(r.U8())
+			e.class = predictor.Class(r.U8())
+			e.lru = r.U8()
+			e.tag = r.U64()
+			e.target = r.U64()
+		}
+	}
+	b.lookups = r.U64()
+	b.hits = r.U64()
 }
 
 // OccupancyOf counts valid entries owned by thread t — used to reproduce

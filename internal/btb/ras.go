@@ -1,6 +1,9 @@
 package btb
 
-import "xorbp/internal/core"
+import (
+	"xorbp/internal/core"
+	"xorbp/internal/snap"
+)
 
 // RAS is a return address stack. Commercial SMT processors already keep
 // the RAS thread-private (§3), which this type models by default; the
@@ -72,6 +75,26 @@ func (r *RAS) Depth() int { return r.depth }
 func (r *RAS) FlushAll() {
 	for i := range r.tops {
 		r.tops[i] = 0
+	}
+}
+
+// Snapshot writes every stack's words and top pointer. Flushes only reset
+// tops — stale words below the watermark stay physically readable (and
+// Pop wraps modulo depth) — so the words themselves must round-trip, not
+// just the live prefix.
+func (r *RAS) Snapshot(w *snap.Writer) {
+	for i := range r.stacks {
+		w.U64s(r.stacks[i])
+		w.I64(int64(r.tops[i]))
+	}
+}
+
+// Restore replaces every stack and top pointer. The snapshot must come
+// from a RAS of identical depth.
+func (r *RAS) Restore(rd *snap.Reader) {
+	for i := range r.stacks {
+		rd.U64sInto(r.stacks[i])
+		r.tops[i] = int(rd.I64())
 	}
 }
 

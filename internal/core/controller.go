@@ -1,6 +1,9 @@
 package core
 
-import "xorbp/internal/rng"
+import (
+	"xorbp/internal/rng"
+	"xorbp/internal/snap"
+)
 
 // Flusher is implemented by every predictor table so the flush mechanisms
 // can clear state. FlushThread is only meaningful for structures that
@@ -121,6 +124,22 @@ func (c *Controller) PeriodicFlush() {
 	}
 }
 
+// PeriodicRekey is the cycle-driven re-key event (Options.RekeyPeriod):
+// every domain's keys rotate at once. It is a no-op for non-encoding
+// mechanisms, whose periodic event is PeriodicFlush instead.
+//
+//bpvet:hotpath
+func (c *Controller) PeriodicRekey() {
+	if c.opts.Mechanism.Encodes() {
+		c.keys.RotateAll()
+	}
+}
+
+// RekeyEvery returns the periodic re-key interval in cycles, or 0 when
+// periodic re-keying is inactive (the normalized options already zero the
+// period for non-encoding mechanisms).
+func (c *Controller) RekeyEvery() uint64 { return c.opts.RekeyPeriod }
+
 func (c *Controller) flushAll() {
 	c.flushes++
 	for _, r := range c.tables {
@@ -143,6 +162,25 @@ func (c *Controller) flushThread(t HWThread) {
 // broadcasts and key rotations.
 func (c *Controller) Stats() (ctx, priv, flushes, rotations uint64) {
 	return c.contextSwitches, c.privSwitches, c.flushes, c.keys.Rotations()
+}
+
+// Snapshot writes the controller's mutable state: event counters and the
+// key file. The registered table list and options are static wiring
+// rebuilt from the spec; the tables snapshot themselves through their own
+// seams.
+func (c *Controller) Snapshot(w *snap.Writer) {
+	w.U64(c.contextSwitches)
+	w.U64(c.privSwitches)
+	w.U64(c.flushes)
+	c.keys.Snapshot(w)
+}
+
+// Restore replaces the controller's mutable state.
+func (c *Controller) Restore(r *snap.Reader) {
+	c.contextSwitches = r.U64()
+	c.privSwitches = r.U64()
+	c.flushes = r.U64()
+	c.keys.Restore(r)
 }
 
 // Guard returns the access-time view of the isolation configuration used

@@ -1,6 +1,9 @@
 package core
 
-import "xorbp/internal/rng"
+import (
+	"xorbp/internal/rng"
+	"xorbp/internal/snap"
+)
 
 // KeyFile models the dedicated per-hardware-thread key registers of §5.4.
 // Each (hardware thread, privilege level) domain owns a content key and an
@@ -74,6 +77,44 @@ func (kf *KeyFile) OnPrivilegeChange(t HWThread, to Privilege) {
 	}
 }
 
+// RotateAll regenerates every (thread, privilege) domain's keys in a
+// fixed order. This is the periodic re-key event: unlike the scheduling
+// rotations it has no single affected thread, so all domains rotate —
+// after the event no software thread can decode any pre-event state.
+func (kf *KeyFile) RotateAll() {
+	for t := 0; t < MaxHWThreads; t++ {
+		for p := Privilege(0); p < numPrivileges; p++ {
+			kf.regenerate(HWThread(t), p)
+		}
+	}
+}
+
 // Rotations returns the number of key regenerations since construction
 // (excluding the initial fill).
 func (kf *KeyFile) Rotations() uint64 { return kf.rotations }
+
+// Snapshot writes the live keys, the rotation count and the entropy
+// stream position. The rotate-on-privilege policy is static configuration
+// and is not serialized.
+func (kf *KeyFile) Snapshot(w *snap.Writer) {
+	for t := 0; t < MaxHWThreads; t++ {
+		for p := Privilege(0); p < numPrivileges; p++ {
+			w.U64(uint64(kf.content[t][p]))
+			w.U64(uint64(kf.index[t][p]))
+		}
+	}
+	w.U64(kf.rotations)
+	kf.hwrng.Snapshot(w)
+}
+
+// Restore replaces the live keys and entropy stream position.
+func (kf *KeyFile) Restore(r *snap.Reader) {
+	for t := 0; t < MaxHWThreads; t++ {
+		for p := Privilege(0); p < numPrivileges; p++ {
+			kf.content[t][p] = Key(r.U64())
+			kf.index[t][p] = Key(r.U64())
+		}
+	}
+	kf.rotations = r.U64()
+	kf.hwrng.Restore(r)
+}

@@ -108,6 +108,15 @@ type Options struct {
 	// only on the periodic timer; the SMT comparisons (Figures 2, 3, 10)
 	// require privilege-event flushes for equivalent protection.
 	FlushOnPrivilege bool `json:"flush_on_privilege"`
+	// RekeyPeriod, when nonzero, additionally rotates every domain's keys
+	// each time this many *cycles* elapse, independent of scheduling
+	// events — the asynchronous re-keying policy of STBPU-style designs.
+	// It only applies to encoding mechanisms (XOR, NoisyXOR); Normalized
+	// zeroes it otherwise so semantically identical flush/baseline
+	// configurations key the run cache identically. This is the
+	// performance-side twin of the attack jobs' event-count re-key knob
+	// (wire.AttackSpec.RekeyPeriod, measured in predictor events).
+	RekeyPeriod uint64 `json:"rekey_period"`
 	// Codec is the content encoding; nil selects XORCodec. On the wire
 	// (internal/wire) the interface is carried by its Name(), not its
 	// value, so it is excluded from the JSON form.
@@ -151,6 +160,9 @@ func (o Options) Normalized() Options {
 	}
 	if o.Scope == 0 {
 		o.Scope = StructAll
+	}
+	if !o.Mechanism.Encodes() {
+		o.RekeyPeriod = 0 // no keys to rotate; keep cache keys canonical
 	}
 	return o
 }

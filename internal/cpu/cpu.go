@@ -25,6 +25,7 @@ import (
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
 	"xorbp/internal/rng"
+	"xorbp/internal/snap"
 	"xorbp/internal/workload"
 )
 
@@ -211,6 +212,15 @@ type Core struct {
 	krng   *rng.Xoshiro256
 	engine Engine
 
+	// Periodic re-keying (STBPU-style asynchronous key refresh): every
+	// rekeyPeriod cycles the controller rotates every key domain. The
+	// event is taken at fetch-group entry — the first group whose cycle
+	// reaches nextRekey fires it — so both engines observe it at the
+	// same architectural point (table lookups only happen inside fetch
+	// groups). Zero disables.
+	rekeyPeriod uint64
+	nextRekey   uint64
+
 	// pfWalkCycles is the cost of one Precise Flush: unlike Complete
 	// Flush's bulk flash-clear, a precise flush must walk every row
 	// comparing stored thread IDs (the "complex hardware implementations"
@@ -235,6 +245,8 @@ func New(cfg Config, sched SchedulerConfig, ctrl *core.Controller, dir predictor
 		krng:  rng.NewXoshiro256(rng.Mix64(sched.Seed ^ 0xc0de)),
 	}
 	c.dirPU, _ = dir.(predictor.PredictUpdater)
+	c.rekeyPeriod = ctrl.RekeyEvery()
+	c.nextRekey = c.rekeyPeriod
 	if ctrl.Options().Mechanism == core.PreciseFlush {
 		entries := dir.StorageBits() / 8 // fallback: ~8 bits per entry
 		if ec, ok := dir.(interface{ Entries() uint64 }); ok {
@@ -289,6 +301,20 @@ func (c *Core) ThreadStatsOf(hw, idx int) ThreadStats { return c.hw[hw].sw[idx].
 // hardware context hw (single-core attribution; see swThread).
 func (c *Core) ThreadCyclesOf(hw, idx int) uint64 { return c.hw[hw].sw[idx].activeCycles }
 
+// UserInstructions returns the user instructions retired across all
+// software threads since the last stats reset — the running total a
+// RunTotalInstructions goal is measured against, exposed so a
+// cycle-limited run can be resumed toward an absolute goal.
+func (c *Core) UserInstructions() uint64 {
+	var n uint64
+	for _, hc := range c.hw {
+		for _, t := range hc.sw {
+			n += t.stats.Instructions
+		}
+	}
+	return n
+}
+
 // KernelStatsOf returns the kernel pseudo-thread stats of context hw.
 func (c *Core) KernelStatsOf(hw int) ThreadStats { return c.hw[hw].kernel.stats }
 
@@ -333,6 +359,14 @@ func (c *Core) step() uint64 {
 //
 //bpvet:hotpath
 func (c *Core) fetchGroup(hc *hwContext) uint64 {
+	// Periodic re-key, taken at any fetch-group entry (kernel or user):
+	// the hardware key-refresh timer does not care about privilege. The
+	// fast engine clamps its gap skips to nextRekey so this entry is
+	// never jumped over.
+	if c.rekeyPeriod != 0 && c.cycle >= c.nextRekey {
+		c.nextRekey += c.rekeyPeriod
+		c.ctrl.PeriodicRekey()
+	}
 	// Timer interrupts are taken at user-mode fetch boundaries.
 	if hc.kernelLeft == 0 && c.cycle >= hc.nextTimer {
 		hc.nextTimer += c.sched.TimerPeriod
@@ -533,26 +567,43 @@ func (c *Core) resolve(hc *hwContext, t *swThread) (redirect bool, stall uint64)
 // configurations).
 const targetMask = (1 << 32) - 1
 
+// NoCycleLimit disables the cycle bound of the *Until run variants.
+const NoCycleLimit = ^uint64(0)
+
 // RunTargetInstructions runs until software thread 0 on hardware context
 // 0 (the "target benchmark") retires n more user instructions, the
 // paper's single-threaded measurement. It returns the elapsed cycles.
 //
 //bpvet:hotpath
 func (c *Core) RunTargetInstructions(n uint64) uint64 {
+	cyc, _ := c.RunTargetInstructionsUntil(n, NoCycleLimit)
+	return cyc
+}
+
+// RunTargetInstructionsUntil runs until the target thread retires n more
+// user instructions or the global cycle counter reaches cycleLimit,
+// whichever comes first. Stopping on the cycle bound is exact and
+// resumable: the core holds precisely the state the unlimited run holds
+// when its cycle counter passes the same value, so a snapshot taken here
+// and restored elsewhere continues the identical trajectory. It returns
+// the elapsed cycles and whether the instruction goal was reached.
+//
+//bpvet:hotpath
+func (c *Core) RunTargetInstructionsUntil(n, cycleLimit uint64) (uint64, bool) {
 	start := c.cycle
 	target := c.hw[0].sw[0]
 	goal := target.stats.Instructions + n
 	switch {
 	case c.engine == EngineReference:
-		for target.stats.Instructions < goal {
+		for target.stats.Instructions < goal && c.cycle < cycleLimit {
 			c.step()
 		}
 	case len(c.hw) == 1:
-		c.fastRun1(true, goal)
+		c.fastRun1(true, goal, cycleLimit)
 	default:
-		c.fastRunN(true, goal)
+		c.fastRunN(true, goal, cycleLimit)
 	}
-	return c.cycle - start
+	return c.cycle - start, target.stats.Instructions >= goal
 }
 
 // RunTotalInstructions runs until n more user instructions retire across
@@ -562,17 +613,218 @@ func (c *Core) RunTargetInstructions(n uint64) uint64 {
 //
 //bpvet:hotpath
 func (c *Core) RunTotalInstructions(n uint64) uint64 {
+	cyc, _ := c.RunTotalInstructionsUntil(n, NoCycleLimit)
+	return cyc
+}
+
+// RunTotalInstructionsUntil is RunTotalInstructions with the same exact,
+// resumable cycle bound as RunTargetInstructionsUntil. It returns the
+// elapsed cycles and whether the instruction goal was reached.
+//
+//bpvet:hotpath
+func (c *Core) RunTotalInstructionsUntil(n, cycleLimit uint64) (uint64, bool) {
 	start := c.cycle
+	var done uint64
 	switch {
 	case c.engine == EngineReference:
-		var done uint64
-		for done < n {
+		for done < n && c.cycle < cycleLimit {
 			done += c.step()
 		}
 	case len(c.hw) == 1:
-		c.fastRun1(false, n)
+		done = c.fastRun1(false, n, cycleLimit)
 	default:
-		c.fastRunN(false, n)
+		done = c.fastRunN(false, n, cycleLimit)
 	}
-	return c.cycle - start
+	return c.cycle - start, done >= n
+}
+
+// ScheduleRekey sets the cycle at which the next periodic re-key fires.
+// Restore overwrites the schedule with the donor core's, which is
+// meaningless when the snapshot was taken under a different (or absent)
+// re-key period — the fork path calls this after restoring a shared
+// prefix to put the member's own schedule in force.
+func (c *Core) ScheduleRekey(next uint64) { c.nextRekey = next }
+
+// Snapshottable reports whether every stateful component of the core
+// implements the snap seam — in particular, whether the assigned
+// programs do. Snapshot panics when this is false.
+func (c *Core) Snapshottable() bool {
+	if _, ok := c.dir.(snap.Snapshotter); !ok {
+		return false
+	}
+	for _, hc := range c.hw {
+		for _, t := range hc.sw {
+			if _, ok := t.prog.(snap.Snapshotter); !ok {
+				return false
+			}
+		}
+		if _, ok := hc.kernel.prog.(snap.Snapshotter); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot serializes the complete mutable simulator state: the cycle
+// and arbitration counters, the kernel RNG, the controller (keys and
+// event counters), the direction predictor, BTB, RAS, and every
+// hardware context's scheduling state and software threads (stats,
+// event rings, program cursors). Static wiring — configs, table
+// geometry, thread assignment — is not serialized; Restore requires a
+// core built from the identical spec. Snapshot must only be taken at a
+// run boundary (between Run* calls): that is a cycle boundary, where no
+// predict-to-update scratch state is live.
+func (c *Core) Snapshot(w *snap.Writer) {
+	if !c.Snapshottable() {
+		panic("cpu: Snapshot on a core with non-snapshottable programs or predictor")
+	}
+	w.U64(c.cycle)
+	w.U32(uint32(c.rr))
+	w.U64(c.nextRekey)
+	c.krng.Snapshot(w)
+	c.ctrl.Snapshot(w)
+	c.dir.(snap.Snapshotter).Snapshot(w)
+	c.btb.Snapshot(w)
+	c.ras.Snapshot(w)
+	w.U32(uint32(len(c.hw)))
+	for _, hc := range c.hw {
+		hc.snapshot(w)
+	}
+}
+
+// Restore replaces the core's mutable state from a snapshot taken of a
+// core built from the same spec. On any mismatch the reader's error is
+// set and the core is left partially restored — callers must discard it.
+func (c *Core) Restore(r *snap.Reader) {
+	c.cycle = r.U64()
+	c.rr = int(r.U32())
+	c.nextRekey = r.U64()
+	c.krng.Restore(r)
+	c.ctrl.Restore(r)
+	if s, ok := c.dir.(snap.Snapshotter); ok {
+		s.Restore(r)
+	} else {
+		r.Fail("cpu: predictor %s has no snapshot seam", c.dir.Name())
+		return
+	}
+	c.btb.Restore(r)
+	c.ras.Restore(r)
+	if n := int(r.U32()); n != len(c.hw) {
+		r.Fail("cpu: snapshot has %d hardware contexts, core has %d", n, len(c.hw))
+		return
+	}
+	if c.rr < 0 || c.rr >= len(c.hw) {
+		r.Fail("cpu: round-robin pointer %d out of range", c.rr)
+		return
+	}
+	for _, hc := range c.hw {
+		hc.restore(r)
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+// snapshot writes one hardware context's scheduling state and threads.
+func (hc *hwContext) snapshot(w *snap.Writer) {
+	w.U8(uint8(hc.priv))
+	w.U64(hc.stallUntil)
+	w.U64(hc.nextTimer)
+	w.I64(int64(hc.kernelLeft))
+	w.Bool(hc.pendingCtx)
+	w.U32(uint32(hc.cur))
+	w.U32(uint32(len(hc.sw)))
+	for _, t := range hc.sw {
+		t.snapshot(w)
+	}
+	hc.kernel.snapshot(w)
+}
+
+func (hc *hwContext) restore(r *snap.Reader) {
+	p := r.U8()
+	if p > uint8(core.Kernel) {
+		r.Fail("cpu: invalid privilege %d", p)
+		return
+	}
+	hc.priv = core.Privilege(p)
+	hc.stallUntil = r.U64()
+	hc.nextTimer = r.U64()
+	hc.kernelLeft = int(r.I64())
+	hc.pendingCtx = r.Bool()
+	hc.cur = int(r.U32())
+	if n := int(r.U32()); n != len(hc.sw) {
+		r.Fail("cpu: snapshot has %d software threads, context has %d", n, len(hc.sw))
+		return
+	}
+	if hc.cur < 0 || hc.cur >= len(hc.sw) {
+		r.Fail("cpu: scheduled thread %d out of range", hc.cur)
+		return
+	}
+	for _, t := range hc.sw {
+		t.restore(r)
+		if r.Err() != nil {
+			return
+		}
+	}
+	hc.kernel.restore(r)
+}
+
+// snapshot writes one software thread: stats, the pending event and
+// fetch cursor, the unconsumed tail of the event ring, and the program's
+// own cursor state. Entries before ringPos are stale (never read again),
+// so they are omitted — a re-snapshot of a restored thread is
+// byte-identical to the original.
+func (t *swThread) snapshot(w *snap.Writer) {
+	s := &t.stats
+	w.U64(s.Instructions)
+	w.U64(s.Branches)
+	w.U64(s.CondBranches)
+	w.U64(s.DirMisp)
+	w.U64(s.EffMisp)
+	w.U64(s.TargMisp)
+	w.U64(s.DecodeRedir)
+	w.U64(s.Syscalls)
+	t.ev.Snapshot(w)
+	w.I64(int64(t.gapLeft))
+	w.Bool(t.evLoaded)
+	w.U64(t.activeCycles)
+	w.U32(uint32(t.ringPos))
+	w.U32(uint32(t.ringLen))
+	for i := t.ringPos; i < t.ringLen; i++ {
+		t.ring[i].Snapshot(w)
+	}
+	t.prog.(snap.Snapshotter).Snapshot(w)
+}
+
+func (t *swThread) restore(r *snap.Reader) {
+	s := &t.stats
+	s.Instructions = r.U64()
+	s.Branches = r.U64()
+	s.CondBranches = r.U64()
+	s.DirMisp = r.U64()
+	s.EffMisp = r.U64()
+	s.TargMisp = r.U64()
+	s.DecodeRedir = r.U64()
+	s.Syscalls = r.U64()
+	t.ev.Restore(r)
+	t.gapLeft = int(r.I64())
+	t.evLoaded = r.Bool()
+	t.activeCycles = r.U64()
+	pos, n := int(r.U32()), int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if pos < 0 || n < pos || n > len(t.ring) {
+		r.Fail("cpu: ring cursor %d/%d out of range", pos, n)
+		return
+	}
+	t.ringPos, t.ringLen = pos, n
+	for i := pos; i < n; i++ {
+		t.ring[i].Restore(r)
+	}
+	if p, ok := t.prog.(snap.Snapshotter); ok {
+		p.Restore(r)
+	} else {
+		r.Fail("cpu: program %s has no snapshot seam", t.prog.Name())
+	}
 }

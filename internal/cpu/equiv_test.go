@@ -64,7 +64,7 @@ type snapshot struct {
 	StallEnd []uint64
 }
 
-func snap(c *Core, elapsed uint64) snapshot {
+func capture(c *Core, elapsed uint64) snapshot {
 	s := snapshot{
 		Elapsed: elapsed,
 		Cycle:   c.cycle,
@@ -130,7 +130,7 @@ func simulate(t *testing.T, a arrangement, m core.Mechanism, pred string, e Engi
 		c.ResetStats()
 		elapsed = c.RunTargetInstructions(a.measure)
 	}
-	return snap(c, elapsed)
+	return capture(c, elapsed)
 }
 
 // TestFastEngineEquivalence sweeps mechanism x predictor x SMT

@@ -22,9 +22,16 @@ package cpu
 //
 //   - to the next timer interrupt (checked at every user-mode fetch-group
 //     boundary in the reference engine),
-//   - to SMT arbitration boundaries — multi-context cores only skip whole
-//     round-robin rounds, and only while every context's own slots are
-//     provably burns or whole-gap groups,
+//   - to the next periodic re-key (checked at every fetch-group entry in
+//     the reference engine),
+//   - to SMT arbitration boundaries — multi-context cores skip whole
+//     round-robin rounds while every context's own slots are provably
+//     burns or whole-gap groups, and otherwise apply the classification
+//     slot-by-slot within one round (per-slot lookahead): stalled and
+//     whole-gap slots advance arithmetically, only genuinely interesting
+//     slots enter the fetch-group path,
+//   - to the caller's cycle limit (the snapshot/fork stop point), landing
+//     exactly on the requested cycle,
 //   - to the instruction goal, stopping short of the crossing group so
 //     the loop terminates on exactly the reference cycle.
 //
@@ -60,9 +67,13 @@ func (c *Core) EngineInUse() Engine { return c.engine }
 // context 0's software thread 0 has retired `limit` total instructions
 // (RunTargetInstructions); false stops when `limit` user instructions
 // have retired across all threads since the call (RunTotalInstructions).
+// cycLimit additionally stops the run when the global cycle counter
+// reaches it (NoCycleLimit disables); every fast-forward is clamped to
+// land exactly on it. Returns the user instructions retired since the
+// call.
 //
 //bpvet:hotpath
-func (c *Core) fastRun1(targetOnly bool, limit uint64) {
+func (c *Core) fastRun1(targetOnly bool, limit, cycLimit uint64) uint64 {
 	hc := c.hw[0]
 	fw := uint64(c.cfg.FetchWidth)
 	target := hc.sw[0]
@@ -70,29 +81,39 @@ func (c *Core) fastRun1(targetOnly bool, limit uint64) {
 	for {
 		if targetOnly {
 			if target.stats.Instructions >= limit {
-				return
+				return done
 			}
 		} else if done >= limit {
-			return
+			return done
+		}
+		if c.cycle >= cycLimit {
+			return done
 		}
 
 		// Stall fast-forward: the reference engine burns one step per
 		// stalled cycle with no state change beyond the cycle counter and
 		// the scheduled thread's attribution; jump to the cycle fetch
-		// resumes on. Timer interrupts cannot fire mid-stall (they are
-		// taken at fetch-group boundaries only), so no clamp is needed.
+		// resumes on. Timer interrupts and re-keys cannot fire mid-stall
+		// (they are taken at fetch-group boundaries only), so only the
+		// cycle limit clamps the jump.
 		if s := hc.stallUntil; s > c.cycle+1 {
 			burn := s - c.cycle - 1
+			if lim := cycLimit - c.cycle; burn > lim {
+				burn = lim
+			}
 			c.cycle += burn
 			hc.sw[hc.cur].activeCycles += burn
+			continue
 		}
 
 		// Gap fast-forward: while the pending event's gap covers the full
 		// fetch width, each cycle is a whole-gap group — FetchWidth
 		// instructions retire and nothing else happens. Clamped to the
-		// timer (due interrupts preempt the group in user mode) and to the
-		// instruction goal (the crossing group must execute normally so
-		// the run ends on the reference cycle).
+		// timer (due interrupts preempt the group in user mode), to the
+		// next re-key (each skipped cycle is a fetch-group entry in the
+		// reference engine, where the re-key check lives), to the cycle
+		// limit, and to the instruction goal (the crossing group must
+		// execute normally so the run ends on the reference cycle).
 		if hc.kernelLeft > 0 || c.cycle+1 < hc.nextTimer {
 			t := hc.active()
 			if !t.evLoaded {
@@ -104,6 +125,16 @@ func (c *Core) fastRun1(targetOnly bool, limit uint64) {
 					if lim := hc.nextTimer - c.cycle - 1; groups > lim {
 						groups = lim
 					}
+				}
+				if c.rekeyPeriod != 0 {
+					if c.nextRekey <= c.cycle+1 {
+						groups = 0
+					} else if lim := c.nextRekey - c.cycle - 1; groups > lim {
+						groups = lim
+					}
+				}
+				if lim := cycLimit - c.cycle; groups > lim {
+					groups = lim
 				}
 				if targetOnly {
 					if t == target {
@@ -145,42 +176,31 @@ func (c *Core) fastRun1(targetOnly bool, limit uint64) {
 // arbitration-neutral — burned by a stall or consumed by whole-gap fetch
 // groups — whole rounds are skipped at once. A round is len(hw) cycles
 // with the round-robin pointer back where it started, so skipping whole
-// rounds cannot change which context fetches on which cycle.
+// rounds cannot change which context fetches on which cycle. When the
+// whole-round skip does not apply (some context's next own-slot is
+// interesting), the classification is consumed slot-by-slot over one
+// round instead of being discarded: stalled and whole-gap slots advance
+// arithmetically and only the interesting slots enter fetchGroup — the
+// per-slot lookahead. One classification pass per round amortizes to
+// constant overhead per slot, so no cool-off rate limiting is needed.
+// Returns the user instructions retired since the call.
 //
 //bpvet:hotpath
-func (c *Core) fastRunN(targetOnly bool, limit uint64) {
+func (c *Core) fastRunN(targetOnly bool, limit, cycLimit uint64) uint64 {
 	nhw := uint64(len(c.hw))
 	fw := uint64(c.cfg.FetchWidth)
 	target := c.hw[0].sw[0]
 	var done uint64
-	// coolOff rate-limits skip classification: after an attempt finds
-	// nothing skippable, the next nhw slots run reference-style before
-	// re-attempting. Deferring a skip is always correct (reference
-	// processing is exact); this keeps the classification overhead off
-	// branchy phases where skips rarely apply.
-	var coolOff uint64
 	for {
 		if targetOnly {
 			if target.stats.Instructions >= limit {
-				return
+				return done
 			}
 		} else if done >= limit {
-			return
+			return done
 		}
-
-		if coolOff > 0 {
-			coolOff--
-			c.cycle++
-			hc := c.hw[c.rr]
-			c.rr++
-			if c.rr == int(nhw) {
-				c.rr = 0
-			}
-			if hc.stallUntil > c.cycle {
-				continue
-			}
-			done += c.fetchGroup(hc)
-			continue
+		if c.cycle >= cycLimit {
+			return done
 		}
 
 		// Classify each context's next own-slot window, head context
@@ -188,14 +208,14 @@ func (c *Core) fastRunN(targetOnly bool, limit uint64) {
 		// first+o, first+o+nhw, ... A context's window is the number of
 		// consecutive own-slots that are provably uniform (all stall
 		// burns, or all whole-gap groups); the skippable round count is
-		// the minimum over contexts. The loop exits early once a context
-		// contributes zero — in branchy phases that is the head context,
-		// and the slot falls through to reference processing.
+		// the minimum over contexts. The full mask is always computed:
+		// even when some context contributes zero rounds, the per-slot
+		// pass below consumes the other contexts' classifications.
 		rounds := ^uint64(0)
 		var gapping uint64 // bitmask over offsets of gap-consuming contexts
 		perRoundDone := uint64(0)
 		perRoundTarget := uint64(0)
-		for o := uint64(0); o < nhw && rounds > 0; o++ {
+		for o := uint64(0); o < nhw; o++ {
 			hc := c.hw[(uint64(c.rr)+o)%nhw]
 			first := c.cycle + 1 + o
 			var n uint64
@@ -235,6 +255,23 @@ func (c *Core) fastRunN(targetOnly bool, limit uint64) {
 			}
 		}
 
+		// Re-key clamp: skipped gap slots are fetch-group entries in the
+		// reference engine, where the re-key check lives; a pending
+		// re-key must be reached at reference granularity.
+		if rounds > 0 && c.rekeyPeriod != 0 {
+			if c.nextRekey <= c.cycle+1 {
+				rounds = 0
+			} else if lim := (c.nextRekey - 1 - c.cycle) / nhw; rounds > lim {
+				rounds = lim
+			}
+		}
+		// Cycle-limit clamp: land exactly on the requested stop cycle.
+		if rounds > 0 {
+			if lim := (cycLimit - c.cycle) / nhw; rounds > lim {
+				rounds = lim
+			}
+		}
+
 		// Goal clamp: stop short of the crossing round so the final,
 		// crossing slot executes at reference granularity.
 		if rounds > 0 {
@@ -251,9 +288,9 @@ func (c *Core) fastRunN(targetOnly bool, limit uint64) {
 			}
 		}
 
-		// Apply only when the skip pays for its own bookkeeping: a
-		// one-round skip costs about as much as executing the round, so
-		// treat it as a miss and let the cool-off absorb the overhead.
+		// Bulk path: apply whole rounds at once when the skip pays for
+		// its own bookkeeping; a one-round skip costs about as much as
+		// the per-slot pass below, which handles it instead.
 		if rounds >= 2 {
 			for o := uint64(0); o < nhw; o++ {
 				if gapping&(1<<o) == 0 {
@@ -271,19 +308,48 @@ func (c *Core) fastRunN(targetOnly bool, limit uint64) {
 			continue
 		}
 
-		// One reference slot: identical to step() minus the single-core
-		// cycle attribution, which multi-context cores do not perform.
-		// The failed skip attempt starts the classification cool-off.
-		coolOff = nhw
-		c.cycle++
-		hc := c.hw[c.rr]
-		c.rr++
-		if c.rr == int(nhw) {
-			c.rr = 0
+		// Per-slot lookahead over one round: context at offset o fetches
+		// at exactly the cycle its classification examined, and earlier
+		// slots in the round belong to other contexts, whose fetch groups
+		// cannot alter this context's scheduling state or event stream —
+		// so a gapping bit is still valid when its slot arrives. A
+		// classified whole-gap slot applies arithmetically (exactly what
+		// fetchGroup would do: FetchWidth gap instructions retire, nothing
+		// else) unless a re-key is due at that cycle, which must go
+		// through fetchGroup where the re-key check lives. Stalled slots
+		// burn as in step(); everything else runs the reference group.
+		for o := uint64(0); o < nhw; o++ {
+			if targetOnly {
+				if target.stats.Instructions >= limit {
+					return done
+				}
+			} else if done >= limit {
+				return done
+			}
+			if c.cycle >= cycLimit {
+				return done
+			}
+			c.cycle++
+			hc := c.hw[c.rr]
+			c.rr++
+			if c.rr == int(nhw) {
+				c.rr = 0
+			}
+			if hc.stallUntil > c.cycle {
+				continue
+			}
+			if gapping&(1<<o) != 0 && (c.rekeyPeriod == 0 || c.cycle < c.nextRekey) {
+				t := hc.active()
+				if t.evLoaded && uint64(t.gapLeft) >= fw {
+					t.gapLeft -= int(fw)
+					t.stats.Instructions += fw
+					if !t.kernel {
+						done += fw
+					}
+					continue
+				}
+			}
+			done += c.fetchGroup(hc)
 		}
-		if hc.stallUntil > c.cycle {
-			continue
-		}
-		done += c.fetchGroup(hc)
 	}
 }

@@ -52,7 +52,7 @@ func compareEngines(t *testing.T, build func(Engine) *Core, run func(*Core) uint
 	er := run(cr)
 	cf := build(EngineFast)
 	ef := run(cf)
-	sr, sf := snap(cr, er), snap(cf, ef)
+	sr, sf := capture(cr, er), capture(cf, ef)
 	if !reflect.DeepEqual(sr, sf) {
 		t.Fatalf("fast engine diverged from reference:\nref:  %+v\nfast: %+v", sr, sf)
 	}

@@ -100,6 +100,12 @@ type Executor struct {
 	record func(RunRecord)
 	rmu    sync.Mutex // serializes record-hook invocations
 
+	// snaps backs cross-cell prefix sharing (see fork.go): misses that
+	// differ only in re-key period are chained so each extends the
+	// longest snapshotted shared prefix instead of re-simulating it.
+	// In-memory by default; nil disables forking entirely.
+	snaps *SnapStore
+
 	mu sync.Mutex
 	// err is sticky: the first backend failure poisons the executor, and
 	// later batches short-circuit instead of piling more failures on a
@@ -193,6 +199,7 @@ func NewExecutorWith(workers int, backend Backend) *Executor {
 		planned:  make(map[runKey]string),
 		warm:     make(map[runKey]bool),
 		skipped:  make(map[runKey]struct{}),
+		snaps:    NewSnapStore(nil),
 	}
 }
 
@@ -223,6 +230,16 @@ func (e *Executor) SetStore(st *runcache.Store) { e.store = st }
 
 // Store returns the attached persistent store (nil if none).
 func (e *Executor) Store() *runcache.Store { return e.store }
+
+// SetSnapshots replaces the divergence-snapshot store backing prefix
+// sharing: attach NewSnapStore(store) to persist prefixes across
+// processes, or nil to disable forking and run every cell cold. Set
+// before the first batch runs.
+func (e *Executor) SetSnapshots(ss *SnapStore) { e.snaps = ss }
+
+// Snapshots returns the divergence-snapshot store (nil when forking is
+// disabled).
+func (e *Executor) Snapshots() *SnapStore { return e.snaps }
 
 // SetRecord installs a hook receiving one RunRecord per resolved spec —
 // each executed simulation and each persistent-store replay.
@@ -470,58 +487,78 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		e.emit(rec)
 	}
 
-	// Execute: fan the misses out across the backend. Each simulation
-	// publishes to the cache (and writes through to the store) as it
-	// completes, so concurrent batches waiting on it unblock early and
-	// progress counters advance per run, not per batch.
-	runner.Map(len(missSpecs), e.workers, func(i int) struct{} {
-		k := missKeys[i]
-		if e.Err() != nil {
-			// The fleet is already failing: release the claim so waiters
-			// unblock, without piling on more doomed dispatches.
-			e.release(k)
-			return struct{}{}
+	// Execute: fan the misses out across the backend as units. With the
+	// in-process backend and a snapshot store, forkable misses sharing a
+	// divergence prefix are chained into one unit (ascending re-key
+	// period) so each member extends the longest already-snapshotted
+	// prefix instead of re-simulating it; everything else dispatches one
+	// spec per unit. Each simulation publishes to the cache (and writes
+	// through to the store) as it completes, so concurrent batches
+	// waiting on it unblock early and progress counters advance per run,
+	// not per unit. Remote backends never chain: per-spec dispatch keeps
+	// the wire contract unchanged, and byte-identity of forked results
+	// makes the two paths interchangeable.
+	type unit struct {
+		idxs []int
+		fork bool
+	}
+	var units []unit
+	if _, local := e.backend.(LocalBackend); local && e.snaps != nil {
+		chains, singles := forkFamilies(missSpecs)
+		for _, i := range singles {
+			units = append(units, unit{idxs: []int{i}})
 		}
-		e.sem <- struct{}{} // a slot is held only while simulating
-		start := time.Now() //bpvet:allow progress/ETA telemetry; durations never reach results or keys
-		e.noteSimStart(start)
-		r, err := e.backend.Run(context.Background(), missWire[i])
-		<-e.sem
-		if err != nil {
-			e.fail(fmt.Errorf("experiment: %s: %w", specLabel(missSpecs[i]), err))
-			e.release(k)
-			return struct{}{}
+		for _, ch := range chains {
+			units = append(units, unit{idxs: ch, fork: true})
 		}
-		dur := time.Since(start) //bpvet:allow progress/ETA telemetry; durations never reach results or keys
-		e.runs.Add(1)
-		// pmu is taken before e.mu (the only ordering used anywhere), so
-		// publishing a result and printing its progress line are atomic
-		// with respect to other workers: the done/planned counters on
-		// stderr are monotonic.
-		if e.progress != nil {
-			e.pmu.Lock()
+	} else {
+		for i := range missSpecs {
+			units = append(units, unit{idxs: []int{i}})
 		}
-		e.mu.Lock()
-		e.cache[k] = r
-		close(e.inflight[k])
-		delete(e.inflight, k)
-		delete(e.warm, k)
-		e.simsDone++
-		done, planned := len(e.cache)+len(e.skipped), len(e.planned)
-		eta := e.etaLocked()
-		e.mu.Unlock()
-		if e.progress != nil {
-			//bpvet:locked(e.pmu) the progress line must be atomic with the counters read under e.mu above; pmu orders writers and is held only for one Fprintf to a local writer
-			fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)%s\n",
-				done, planned, specLabel(missSpecs[i]),
-				dur.Round(time.Millisecond), eta)
-			e.pmu.Unlock()
+	}
+	runner.Map(len(units), e.workers, func(u int) struct{} {
+		var (
+			prefixDK string
+			prior    []uint64 // divergence cycles deposited by earlier members
+		)
+		for _, i := range units[u].idxs {
+			k := missKeys[i]
+			if e.Err() != nil {
+				// The fleet is already failing: release the claim so
+				// waiters unblock, without piling on more doomed
+				// dispatches.
+				e.release(k)
+				continue
+			}
+			e.sem <- struct{}{} // a slot is held only while simulating
+			start := time.Now() //bpvet:allow progress/ETA telemetry; durations never reach results or keys
+			e.noteSimStart(start)
+			var (
+				r   RunResult
+				err error
+			)
+			if units[u].fork {
+				// Decode through the wire form like LocalBackend does, so
+				// the simulated spec is normalization-identical either way.
+				var s runSpec
+				if s, err = specFromWire(missWire[i]); err == nil {
+					if prefixDK == "" {
+						prefixDK = specToWire(prefixSpec(s)).Key()
+					}
+					r = runForked(s, prefixDK, prior, e.snaps)
+					prior = append(prior, rekeyOf(s))
+				}
+			} else {
+				r, err = e.backend.Run(context.Background(), missWire[i])
+			}
+			<-e.sem
+			if err != nil {
+				e.fail(fmt.Errorf("experiment: %s: %w", specLabel(missSpecs[i]), err))
+				e.release(k)
+				continue
+			}
+			e.publish(missSpecs[i], k, missDKs[i], r, start)
 		}
-		if e.store != nil {
-			e.storePut(missDKs[i], r)
-		}
-		e.emit(recordFor(missSpecs[i], missDKs[i], r,
-			float64(dur)/float64(time.Millisecond), false))
 		return struct{}{}
 	})
 
@@ -537,6 +574,41 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	}
 	e.mu.Unlock()
 	return out
+}
+
+// publish records one completed simulation: memo cache, in-flight claim
+// release, progress line, persistent store write-through, and the record
+// hook.
+func (e *Executor) publish(s runSpec, k runKey, dk string, r RunResult, start time.Time) {
+	dur := time.Since(start) //bpvet:allow progress/ETA telemetry; durations never reach results or keys
+	e.runs.Add(1)
+	// pmu is taken before e.mu (the only ordering used anywhere), so
+	// publishing a result and printing its progress line are atomic
+	// with respect to other workers: the done/planned counters on
+	// stderr are monotonic.
+	if e.progress != nil {
+		e.pmu.Lock()
+	}
+	e.mu.Lock()
+	e.cache[k] = r
+	close(e.inflight[k])
+	delete(e.inflight, k)
+	delete(e.warm, k)
+	e.simsDone++
+	done, planned := len(e.cache)+len(e.skipped), len(e.planned)
+	eta := e.etaLocked()
+	e.mu.Unlock()
+	if e.progress != nil {
+		//bpvet:locked(e.pmu) the progress line must be atomic with the counters read under e.mu above; pmu orders writers and is held only for one Fprintf to a local writer
+		fmt.Fprintf(e.progress, "[run %d/%d] %s (%v)%s\n",
+			done, planned, specLabel(s),
+			dur.Round(time.Millisecond), eta)
+		e.pmu.Unlock()
+	}
+	if e.store != nil {
+		e.storePut(dk, r)
+	}
+	e.emit(recordFor(s, dk, r, float64(dur)/float64(time.Millisecond), false))
 }
 
 // fail records the first backend error; the executor is poisoned from

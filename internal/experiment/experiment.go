@@ -9,6 +9,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"xorbp/internal/attack"
 	"xorbp/internal/core"
@@ -21,7 +22,6 @@ import (
 	"xorbp/internal/tagescl"
 	"xorbp/internal/tournament"
 	"xorbp/internal/wire"
-	"xorbp/internal/workload"
 )
 
 // Scale sets simulation sizes. It is an alias of the canonical wire
@@ -139,60 +139,18 @@ type attackCell struct {
 // which is what makes results cached by either engine interchangeable.
 var runEngine = cpu.EngineFast
 
-// run executes one simulation: warmup, stat reset, measurement — or,
-// for an attack job, the registered PoC measurement.
+// run executes one simulation cold: warmup, stat reset, measurement —
+// or, for an attack job, the registered PoC measurement. Performance
+// runs drive the resumable lifecycle machine (fork.go) straight through;
+// the fork path runs the same machine segmented around a divergence
+// snapshot, which is what makes the two paths byte-identical.
 func run(s runSpec) RunResult {
 	if s.kind == wire.KindAttack {
 		return runAttack(s)
 	}
-	ctrl := core.NewController(s.opts, s.scale.Seed)
-	dir := NewDirPredictor(s.predName, ctrl)
-	c := cpu.New(s.cfg, cpu.DefaultScheduler(s.timer), ctrl, dir)
-	c.SetEngine(runEngine)
-	var progs []workload.Program
-	for i, n := range s.names {
-		progs = append(progs, workload.NewGenerator(workload.MustByName(n), s.scale.Seed*1000+uint64(i)))
-	}
-	c.Assign(progs...)
-
-	smt := s.cfg.HWThreads > 1
-	if smt {
-		c.RunTotalInstructions(s.scale.SMTWarmupInstr)
-	} else {
-		c.RunTargetInstructions(s.scale.WarmupInstr)
-	}
-	c.ResetStats()
-	ctx0, priv0, _, _ := ctrl.Stats()
-
-	var cycles uint64
-	if smt {
-		cycles = c.RunTotalInstructions(s.scale.SMTMeasureInstr)
-	} else {
-		// Single core: measure cycles attributed to the target thread
-		// (scheduler-slice quantization would dominate wall time at
-		// simulation scale — see swThread.activeCycles).
-		c.RunTargetInstructions(s.scale.MeasureInstr)
-		cycles = c.ThreadCyclesOf(0, 0)
-	}
-	ctx1, priv1, _, _ := ctrl.Stats()
-
-	res := RunResult{
-		Cycles:       cycles,
-		Target:       c.ThreadStatsOf(0, 0),
-		PrivSwitches: priv1 - priv0,
-		CtxSwitches:  ctx1 - ctx0,
-		BTBHitRate:   c.BTBUnit().HitRate(),
-	}
-	if smt {
-		for hw := 1; hw < s.cfg.HWThreads; hw++ {
-			res.Others = append(res.Others, c.ThreadStatsOf(hw, 0))
-		}
-	} else {
-		for i := 1; i < len(s.names); i++ {
-			res.Others = append(res.Others, c.ThreadStatsOf(0, i))
-		}
-	}
-	return res
+	m := newSim(s)
+	m.advance(cpu.NoCycleLimit)
+	return m.result()
 }
 
 // Overhead is the normalized performance overhead of a mechanism run
@@ -206,6 +164,25 @@ type Table = report.Table
 
 // pct formats a ratio as a signed percentage.
 func pct(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }
+
+// fmtCount renders a cycle or instruction count compactly for column
+// headers (1500 -> "1.5k", 2_000_000 -> "2M").
+func fmtCount(v uint64) string {
+	switch {
+	case v >= 1_000_000 && v%100_000 == 0:
+		return trimZero(float64(v)/1e6) + "M"
+	case v >= 1_000:
+		return trimZero(float64(v)/1e3) + "k"
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// trimZero formats with one decimal, dropping a trailing ".0".
+func trimZero(f float64) string {
+	s := fmt.Sprintf("%.1f", f)
+	return strings.TrimSuffix(s, ".0")
+}
 
 // mean averages a slice.
 func mean(vs []float64) float64 {

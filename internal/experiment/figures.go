@@ -297,6 +297,84 @@ func (s *Session) Figure9() *Table {
 			"periods because privilege switches dominate key rotations.")
 }
 
+// RekeyPeriods returns the geometric re-key period ladder the sweep
+// measures: eight periods from 1/256th to 1/2 of the scale's total
+// single-core instruction budget (in cycles — the simulated CPI is
+// below 1, so the short periods re-key many times per run and the long
+// ones a handful). The ladder is a pure function of the scale, so every
+// invocation sweeps identical cells and the cache and snapshot store
+// both hit.
+func (s *Session) RekeyPeriods() []uint64 {
+	t := s.scale.WarmupInstr + s.scale.MeasureInstr
+	ps := make([]uint64, 8)
+	for k := range ps {
+		ps[k] = t >> (8 - k)
+	}
+	return ps
+}
+
+// rekeyOpts is Noisy-XOR-BP re-keyed every period cycles, on top of the
+// event-driven rotations it already performs.
+func rekeyOpts(period uint64) core.Options {
+	o := core.OptionsFor(core.NoisyXOR)
+	o.RekeyPeriod = period
+	return o
+}
+
+// RekeySweep measures the performance cost of periodic re-keying:
+// Noisy-XOR-BP with a forced key rotation every P cycles, for the
+// RekeyPeriods ladder, against the same unprotected baselines as
+// Figures 7-9. The paper re-keys on isolation events only (§5); this
+// sweep quantifies the cost of the natural hardening extension — a
+// wall-clock re-key bounding any key's lifetime — and is the
+// demonstrator for the executor's prefix-sharing fork path: the eight
+// cells of each case differ only in RekeyPeriod, so they form one
+// divergence family and share each prefix simulation.
+func (s *Session) RekeySweep() *Table {
+	periods := s.RekeyPeriods()
+	header := []string{"case"}
+	for _, p := range periods {
+		header = append(header, fmtCount(p))
+	}
+	t := &Table{
+		Title:  "Re-key period sweep: Noisy-XOR-BP with periodic key rotation",
+		Header: header,
+		Caption: "Overhead vs baseline per forced re-key period (cycles).\n" +
+			"Expected shape: overhead decays toward the event-driven cost\n" +
+			"as the period grows and rotations become rare.",
+	}
+	timer := s.scale.TimerPeriods[1]
+	pairs := workload.SingleCorePairs()
+	b := s.batch()
+	plan := make([][]oPair, len(pairs))
+	for pi, pair := range pairs {
+		plan[pi] = make([]oPair, len(periods))
+		for i, p := range periods {
+			plan[pi][i] = b.overheadPair(
+				singleSpec(baselineOpts(), pair, timer),
+				singleSpec(rekeyOpts(p), pair, timer))
+		}
+	}
+	b.exec()
+
+	avgs := make([][]float64, len(periods))
+	for pi, pair := range pairs {
+		row := []string{pair.ID}
+		for i := range periods {
+			ov := plan[pi][i].overhead()
+			avgs[i] = append(avgs[i], ov)
+			row = append(row, pct(ov))
+		}
+		t.AddRow(row...)
+	}
+	avgRow := []string{"average"}
+	for i := range periods {
+		avgRow = append(avgRow, pct(mean(avgs[i])))
+	}
+	t.AddRow(avgRow...)
+	return t
+}
+
 // Figure10 reproduces "Performance cost of three isolation mechanisms on
 // four different predictors on an SMT core". Paper shape: Noisy-XOR-BP
 // beats both flushes (26–37% lower loss than CF on average); more

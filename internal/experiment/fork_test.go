@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/runcache"
+	"xorbp/internal/workload"
+)
+
+// rekeySpec builds one divergence-family member at the test scale.
+func rekeySpec(period uint64, scale Scale) runSpec {
+	s := singleSpec(rekeyOpts(period), workload.SingleCorePairs()[0], 300_000)
+	s.scale = scale
+	return s
+}
+
+// TestForkFamilies checks the family planner's invariants: the chains
+// and singles partition the input exactly; only re-key-bearing
+// performance specs join families; any spec field other than the re-key
+// period keeps specs apart; members sort by ascending period.
+func TestForkFamilies(t *testing.T) {
+	scale := microScale()
+	pairs := workload.SingleCorePairs()
+	mk := func(period uint64, mut func(*runSpec)) runSpec {
+		s := singleSpec(rekeyOpts(period), pairs[0], 300_000)
+		s.scale = scale
+		if mut != nil {
+			mut(&s)
+		}
+		return s
+	}
+	specs := []runSpec{
+		mk(4000, nil), // 0: family A
+		mk(0, nil),    // 1: single (no re-key)
+		mk(1000, nil), // 2: family A
+		mk(1000, func(s *runSpec) { s.predName = "gshare" }), // 3: family B (non-inert param)
+		mk(2000, nil), // 4: family A
+		mk(2000, func(s *runSpec) { s.timer = 77_777 }), // 5: family C (non-inert param)
+		mk(3000, func(s *runSpec) { // 6: single (re-key normalizes away)
+			s.opts = core.OptionsFor(core.CompleteFlush)
+			s.opts.RekeyPeriod = 3000
+		}),
+		mk(500, func(s *runSpec) { s.predName = "gshare" }), // 7: family B
+	}
+	chains, singles := forkFamilies(specs)
+
+	count := make(map[int]int)
+	for _, ch := range chains {
+		if len(ch) == 0 {
+			t.Fatal("empty chain")
+		}
+		for _, i := range ch {
+			count[i]++
+		}
+		for j := 1; j < len(ch); j++ {
+			if rekeyOf(specs[ch[j-1]]) >= rekeyOf(specs[ch[j]]) {
+				t.Fatalf("chain not ascending by period: %v", ch)
+			}
+		}
+	}
+	for _, i := range singles {
+		count[i]++
+	}
+	for i := range specs {
+		if count[i] != 1 {
+			t.Fatalf("index %d appears %d times across chains+singles", i, count[i])
+		}
+	}
+	want := [][]int{{2, 4, 0}, {7, 3}, {5}}
+	if !reflect.DeepEqual(chains, want) {
+		t.Fatalf("chains = %v, want %v", chains, want)
+	}
+	if !reflect.DeepEqual(singles, []int{1, 6}) {
+		t.Fatalf("singles = %v, want [1 6]", singles)
+	}
+}
+
+// TestForkedMatchesStraight is the tentpole's correctness gate: a
+// divergence family resolved through the fork path (shared prefix,
+// snapshot at each divergence cycle, forked tails) must be byte-
+// identical to the same specs each simulated cold — per predictor and
+// per encoding mechanism, since the snapshot seam serializes each
+// predictor's own tables.
+func TestForkedMatchesStraight(t *testing.T) {
+	scale := microScale()
+	preds := []string{"tage", "gshare", "perceptron", "tournament", "ltage", "tage_sc_l"}
+	mechs := []core.Mechanism{core.NoisyXOR, core.XOR}
+	if testing.Short() {
+		preds = []string{"tage", "tage_sc_l"}
+		mechs = []core.Mechanism{core.NoisyXOR}
+	}
+	for _, pred := range preds {
+		for _, mech := range mechs {
+			var specs []runSpec
+			for _, period := range []uint64{5_000, 20_000, 60_000} {
+				o := core.OptionsFor(mech)
+				o.RekeyPeriod = period
+				s := singleSpec(o, workload.SingleCorePairs()[1], 300_000)
+				s.predName = pred
+				s.scale = scale
+				specs = append(specs, s)
+			}
+
+			forked := NewExecutor(2)
+			got := forked.RunBatch(specs)
+			if forked.Snapshots().Len() == 0 {
+				t.Fatalf("%s/%s: fork path deposited no snapshots", pred, mech)
+			}
+
+			straight := NewExecutor(2)
+			straight.SetSnapshots(nil) // disable forking: every cell cold
+			want := straight.RunBatch(specs)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: forked results differ from straight runs:\nforked:   %+v\nstraight: %+v",
+					pred, mech, got, want)
+			}
+		}
+	}
+}
+
+// TestForkedMatchesReferenceEngine ties the fork path to the oracle: a
+// forked family under the fast engine must match the same cells run
+// cold under the reference stepper.
+func TestForkedMatchesReferenceEngine(t *testing.T) {
+	scale := microScale()
+	if testing.Short() {
+		scale = quarter(scale)
+	}
+	specs := []runSpec{rekeySpec(8_000, scale), rekeySpec(30_000, scale)}
+
+	forked := NewExecutor(1)
+	got := forked.RunBatch(specs)
+
+	runEngine = cpu.EngineReference
+	defer func() { runEngine = cpu.EngineFast }()
+	straight := NewExecutor(1)
+	straight.SetSnapshots(nil)
+	want := straight.RunBatch(specs)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("forked fast-engine results differ from cold reference runs:\nforked: %+v\nref:    %+v", got, want)
+	}
+}
+
+// TestSimSnapshotRestoreByteStable: restoring a mid-run snapshot into a
+// fresh sim and re-snapshotting must reproduce the donor bytes exactly
+// (so deposited prefixes are stable however many times they are
+// re-derived), and the restored sim must finish with the donor's result.
+func TestSimSnapshotRestoreByteStable(t *testing.T) {
+	spec := rekeySpec(40_000, microScale())
+	donor := newSim(spec)
+	if donor.advance(10_000) {
+		t.Fatal("sim completed before the snapshot point; scale too small")
+	}
+	data := donor.snapshot()
+
+	clone := newSim(spec)
+	if err := clone.restore(data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if again := clone.snapshot(); !bytes.Equal(again, data) {
+		t.Fatal("restored sim re-snapshots differently from the donor bytes")
+	}
+	donor.advance(cpu.NoCycleLimit)
+	clone.advance(cpu.NoCycleLimit)
+	if dr, cr := donor.result(), clone.result(); !reflect.DeepEqual(dr, cr) {
+		t.Fatalf("restored sim result differs:\ndonor: %+v\nclone: %+v", dr, cr)
+	}
+}
+
+// TestSnapStoreDiskLayer: snapshots deposited through a disk-backed
+// SnapStore must be restorable by a second process (modeled as a fresh
+// SnapStore over the same runcache directory), and a fresh executor
+// reusing those prefixes must produce byte-identical results — the
+// distributed / warm-rerun path.
+func TestSnapStoreDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *runcache.Store {
+		st, err := runcache.Open(dir, SnapSchema())
+		if err != nil {
+			t.Fatalf("open snap store: %v", err)
+		}
+		return st
+	}
+	specs := []runSpec{rekeySpec(8_000, microScale()), rekeySpec(30_000, microScale())}
+
+	first := NewExecutor(1)
+	first.SetSnapshots(NewSnapStore(open()))
+	want := first.RunBatch(specs)
+	if first.Snapshots().Len() == 0 {
+		t.Fatal("no snapshots deposited")
+	}
+
+	second := NewExecutor(1)
+	disk := open()
+	second.SetSnapshots(NewSnapStore(disk))
+	got := second.RunBatch(specs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("second process produced different results:\nfirst:  %+v\nsecond: %+v", want, got)
+	}
+	if disk.Stats().Hits == 0 {
+		t.Fatal("second process never restored a prefix from disk")
+	}
+}
+
+// TestRekeySweepDeterministicAcrossWorkers: the forked sweep rendered
+// serially and with a worker pool must be byte-identical (the fork
+// chains schedule deterministically regardless of concurrency).
+func TestRekeySweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	scale := microScale()
+	serial := NewSessionWith(scale, NewExecutor(1)).RekeySweep().Render()
+	parallel := NewSessionWith(scale, NewExecutor(8)).RekeySweep().Render()
+	if serial != parallel {
+		t.Fatalf("parallel RekeySweep differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestForkSavesWork: the chain must simulate strictly fewer cycles than
+// cold runs — observable as the later family members starting from a
+// restored prefix. We assert through the snapshot store: one deposit
+// per member (each extends the prefix for the next), and a rerun of the
+// same batch is served from the memo cache without new simulations.
+func TestForkSavesWork(t *testing.T) {
+	specs := []runSpec{
+		rekeySpec(8_000, microScale()),
+		rekeySpec(16_000, microScale()),
+		rekeySpec(24_000, microScale()),
+	}
+	e := NewExecutor(1)
+	e.RunBatch(specs)
+	if got, want := e.Runs(), uint64(3); got != want {
+		t.Fatalf("simulated %d runs, want %d", got, want)
+	}
+	if got := e.Snapshots().Len(); got != 3 {
+		t.Fatalf("deposited %d snapshots, want 3 (one per member)", got)
+	}
+	e.RunBatch(specs)
+	if got := e.Runs(); got != 3 {
+		t.Fatalf("rerun simulated again: %d total runs", got)
+	}
+}
+
+// TestMeasureForkBench pins the bpbench fork section's correctness
+// half: the forked sweep must reproduce the straight runs exactly and
+// must beat their wall-clock (the committed <MaxForkRatio ratio gate is
+// enforced by bpbench -check at bench scale, where fixed per-member
+// costs amortize).
+func TestMeasureForkBench(t *testing.T) {
+	fb := MeasureForkBench(microScale())
+	if len(fb.Periods) != 8 {
+		t.Fatalf("fork bench measured %d periods, want 8", len(fb.Periods))
+	}
+	if !fb.Match {
+		t.Fatal("forked sweep results diverge from straight runs")
+	}
+	if fb.SpeedupVsStraight <= 1 {
+		t.Fatalf("forked sweep slower than straight re-simulation: %.2fx", fb.SpeedupVsStraight)
+	}
+}
+
+// FuzzSnapshotDecode: sim.restore on arbitrary bytes must never panic —
+// corrupt, truncated or hostile snapshots fail through the reader's
+// error (and are then discarded by the fork path), exactly like corrupt
+// runcache entries are quarantined rather than trusted.
+func FuzzSnapshotDecode(f *testing.F) {
+	spec := rekeySpec(10_000, quarter(microScale()))
+	donor := newSim(spec)
+	donor.advance(2_000)
+	valid := donor.snapshot()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	mut := append([]byte(nil), valid...)
+	mut[0] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := newSim(spec)
+		if err := m.restore(data); err != nil {
+			return // rejected: exactly the quarantine contract
+		}
+		// An accepted snapshot must leave a runnable sim: advance a
+		// bounded slice and assemble a result if it completes.
+		if m.advance(m.c.Cycles() + 50_000) {
+			_ = m.result()
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 )
 
@@ -115,6 +116,25 @@ func (g *Gshare) FlushAll() { g.pht.FlushAll() }
 //
 //bpvet:hotpath
 func (g *Gshare) FlushThread(t core.HWThread) { g.pht.FlushThread(t) }
+
+// Snapshot writes the PHT words and per-thread global histories. The
+// predict-to-update scratch is excluded: snapshots are taken at cycle
+// boundaries, never between a Predict and its paired Update (the engine
+// dispatches the fused PredictUpdate per branch).
+func (g *Gshare) Snapshot(w *snap.Writer) {
+	g.pht.Snapshot(w)
+	for i := range g.ghr {
+		w.U64(g.ghr[i])
+	}
+}
+
+// Restore replaces the PHT and histories.
+func (g *Gshare) Restore(r *snap.Reader) {
+	g.pht.Restore(r)
+	for i := range g.ghr {
+		g.ghr[i] = r.U64()
+	}
+}
 
 // StorageBits implements predictor.DirPredictor.
 func (g *Gshare) StorageBits() uint64 { return g.pht.StorageBits() }

@@ -20,6 +20,7 @@ import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 )
 
@@ -176,6 +177,27 @@ func (p *Perceptron) FlushAll() {
 func (p *Perceptron) FlushThread(t core.HWThread) {
 	for _, w := range p.weights {
 		w.FlushThread(t)
+	}
+}
+
+// Snapshot writes every weight column and the per-thread histories
+// (scratch is predict-to-update carry state, dead at cycle boundaries).
+func (p *Perceptron) Snapshot(w *snap.Writer) {
+	for _, col := range p.weights {
+		col.Snapshot(w)
+	}
+	for i := range p.ghr {
+		w.U64(p.ghr[i])
+	}
+}
+
+// Restore replaces the weight columns and histories.
+func (p *Perceptron) Restore(r *snap.Reader) {
+	for _, col := range p.weights {
+		col.Restore(r)
+	}
+	for i := range p.ghr {
+		p.ghr[i] = r.U64()
 	}
 }
 

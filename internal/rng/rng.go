@@ -15,7 +15,11 @@
 // depend on test execution order.
 package rng
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"xorbp/internal/snap"
+)
 
 // Mix64 is the SplitMix64 finalizer. It maps a 64-bit value to a
 // statistically independent 64-bit value and is its own documentation of
@@ -50,6 +54,12 @@ func (s *SplitMix64) Next() uint64 {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// Snapshot writes the counter state.
+func (s *SplitMix64) Snapshot(w *snap.Writer) { w.U64(s.state) }
+
+// Restore replaces the counter state.
+func (s *SplitMix64) Restore(r *snap.Reader) { s.state = r.U64() }
 
 // Xoshiro256 implements xoshiro256** (Blackman & Vigna). It is the
 // workhorse generator for workload synthesis: fast, 256-bit state, and
@@ -136,6 +146,23 @@ func (g *Xoshiro256) Bool(p float64) bool { return g.Float64() < p }
 // pattern changes.
 func (g *Xoshiro256) Fork() *Xoshiro256 { return NewXoshiro256(g.Uint64()) }
 
+// Snapshot writes the 256-bit stream state. Restoring it resumes the
+// stream at exactly the draw the snapshot was taken at.
+func (g *Xoshiro256) Snapshot(w *snap.Writer) {
+	w.U64(g.s[0])
+	w.U64(g.s[1])
+	w.U64(g.s[2])
+	w.U64(g.s[3])
+}
+
+// Restore replaces the stream state.
+func (g *Xoshiro256) Restore(r *snap.Reader) {
+	g.s[0] = r.U64()
+	g.s[1] = r.U64()
+	g.s[2] = r.U64()
+	g.s[3] = r.U64()
+}
+
 // HWRNG models the dedicated hardware random number generator the paper
 // assumes for key generation ("we assume these random numbers can be
 // generated using a dedicated hardware mechanism", §5.4). In silicon this
@@ -156,3 +183,9 @@ func NewHWRNG(seed uint64) *HWRNG {
 //
 //bpvet:hotpath
 func (r *HWRNG) Draw() uint64 { return r.g.Uint64() }
+
+// Snapshot writes the entropy stream position.
+func (r *HWRNG) Snapshot(w *snap.Writer) { r.g.Snapshot(w) }
+
+// Restore replaces the entropy stream position.
+func (r *HWRNG) Restore(rd *snap.Reader) { r.g.Restore(rd) }

@@ -209,6 +209,33 @@ func (s *Store) writeFile(key string, raw []byte) error {
 	return nil
 }
 
+// PutBinary stores an opaque binary payload under key. The value is the
+// payload's JSON base64 encoding, so binary entries (e.g. simulator
+// snapshots) ride the same on-disk entry format — and the same
+// quarantine rules — as JSON results.
+func (s *Store) PutBinary(key string, data []byte) error {
+	v, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return s.Put(key, v)
+}
+
+// GetBinary returns the binary payload stored under key via PutBinary.
+// An entry whose value does not decode as a base64 string is treated as
+// a miss, exactly like an undecodable result entry.
+func (s *Store) GetBinary(key string) ([]byte, bool) {
+	raw, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var data []byte
+	if json.Unmarshal(raw, &data) != nil {
+		return nil, false
+	}
+	return data, true
+}
+
 // Key derives the store key for a payload under this store's schema.
 func (s *Store) Key(payload []byte) string { return Key(s.schema, payload) }
 

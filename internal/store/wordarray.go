@@ -13,6 +13,7 @@ package store
 import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
+	"xorbp/internal/snap"
 )
 
 // WordArray is an array of 2^indexBits logical entries, each entryBits
@@ -217,6 +218,39 @@ func (a *WordArray) FlushThread(t core.HWThread) {
 		if a.valid[i] && a.owners[i] == t {
 			a.words[i] = a.initWords[i]
 			a.valid[i] = false
+		}
+	}
+}
+
+// Snapshot writes the physical words and, when owner tracking is active,
+// the per-word owner/valid metadata. Words are serialized exactly as
+// stored — still encoded under whatever keys were live — so a snapshot
+// round-trips byte-identically without consulting the guard; the key file
+// restores separately and the pairing stays consistent.
+func (a *WordArray) Snapshot(w *snap.Writer) {
+	w.U64s(a.words)
+	w.Bool(a.owners != nil)
+	if a.owners != nil {
+		for i := range a.owners {
+			w.U8(uint8(a.owners[i]))
+			w.Bool(a.valid[i])
+		}
+	}
+}
+
+// Restore replaces the physical words and owner metadata. The snapshot
+// must come from an array of identical geometry and owner-tracking mode.
+func (a *WordArray) Restore(r *snap.Reader) {
+	r.U64sInto(a.words)
+	tracked := r.Bool()
+	if tracked != (a.owners != nil) {
+		r.Fail("owner tracking mismatch: snapshot %v, array %v", tracked, a.owners != nil)
+		return
+	}
+	if a.owners != nil {
+		for i := range a.owners {
+			a.owners[i] = core.HWThread(r.U8())
+			a.valid[i] = r.Bool()
 		}
 	}
 }

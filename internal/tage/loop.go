@@ -3,6 +3,7 @@ package tage
 import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 )
 
@@ -222,6 +223,18 @@ func (l *LoopPredictor) FlushThread(t core.HWThread) {
 	for i := range l.age {
 		l.age[i] = 0
 	}
+}
+
+// Snapshot writes the rows and age metadata.
+func (l *LoopPredictor) Snapshot(w *snap.Writer) {
+	l.rows.Snapshot(w)
+	w.U8s(l.age)
+}
+
+// Restore replaces the rows and age metadata.
+func (l *LoopPredictor) Restore(r *snap.Reader) {
+	l.rows.Restore(r)
+	r.U8sInto(l.age)
 }
 
 // Entries reports the row count (for the Precise Flush walk cost model).

@@ -18,6 +18,7 @@ import (
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
 	"xorbp/internal/rng"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 )
 
@@ -76,22 +77,26 @@ func LTAGEConfig() Config {
 // separate architectural array.
 const ctrBits = 3
 
-// tableFolds is one tagged table's three folded-history images, stored
-// contiguously: the per-branch fold update touches all of them, and one
-// bounds check plus one cache line per table beats three parallel
-// slices of heap pointers (this loop dominated the simulator profile).
-type tableFolds struct {
-	idx bitutil.Folded // index fold (width = TableBits)
-	t0  bitutil.Folded // tag fold 1 (width = TagBits)
-	t1  bitutil.Folded // tag fold 2 (width = TagBits-1)
-}
-
 // threadState is the per-hardware-thread speculative state: the raw
 // history register and the folded images used for indexing and tagging.
+//
+// The folds are lane-packed: one flat slice of 3*nTab images laid out as
+// three parallel lanes in table order — index folds in [0, nTab), first
+// tag folds in [nTab, 2*nTab), second tag folds in [2*nTab, 3*nTab). The
+// per-branch fold advance (the simulator's hottest loop) gathers each
+// table's leaving history bit once into outs, then streams each lane
+// through bitutil.FoldLane: three tight register-resident loops over
+// contiguous 16-byte Folded values, with no per-table struct hop.
 type threadState struct {
 	hist  *bitutil.History
-	folds []tableFolds // one per tagged table
+	folds []bitutil.Folded // 3*nTab images in three lanes (idx, t0, t1)
+	outs  []uint64         // per-table leaving-bit scratch for the fold pass
 }
+
+// Lane accessors for threadState.folds. i is the tagged table index.
+func (ts *threadState) idxFold(n, i int) *bitutil.Folded { return &ts.folds[i] }
+func (ts *threadState) t0Fold(n, i int) *bitutil.Folded  { return &ts.folds[n+i] }
+func (ts *threadState) t1Fold(n, i int) *bitutil.Folded  { return &ts.folds[2*n+i] }
 
 // scratch carries the prediction's provider metadata to the update.
 type scratch struct {
@@ -197,13 +202,15 @@ func (t *TAGE) maxHist() uint { return t.cfg.HistLengths[t.nTab-1] }
 //bpvet:coldinit allocates once per hardware thread on first touch; every later call is a nil-checked array load
 func (t *TAGE) state(th core.HWThread) *threadState {
 	if t.threads[th] == nil {
-		ts := &threadState{hist: bitutil.NewHistory(t.maxHist() + 1)}
+		ts := &threadState{
+			hist:  bitutil.NewHistory(t.maxHist() + 1),
+			folds: make([]bitutil.Folded, 3*t.nTab),
+			outs:  make([]uint64, t.nTab),
+		}
 		for i := 0; i < t.nTab; i++ {
-			ts.folds = append(ts.folds, tableFolds{
-				idx: *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TableBits[i]),
-				t0:  *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]),
-				t1:  *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]-1),
-			})
+			ts.folds[i] = *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TableBits[i])
+			ts.folds[t.nTab+i] = *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i])
+			ts.folds[2*t.nTab+i] = *bitutil.NewFolded(t.cfg.HistLengths[i], t.cfg.TagBits[i]-1)
 		}
 		t.threads[th] = ts
 		t.scratch[th] = &scratch{
@@ -218,15 +225,14 @@ func (t *TAGE) state(th core.HWThread) *threadState {
 func (t *TAGE) index(ts *threadState, d core.Domain, i int, pc uint64) uint64 {
 	tb := &t.tabs[i]
 	p := pc >> pcShift
-	logical := p ^ (p >> tb.pcFold) ^ ts.folds[i].idx.Value()
+	logical := p ^ (p >> tb.pcFold) ^ ts.idxFold(t.nTab, i).Value()
 	return tb.guard.ScrambleIndex(logical&tb.idxMask, d, tb.bits)
 }
 
 // tag computes tagged table i's logical tag for pc.
 func (t *TAGE) tag(ts *threadState, i int, pc uint64) uint64 {
 	p := pc >> pcShift
-	f := &ts.folds[i]
-	v := p ^ f.t0.Value() ^ (f.t1.Value() << 1)
+	v := p ^ ts.t0Fold(t.nTab, i).Value() ^ (ts.t1Fold(t.nTab, i).Value() << 1)
 	return v & t.tabs[i].tagMask
 }
 
@@ -376,17 +382,19 @@ func (t *TAGE) Update(d core.Domain, pc uint64, taken bool) {
 	}
 
 	// Advance history: raw register first, then the folded images. The
-	// three folds of table i share one history length, so the entering
-	// and leaving bits are read once per table, not once per fold.
+	// leaving bits are gathered once per table, then the three fold lanes
+	// stream through FoldLane back to back — the lane-packed form of the
+	// per-table triple update (see threadState).
 	ts.hist.Push(taken)
 	in := b2u64(taken)
+	outs := ts.outs
 	for i := 0; i < t.nTab; i++ {
-		out := ts.hist.Bit(t.cfg.HistLengths[i])
-		f := &ts.folds[i]
-		f.idx.UpdateBits(in, out)
-		f.t0.UpdateBits(in, out)
-		f.t1.UpdateBits(in, out)
+		outs[i] = ts.hist.Bit(t.cfg.HistLengths[i])
 	}
+	n := t.nTab
+	bitutil.FoldLane(ts.folds[:n], in, outs)
+	bitutil.FoldLane(ts.folds[n:2*n], in, outs)
+	bitutil.FoldLane(ts.folds[2*n:], in, outs)
 }
 
 func b2u64(b bool) uint64 {
@@ -468,6 +476,65 @@ func (t *TAGE) FlushThread(th core.HWThread) {
 		u := t.tabs[i].u
 		for j := range u {
 			u[j] = 0
+		}
+	}
+}
+
+// Snapshot writes the base and tagged tables (words plus usefulness), the
+// USEALT counter, the aging tick, the allocation RNG, the loop predictor
+// when configured, and each lazily-created thread's history state. The
+// per-thread scratch is predict-to-update carry state, dead at cycle
+// boundaries, and is not serialized.
+func (t *TAGE) Snapshot(w *snap.Writer) {
+	t.base.Snapshot(w)
+	for i := range t.tabs {
+		t.tabs[i].arr.Snapshot(w)
+		w.U8s(t.tabs[i].u)
+	}
+	t.useAltOnNA.Snapshot(w)
+	w.U64(t.tick)
+	t.alloc.Snapshot(w)
+	if t.loop != nil {
+		t.loop.Snapshot(w)
+	}
+	for th := range t.threads {
+		ts := t.threads[th]
+		w.Bool(ts != nil)
+		if ts == nil {
+			continue
+		}
+		ts.hist.Snapshot(w)
+		for i := range ts.folds {
+			ts.folds[i].Snapshot(w)
+		}
+	}
+}
+
+// Restore replaces the predictor's mutable state. Thread states absent
+// from the snapshot are dropped; present ones are (re)created through the
+// same lazy constructor the predictor uses, so geometry always matches.
+func (t *TAGE) Restore(r *snap.Reader) {
+	t.base.Restore(r)
+	for i := range t.tabs {
+		t.tabs[i].arr.Restore(r)
+		r.U8sInto(t.tabs[i].u)
+	}
+	t.useAltOnNA.Restore(r)
+	t.tick = r.U64()
+	t.alloc.Restore(r)
+	if t.loop != nil {
+		t.loop.Restore(r)
+	}
+	for th := range t.threads {
+		if !r.Bool() {
+			t.threads[th] = nil
+			t.scratch[th] = nil
+			continue
+		}
+		ts := t.state(core.HWThread(th))
+		ts.hist.Restore(r)
+		for i := range ts.folds {
+			ts.folds[i].Restore(r)
 		}
 	}
 }

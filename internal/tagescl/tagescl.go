@@ -21,6 +21,7 @@ import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 	"xorbp/internal/tage"
 )
@@ -323,6 +324,57 @@ func (p *TAGESCL) Update(d core.Domain, pc uint64, taken bool) {
 // Flush handling: every constituent table (TAGE's, the loop predictor's,
 // the SC tables, the local history table) registers its own flusher with
 // the controller at construction, so flush events reach them directly.
+
+// Snapshot writes the TAGE core, the corrector tables and local history,
+// the adaptive threshold state, and each lazily-created thread's corrector
+// history (scratch is predict-to-update carry state, dead at cycle
+// boundaries).
+func (p *TAGESCL) Snapshot(w *snap.Writer) {
+	p.t.Snapshot(w)
+	for _, tab := range p.tables {
+		tab.Snapshot(w)
+	}
+	p.localHist.Snapshot(w)
+	w.I64(int64(p.threshold))
+	p.tc.Snapshot(w)
+	for th := range p.threads {
+		ts := p.threads[th]
+		w.Bool(ts != nil)
+		if ts == nil {
+			continue
+		}
+		ts.hist.Snapshot(w)
+		for i := range ts.folds {
+			ts.folds[i].Snapshot(w)
+		}
+		w.U64(ts.runLen)
+	}
+}
+
+// Restore replaces the predictor's mutable state, recreating thread
+// states through the lazy constructor so geometry always matches.
+func (p *TAGESCL) Restore(r *snap.Reader) {
+	p.t.Restore(r)
+	for _, tab := range p.tables {
+		tab.Restore(r)
+	}
+	p.localHist.Restore(r)
+	p.threshold = int(r.I64())
+	p.tc.Restore(r)
+	for th := range p.threads {
+		if !r.Bool() {
+			p.threads[th] = nil
+			p.scratch[th] = nil
+			continue
+		}
+		ts := p.state(core.HWThread(th))
+		ts.hist.Restore(r)
+		for i := range ts.folds {
+			ts.folds[i].Restore(r)
+		}
+		ts.runLen = r.U64()
+	}
+}
 
 // StorageBits implements predictor.DirPredictor.
 func (p *TAGESCL) StorageBits() uint64 {

@@ -12,6 +12,7 @@ import (
 	"xorbp/internal/bitutil"
 	"xorbp/internal/core"
 	"xorbp/internal/predictor"
+	"xorbp/internal/snap"
 	"xorbp/internal/store"
 )
 
@@ -159,6 +160,29 @@ func (t *Tournament) FlushThread(th core.HWThread) {
 	t.localPred.FlushThread(th)
 	t.globalPred.FlushThread(th)
 	t.choicePred.FlushThread(th)
+}
+
+// Snapshot writes all four tables and the per-thread path histories
+// (scratch is predict-to-update carry state, dead at cycle boundaries).
+func (t *Tournament) Snapshot(w *snap.Writer) {
+	t.localHist.Snapshot(w)
+	t.localPred.Snapshot(w)
+	t.globalPred.Snapshot(w)
+	t.choicePred.Snapshot(w)
+	for i := range t.pathHistory {
+		w.U64(t.pathHistory[i])
+	}
+}
+
+// Restore replaces the tables and path histories.
+func (t *Tournament) Restore(r *snap.Reader) {
+	t.localHist.Restore(r)
+	t.localPred.Restore(r)
+	t.globalPred.Restore(r)
+	t.choicePred.Restore(r)
+	for i := range t.pathHistory {
+		t.pathHistory[i] = r.U64()
+	}
 }
 
 // StorageBits implements predictor.DirPredictor.

@@ -20,8 +20,11 @@
 package workload
 
 import (
+	"math"
+
 	"xorbp/internal/predictor"
 	"xorbp/internal/rng"
+	"xorbp/internal/snap"
 
 	"xorbp/internal/bitutil"
 )
@@ -35,6 +38,26 @@ type BranchEvent struct {
 	Taken   bool
 	Gap     uint16
 	Syscall bool // a syscall follows this instruction
+}
+
+// Snapshot writes one branch event.
+func (e *BranchEvent) Snapshot(w *snap.Writer) {
+	w.U64(e.PC)
+	w.U64(e.Target)
+	w.U8(uint8(e.Class))
+	w.Bool(e.Taken)
+	w.U16(e.Gap)
+	w.Bool(e.Syscall)
+}
+
+// Restore reads one branch event.
+func (e *BranchEvent) Restore(r *snap.Reader) {
+	e.PC = r.U64()
+	e.Target = r.U64()
+	e.Class = predictor.Class(r.U8())
+	e.Taken = r.Bool()
+	e.Gap = r.U16()
+	e.Syscall = r.Bool()
 }
 
 // Program produces a deterministic stream of branch events.
@@ -400,6 +423,94 @@ func (g *Generator) refill() {
 	if called {
 		g.emit(reg.retPC, reg.callPC+4, predictor.Return, true)
 	}
+}
+
+// Snapshot writes the generator's mutable state: the RNG, per-site
+// pattern cursors, indirect rotation cursors, the correlation history
+// rings, the phase/invocation/accounting counters, and the contents of
+// the generation buffer with its read cursor. The static program layout
+// (regions, patterns, trip counts, targets) is rebuilt deterministically
+// from the profile and seed by NewGenerator, so it is not serialized.
+func (g *Generator) Snapshot(w *snap.Writer) {
+	g.rng.Snapshot(w)
+	for ri := range g.regions {
+		reg := &g.regions[ri]
+		for i := range reg.body {
+			if reg.body[i].kind == sitePattern {
+				w.U32(uint32(reg.body[i].pos))
+			}
+		}
+		if reg.indirect != nil {
+			w.U32(uint32(reg.indirect.pos))
+		}
+	}
+	for _, h := range g.hist {
+		for _, b := range h {
+			w.Bool(b)
+		}
+	}
+	w.I64(int64(g.phase))
+	w.I64(int64(g.invocations))
+	w.U64(g.instRetired)
+	w.U64(math.Float64bits(g.sysAccum))
+	w.U32(uint32(len(g.buf)))
+	for i := range g.buf {
+		g.buf[i].Snapshot(w)
+	}
+	w.U32(uint32(g.pos))
+}
+
+// Restore replaces the generator's mutable state from a snapshot taken
+// of a generator built from the same profile and seed.
+func (g *Generator) Restore(r *snap.Reader) {
+	g.rng.Restore(r)
+	for ri := range g.regions {
+		reg := &g.regions[ri]
+		for i := range reg.body {
+			if reg.body[i].kind == sitePattern {
+				p := int(r.U32())
+				if n := len(reg.body[i].pattern); n > 0 && p < n {
+					reg.body[i].pos = p
+				} else {
+					r.Fail("workload: pattern cursor %d out of range", p)
+				}
+			}
+		}
+		if reg.indirect != nil {
+			p := int(r.U32())
+			if n := len(reg.targets); n > 0 && p < n {
+				reg.indirect.pos = p
+			} else {
+				r.Fail("workload: indirect cursor %d out of range", p)
+			}
+		}
+	}
+	for _, h := range g.hist {
+		for i := range h {
+			h[i] = r.Bool()
+		}
+	}
+	g.phase = int(r.I64())
+	g.invocations = int(r.I64())
+	g.instRetired = r.U64()
+	g.sysAccum = math.Float64frombits(r.U64())
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining() {
+		r.Fail("workload: buffer length %d exceeds snapshot", n)
+		return
+	}
+	g.buf = g.buf[:0]
+	for i := 0; i < n; i++ {
+		var e BranchEvent
+		e.Restore(r)
+		g.buf = append(g.buf, e)
+	}
+	p := int(r.U32())
+	if p < 0 || p > len(g.buf) {
+		r.Fail("workload: buffer cursor %d out of range", p)
+		return
+	}
+	g.pos = p
 }
 
 // StaticBranches returns the number of static conditional branch sites
