@@ -8,7 +8,9 @@
 //	attacksim [-poc] [-table1] [-sweep] [-quick] [-seed N]
 //	          [-workers N] [-progress] [-json]
 //	          [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N]
-//	          [-token T] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-token T] [-route POLICY] [-tls-ca FILE]
+//	          [-fleet HOST:PORT] [-fleet-lease D] [-tls-cert FILE] [-tls-key FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without a selector flag the PoC accuracy and Table 1 experiments run
 // (the original attacksim surface); -sweep adds the full grid — attack
@@ -20,13 +22,17 @@
 // mean the same things: -cache persists resolved cells across
 // invocations (a warm re-run simulates nothing), -workers bounds the
 // in-process pool, -serve-addrs dispatches cells to bpserve daemons
-// (-token authenticating against bpserve -token), -shard I/N statically
-// partitions the grid across cooperating processes (tables suppressed;
-// an unsharded run afterwards renders from the shared cache),
-// -progress reports done/planned with a session-wide ETA over the
-// pre-planned grid, and -json streams per-cell records, JSON tables and
-// a final summary record. Tables are byte-identical for every worker
-// count, backend and shard split.
+// (-token authenticating against bpserve -token; -route picking the
+// push routing policy, -tls-ca pinning the fleet CA), -fleet runs this
+// process as a pull-queue leader that bpserve -pull workers claim
+// batches from (-tls-cert/-tls-key serving that endpoint over TLS),
+// -shard I/N statically partitions the grid across cooperating
+// processes (tables suppressed; an unsharded run afterwards renders
+// from the shared cache), -progress reports done/planned with a
+// session-wide ETA over the pre-planned grid, and -json streams
+// per-cell records, JSON tables and a final summary record. Tables are
+// byte-identical for every worker count, backend, routing policy and
+// shard split.
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 	token := flag.String("token", "", "bearer token for -serve-addrs workers (bpserve -token)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	fleetFlags := driver.AddFleetFlags()
 	flag.Parse()
 
 	stopProfiles := driver.StartProfiles("attacksim", *cpuProfile, *memProfile)
@@ -80,7 +87,9 @@ func main() {
 	cfg.Seed = *seed
 	swCfg.Attack = cfg
 
-	shardI, shardN := driver.ParseShard("attacksim", *shard, *cacheDir != "" || *serveAddrs != "")
+	// A fleet sweep has a sink too: pull workers cache on their side.
+	shardI, shardN := driver.ParseShard("attacksim", *shard,
+		*cacheDir != "" || *serveAddrs != "" || *fleetFlags.Fleet != "")
 
 	// Experiment set: the two PoC tables by default, the grid on -sweep.
 	type exp struct {
@@ -109,12 +118,17 @@ func main() {
 		}})
 	}
 
-	// Pick the backend: the in-process pool, or a bpserve fleet.
+	// Pick the topology: the in-process pool, a push-routed bpserve
+	// fleet, or a pull-queue leader.
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-	backend, client, poolSize, backendName := driver.Connect("attacksim", *serveAddrs, *token, *workers, workersSet)
+	conn := driver.Connect(driver.ConnectOptions{
+		Prog: "attacksim", ServeAddrs: *serveAddrs, Token: *token,
+		Workers: *workers, WorkersSet: workersSet, Fleet: fleetFlags,
+	})
+	defer conn.Close()
 
-	exec := experiment.NewExecutorWith(poolSize, backend)
+	exec := experiment.NewExecutorWith(conn.PoolSize, conn.Backend)
 	if shardN > 1 {
 		exec.SetShard(shardI, shardN)
 	}
@@ -180,7 +194,7 @@ func main() {
 		}
 	}
 	if *asJSON {
-		rec := driver.Summarize(exec, client, backendName, shardI, shardN, wallStart)
+		rec := driver.Summarize(exec, conn, shardI, shardN, wallStart)
 		if out, err := json.Marshal(rec); err == nil {
 			fmt.Println(string(out))
 		}

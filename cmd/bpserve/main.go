@@ -1,17 +1,22 @@
 // Command bpserve is the experiment work-server: a daemon that accepts
 // simulation specs over the canonical wire protocol (internal/wire) and
 // returns their results, so bpsim sweeps can fan out across machines
-// with -serve-addrs.
+// with -serve-addrs — or, with -pull, a work-stealing fleet worker that
+// claims batches from a bpsim/attacksim -fleet leader.
 //
 // Usage:
 //
 //	bpserve [-addr HOST:PORT] [-workers N] [-cache DIR] [-drain-timeout D]
 //	        [-token T] [-gc-interval D] [-gc-age D] [-gc-max-bytes N]
+//	        [-tls-cert FILE] [-tls-key FILE] [-slow D]
+//	bpserve -pull HOST:PORT [-pull-batch N] [-id NAME] [-tls-ca FILE]
+//	        [-workers N] [-cache DIR] [-token T] [-slow D]
 //
-// Endpoints:
+// Endpoints (push mode):
 //
 //	POST /run      {"schema":..., "spec":...} -> {"schema":..., "result":...}
 //	GET  /healthz  status, schema version, capacity, in-flight count
+//	GET  /statz    live load and cache counters (fleet routing inputs)
 //
 // -workers bounds concurrent simulations (default: one per CPU); excess
 // requests queue. Every result is written through to -cache (default
@@ -31,10 +36,25 @@
 // are removed, then entries older than -gc-age, then the oldest
 // survivors until the directory fits -gc-max-bytes.
 //
-// On SIGINT/SIGTERM the daemon drains gracefully: /healthz reports
-// "draining", new /run requests get 503 (clients fail over), and
-// in-flight simulations run to completion before exit, bounded by
-// -drain-timeout.
+// -tls-cert/-tls-key serve the push endpoint over TLS (clients pin the
+// CA with their -tls-ca flag). -slow injects a fixed delay before every
+// simulation — the slow-worker model for strategy benchmarks and the
+// CI smoke topology; results are unaffected.
+//
+// -pull HOST:PORT flips the daemon into a work-stealing fleet worker:
+// instead of listening, it claims batches of up to -pull-batch specs
+// from the leader under a lease, heartbeats while simulating, reports
+// each result as it lands, and goes back for more. -id names the
+// worker for lease bookkeeping (default host:pid); -tls-ca pins the
+// leader's CA. A pull worker that dies mid-batch forfeits its lease
+// and the fleet steals the stalled specs.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully. Push mode: /healthz
+// reports "draining", new /run requests get 503 (clients fail over),
+// and in-flight simulations run to completion before exit, bounded by
+// -drain-timeout. Pull mode: the worker stops claiming, finishes the
+// specs it has started, and nacks the rest of its lease back to the
+// leader immediately instead of letting it time out.
 package main
 
 import (
@@ -48,12 +68,79 @@ import (
 	"syscall"
 	"time"
 
+	"xorbp/internal/experiment"
+	"xorbp/internal/fleet"
 	"xorbp/internal/runcache"
 	"xorbp/internal/runner"
 	"xorbp/internal/serve"
 	"xorbp/internal/trace"
 	"xorbp/internal/wire"
 )
+
+// runPull is the -pull entrypoint: a work-stealing fleet worker
+// claiming batches from a bpsim/attacksim -fleet leader until
+// signalled. On SIGINT/SIGTERM it stops claiming, finishes the specs
+// it has started, nacks the rest of its lease back, and exits; a
+// second signal exits immediately.
+func runPull(leader, id, token, tlsCA string, backend experiment.Backend,
+	st *runcache.Store, batch, workers int, drainTimeout time.Duration) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := fleet.NewPullWorker(leader, id, backend, st, batch, workers)
+	w.SetToken(token)
+	if tlsCA != "" {
+		pool, err := wire.LoadCertPool(tlsCA)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpserve: %v\n", err)
+			os.Exit(1)
+		}
+		w.SetTLS(pool)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	cache := "disabled"
+	if st != nil {
+		cache = st.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "bpserve: pulling from %s as %q (%d slots, cache %s)\n",
+		leader, id, workers, cache)
+
+	finish := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bpserve: drained (%d simulated, %d replayed, %d nacked)\n",
+			w.Runs(), w.Replays(), w.Nacked())
+	}
+
+	select {
+	case err := <-done:
+		finish(err)
+	case <-sig:
+		fmt.Fprintf(os.Stderr, "bpserve: draining (finishing started specs, nacking the rest)\n")
+		w.Drain()
+		select {
+		case err := <-done:
+			finish(err)
+		case <-time.After(drainTimeout):
+			fmt.Fprintf(os.Stderr, "bpserve: drain timed out after %v\n", drainTimeout)
+			os.Exit(1)
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "bpserve: second signal, exiting now")
+			os.Exit(1)
+		}
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
@@ -64,7 +151,19 @@ func main() {
 	gcInterval := flag.Duration("gc-interval", 6*time.Hour, "period between automatic cache GC passes (0 disables)")
 	gcAge := flag.Duration("gc-age", 30*24*time.Hour, "GC: remove entries older than this (0 disables the age bound)")
 	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "GC: evict oldest entries until the cache fits this many bytes (0 disables)")
+	pull := flag.String("pull", "", "fleet leader address (bpsim -fleet): claim work instead of listening")
+	pullBatch := flag.Int("pull-batch", 0, "with -pull: max specs claimed per lease (<=0: 2x workers)")
+	workerID := flag.String("id", "", "with -pull: stable worker identity for lease bookkeeping (default host:pid)")
+	tlsCert := flag.String("tls-cert", "", "serve the push endpoint over TLS with this certificate")
+	tlsKey := flag.String("tls-key", "", "private key for -tls-cert")
+	tlsCA := flag.String("tls-ca", "", "with -pull: PEM CA bundle to pin for the leader; claims switch to HTTPS")
+	slow := flag.Duration("slow", 0, "inject a fixed delay before every simulation (slow-worker model for benchmarks; results unaffected)")
 	flag.Parse()
+
+	if (*tlsCert != "") != (*tlsKey != "") {
+		fmt.Fprintln(os.Stderr, "bpserve: -tls-cert and -tls-key come as a pair")
+		os.Exit(2)
+	}
 
 	var st *runcache.Store
 	if *cacheDir != "" {
@@ -76,7 +175,18 @@ func main() {
 		}
 	}
 
+	var backend experiment.Backend = experiment.LocalBackend{}
+	if *slow > 0 {
+		backend = fleet.Throttle{Inner: backend, Delay: *slow}
+	}
+
+	if *pull != "" {
+		runPull(*pull, *workerID, *token, *tlsCA, backend, st, *pullBatch, *workers, *drainTimeout)
+		return
+	}
+
 	srv := serve.New(*workers, st)
+	srv.SetBackend(backend)
 	srv.SetToken(*token)
 	if st != nil {
 		// Both live schemas sharing the directory survive the periodic
@@ -91,7 +201,13 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() {
+		if *tlsCert != "" {
+			errc <- hs.ListenAndServeTLS(*tlsCert, *tlsKey)
+		} else {
+			errc <- hs.ListenAndServe()
+		}
+	}()
 	cache := "disabled"
 	if st != nil {
 		cache = st.Dir()

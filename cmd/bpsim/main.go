@@ -5,6 +5,8 @@
 //	bpsim -exp table2|table3|workloads|fig1|fig2|fig3|fig7|fig8|fig9|fig10|rekey|table4|table5|mpki|residency|all
 //	      [-scale full|bench|micro] [-seed N] [-workers N] [-progress] [-json]
 //	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N] [-token T]
+//	      [-route POLICY] [-tls-ca FILE]
+//	      [-fleet HOST:PORT] [-fleet-lease D] [-tls-cert FILE] [-tls-key FILE]
 //	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -19,7 +21,18 @@
 // of the local pool. Tables are byte-identical to a local run: results
 // are pure functions of their specs regardless of where they execute.
 // Unless -workers is set explicitly, the fan-out width is the fleet's
-// total capacity.
+// total capacity. -route picks the push routing policy (roundrobin,
+// leastloaded, capacity, affinity — see internal/fleet); -tls-ca pins
+// the workers' CA and switches dispatch to HTTPS.
+//
+// -fleet HOST:PORT inverts the dispatch: this process becomes a
+// pull-queue leader, and bpserve workers started with -pull HOST:PORT
+// claim batches of specs under a -fleet-lease lease, heartbeat while
+// simulating, and report results back. A worker that dies mid-batch
+// forfeits its lease and the rest of the fleet steals the stalled
+// cells. -tls-cert/-tls-key serve the leader endpoint over TLS.
+// Mutually exclusive with -serve-addrs; tables stay byte-identical to
+// a serial run under every topology.
 //
 // -shard I/N statically partitions the grid: this process simulates only
 // the cells whose key hashes to shard I of N, skips the rest, and
@@ -131,6 +144,7 @@ func main() {
 	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "with -cache-gc: evict oldest entries until the cache fits this many bytes (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	fleetFlags := driver.AddFleetFlags()
 	flag.Parse()
 
 	stopProfiles := driver.StartProfiles("bpsim", *cpuProfile, *memProfile)
@@ -167,7 +181,9 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	shardI, shardN := driver.ParseShard("bpsim", *shard, *cacheDir != "" || *serveAddrs != "")
+	// A fleet sweep has a sink too: pull workers cache on their side.
+	shardI, shardN := driver.ParseShard("bpsim", *shard,
+		*cacheDir != "" || *serveAddrs != "" || *fleetFlags.Fleet != "")
 
 	reg := runners()
 	names := []string{*exp}
@@ -182,12 +198,17 @@ func main() {
 		}
 	}
 
-	// Pick the backend: the in-process pool, or a bpserve fleet.
+	// Pick the topology: the in-process pool, a push-routed bpserve
+	// fleet, or a pull-queue leader.
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
-	backend, client, poolSize, backendName := driver.Connect("bpsim", *serveAddrs, *token, *workers, workersSet)
+	conn := driver.Connect(driver.ConnectOptions{
+		Prog: "bpsim", ServeAddrs: *serveAddrs, Token: *token,
+		Workers: *workers, WorkersSet: workersSet, Fleet: fleetFlags,
+	})
+	defer conn.Close()
 
-	exec := experiment.NewExecutorWith(poolSize, backend)
+	exec := experiment.NewExecutorWith(conn.PoolSize, conn.Backend)
 	if shardN > 1 {
 		exec.SetShard(shardI, shardN)
 	}
@@ -260,7 +281,7 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	if *asJSON {
-		rec := driver.Summarize(exec, client, backendName, shardI, shardN, wallStart)
+		rec := driver.Summarize(exec, conn, shardI, shardN, wallStart)
 		if out, err := json.Marshal(rec); err == nil {
 			fmt.Println(string(out))
 		}

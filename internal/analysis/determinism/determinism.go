@@ -43,6 +43,7 @@ var wirePathSuffixes = []string{
 	"internal/experiment",
 	"internal/serve",
 	"internal/driver",
+	"internal/fleet",
 }
 
 func run(pass *analysis.Pass) error {

@@ -38,6 +38,7 @@ var scopedSuffixes = []string{
 	"internal/trace",
 	"internal/store",
 	"internal/driver",
+	"internal/fleet",
 }
 
 func run(pass *analysis.Pass) error {

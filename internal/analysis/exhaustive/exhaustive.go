@@ -17,7 +17,13 @@
 //  3. in internal/experiment, PredictorNames() is a subset of
 //     NewDirPredictor's switch, and NewDirPredictor's case set equals
 //     validPredictor's — the wire validator may not drift from the
-//     constructor.
+//     constructor;
+//  4. in internal/fleet, every Scorer implementation appears in
+//     ScorerByName (rule 2's shape), ScorerNames() equals the registry
+//     case set, and LedgerPolicies() — the strategies
+//     STRATEGY_LEDGER.md must benchmark — contains every scorer name
+//     plus "pull": a routing policy cannot ship without its committed
+//     ledger row.
 //
 // The anchors are recognized by shape (package path suffix, type and
 // function names); an anchor that exists but no longer parses as the
@@ -50,6 +56,10 @@ func run(pass *analysis.Pass) error {
 	}
 	if strings.HasSuffix(pass.Path, "internal/experiment") {
 		checkPredictorLists(pass)
+	}
+	if strings.HasSuffix(pass.Path, "internal/fleet") {
+		checkRegistry(pass, "Scorer", "ScorerByName")
+		checkScorerLists(pass)
 	}
 	return nil
 }
@@ -378,6 +388,136 @@ func sortedDiff(a, b map[string]bool) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// --- rule 4: fleet scorer lists --------------------------------------
+
+// checkScorerLists holds the fleet dispatch vocabulary mutually
+// complete: ScorerNames (the -route flag's vocabulary) must equal the
+// ScorerByName case set, and LedgerPolicies (the strategies the
+// committed STRATEGY_LEDGER.md benchmarks) must contain every scorer
+// name plus "pull" — a routing policy cannot ship without its ledger
+// row, and the pull queue may not drop out of the comparison.
+func checkScorerLists(pass *analysis.Pass) {
+	names := findFunc(pass, "ScorerNames")
+	ctor := findFunc(pass, "ScorerByName")
+	ledger := findFunc(pass, "LedgerPolicies")
+	if names == nil || ctor == nil || ledger == nil {
+		var missing []string
+		for _, m := range []struct {
+			fd   *ast.FuncDecl
+			name string
+		}{{names, "ScorerNames"}, {ctor, "ScorerByName"}, {ledger, "LedgerPolicies"}} {
+			if m.fd == nil {
+				missing = append(missing, m.name)
+			}
+		}
+		pass.Reportf(pass.Files[0].Pos(), "fleet scorer anchor functions missing: %s; the exhaustive analyzer cannot verify the dispatch registry", strings.Join(missing, ", "))
+		return
+	}
+
+	listed := stringLiteralSet(pass, names.Body)
+	registered := scorerCaseSet(pass, ctor)
+	policies := stringLiteralSet(pass, ledger.Body)
+	if listed == nil || registered == nil || policies == nil {
+		pass.Reportf(names.Pos(), "fleet scorer anchors did not parse as string-literal lists / a T{}.Name() switch; the exhaustive analyzer cannot verify the dispatch registry")
+		return
+	}
+
+	for _, n := range sortedDiff(listed, registered) {
+		pass.Reportf(names.Pos(), "ScorerNames lists %q but ScorerByName has no case for it (-route would reject a documented policy)", n)
+	}
+	for _, n := range sortedDiff(registered, listed) {
+		pass.Reportf(names.Pos(), "ScorerByName constructs %q but ScorerNames does not list it; the -route vocabulary drifted from the registry", n)
+	}
+	for _, n := range sortedDiff(listed, policies) {
+		pass.Reportf(ledger.Pos(), "scorer %q is missing from LedgerPolicies; a routing policy cannot ship without its STRATEGY_LEDGER.md row", n)
+	}
+	if !policies["pull"] {
+		pass.Reportf(ledger.Pos(), `LedgerPolicies omits "pull"; the pull queue must stay in the strategy ledger's comparison`)
+	}
+}
+
+// scorerCaseSet resolves ScorerByName's case keys — T{}.Name() calls,
+// per rule 2 — to their string values by reading each T's Name method
+// literal. A case that is not a Name call, or a Name method that does
+// not return a plain string literal, yields nil (the caller reports
+// the anchor as unparseable).
+func scorerCaseSet(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	set := make(map[string]bool)
+	parsed := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok || cc.List == nil {
+				continue
+			}
+			for _, e := range cc.List {
+				t := nameCallType(pass.Info, e)
+				if t == "" {
+					parsed = false // rule 2 already reported the malformed key
+					continue
+				}
+				val, ok := nameMethodLiteral(pass, t)
+				if !ok {
+					parsed = false
+					continue
+				}
+				set[val] = true
+			}
+		}
+		return false
+	})
+	if !parsed || len(set) == 0 {
+		return nil
+	}
+	return set
+}
+
+// nameMethodLiteral returns the string literal T's Name method
+// returns, when the method body is a single plain return.
+func nameMethodLiteral(pass *analysis.Pass, typeName string) (string, bool) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Name" || fd.Body == nil {
+				continue
+			}
+			if recvTypeName(fd.Recv) != typeName {
+				continue
+			}
+			for _, stmt := range fd.Body.List {
+				ret, ok := stmt.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					continue
+				}
+				if tv, ok := pass.Info.Types[ret.Results[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					return constant.StringVal(tv.Value), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// recvTypeName extracts the bare receiver type name ("T" from (T),
+// (*T), (r T), (r *T)).
+func recvTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // findFunc returns the package-level function declaration named name.

@@ -1,0 +1,44 @@
+// Package fleet is exhaustive-analyzer testdata for the scorer
+// registry and ledger rules, checked under the spoofed path
+// xorbp/internal/fleet: one scorer is unregistered, the name list has
+// drifted from the registry in both directions, and the ledger is
+// missing a scorer row and the pull queue.
+package fleet
+
+type Scorer interface {
+	Name() string
+	Order(n int) []int
+}
+
+type Alpha struct{}
+
+func (Alpha) Name() string      { return "alpha" }
+func (Alpha) Order(n int) []int { return nil }
+
+type Beta struct{}
+
+func (Beta) Name() string      { return "beta" }
+func (Beta) Order(n int) []int { return nil }
+
+type Rogue struct{} // want `Rogue implements Scorer but is missing from ScorerByName`
+
+func (Rogue) Name() string      { return "rogue" }
+func (Rogue) Order(n int) []int { return nil }
+
+func ScorerByName(name string) (Scorer, bool) {
+	switch name {
+	case Alpha{}.Name():
+		return Alpha{}, true
+	case Beta{}.Name():
+		return Beta{}, true
+	}
+	return nil, false
+}
+
+func ScorerNames() []string { // want `ScorerNames lists "gamma" but ScorerByName has no case for it` `ScorerByName constructs "beta" but ScorerNames does not list it`
+	return []string{"alpha", "gamma"}
+}
+
+func LedgerPolicies() []string { // want `scorer "alpha" is missing from LedgerPolicies` `LedgerPolicies omits "pull"`
+	return []string{"serial", "gamma", "beta"}
+}

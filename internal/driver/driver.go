@@ -6,7 +6,6 @@
 package driver
 
 import (
-	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,7 +13,6 @@ import (
 	"time"
 
 	"xorbp/internal/experiment"
-	"xorbp/internal/wire"
 )
 
 // Summary is the final -json record: the invocation's totals, so
@@ -30,13 +28,15 @@ type Summary struct {
 	// dispatches — the driver cannot see inside the backend).
 	WorkerCached uint64  `json:"worker_cached,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
-	Backend      string  `json:"backend"` // "local" or "remote"
+	Backend      string  `json:"backend"`          // "local", "remote" or "pull"
+	Policy       string  `json:"policy,omitempty"` // dispatch policy in force
 	Workers      int     `json:"workers"`
 	Shard        string  `json:"shard,omitempty"`
 }
 
-// Summarize assembles the summary record from the executor's counters.
-func Summarize(exec *experiment.Executor, client *wire.Client, backendName string,
+// Summarize assembles the summary record from the executor's counters
+// and the connected topology's.
+func Summarize(exec *experiment.Executor, conn *Conn,
 	shardI, shardN int, wallStart time.Time) Summary {
 	rec := Summary{
 		Type:      "summary",
@@ -45,12 +45,11 @@ func Summarize(exec *experiment.Executor, client *wire.Client, backendName strin
 		Cached:    exec.Replays(),
 		Skipped:   exec.Skipped(),
 		WallMS:    float64(time.Since(wallStart)) / float64(time.Millisecond), //bpvet:allow wall-clock telemetry in the summary line; never part of a result or cache key
-		Backend:   backendName,
+		Backend:   conn.Name,
+		Policy:    conn.Policy,
 		Workers:   exec.Workers(),
 	}
-	if client != nil {
-		rec.WorkerCached = client.Replays()
-	}
+	rec.WorkerCached = conn.WorkerCached()
 	if shardN > 1 {
 		rec.Shard = fmt.Sprintf("%d/%d", shardI, shardN)
 	}
@@ -82,35 +81,6 @@ func ParseShard(prog, s string, haveSink bool) (i, n int) {
 		os.Exit(1)
 	}
 	return i, n
-}
-
-// Connect picks the execution backend: nil (the in-process pool) when
-// serveAddrs is empty, otherwise a probed wire.Client over the fleet.
-// poolSize echoes workers, except that a remote fleet with the
-// -workers flag left at its default sizes the fan-out to the fleet's
-// summed capacity (workersSet reports whether the flag was given
-// explicitly). A failed probe exits 1: a sweep should fail fast on a
-// misconfigured fleet, not at its first dispatched run.
-func Connect(prog, serveAddrs, token string, workers int, workersSet bool) (
-	backend experiment.Backend, client *wire.Client, poolSize int, name string) {
-	poolSize, name = workers, "local"
-	if serveAddrs == "" {
-		return nil, nil, poolSize, name
-	}
-	client = wire.NewClient(strings.Split(serveAddrs, ","))
-	client.SetToken(token)
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-	err := client.Probe(ctx)
-	cancel()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: probing workers: %v\n", prog, err)
-		StopProfiles()
-		os.Exit(1)
-	}
-	if !workersSet {
-		poolSize = client.Workers()
-	}
-	return client, client, poolSize, "remote"
 }
 
 // ShardProgress reports one sharded experiment's resolved/skipped cell

@@ -16,18 +16,24 @@ func TestParseShardUnsharded(t *testing.T) {
 }
 
 func TestConnectLocal(t *testing.T) {
-	backend, client, pool, name := Connect("test", "", "", 7, true)
-	if backend != nil || client != nil {
+	conn := Connect(ConnectOptions{Prog: "test", Workers: 7, WorkersSet: true})
+	defer conn.Close()
+	if conn.Backend != nil || conn.Client != nil {
 		t.Fatal("local connect returned a remote backend")
 	}
-	if pool != 7 || name != "local" {
-		t.Fatalf("local connect = (%d, %q), want (7, local)", pool, name)
+	if conn.PoolSize != 7 || conn.Name != "local" {
+		t.Fatalf("local connect = (%d, %q), want (7, local)", conn.PoolSize, conn.Name)
+	}
+	if conn.Policy != "" || conn.WorkerCached() != 0 || conn.Queue() != nil {
+		t.Fatalf("local conn carries fleet state: policy %q, worker-cached %d",
+			conn.Policy, conn.WorkerCached())
 	}
 }
 
 func TestSummarize(t *testing.T) {
 	exec := experiment.NewExecutor(2)
-	rec := Summarize(exec, nil, "local", 1, 4, time.Now().Add(-time.Second))
+	conn := &Conn{Name: "local"}
+	rec := Summarize(exec, conn, 1, 4, time.Now().Add(-time.Second))
 	if rec.Type != "summary" || rec.Backend != "local" || rec.Workers != 2 {
 		t.Fatalf("summary = %+v", rec)
 	}
@@ -37,7 +43,7 @@ func TestSummarize(t *testing.T) {
 	if rec.WallMS < 900 {
 		t.Fatalf("wall = %vms, want ~1000", rec.WallMS)
 	}
-	if rec = Summarize(exec, nil, "local", 0, 1, time.Now()); rec.Shard != "" {
+	if rec = Summarize(exec, conn, 0, 1, time.Now()); rec.Shard != "" {
 		t.Fatalf("unsharded summary carries shard %q", rec.Shard)
 	}
 }

@@ -1,0 +1,237 @@
+package driver
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/fleet"
+	"xorbp/internal/wire"
+)
+
+// defaultFleetPool is the executor fan-out width in pull mode when
+// -workers is left at its default: the leader cannot know the fleet's
+// capacity ahead of time (workers come and go), so it keeps enough
+// submissions outstanding that every claimer finds a full batch.
+const defaultFleetPool = 128
+
+// FleetFlags is the dispatch-topology flag bundle the sweep drivers
+// share; register it with AddFleetFlags before flag.Parse.
+type FleetFlags struct {
+	// Fleet runs the invocation as a pull-queue leader on this listen
+	// address: specs are queued, bpserve -pull workers claim them.
+	Fleet *string
+	// Lease is the pull-queue claim lease: a worker silent this long
+	// forfeits its batch to the rest of the fleet.
+	Lease *time.Duration
+	// Route picks the push-mode routing policy over -serve-addrs.
+	Route *string
+	// TLSCert/TLSKey serve the -fleet leader endpoint over TLS.
+	TLSCert *string
+	TLSKey  *string
+	// TLSCA pins the worker fleet's certificate authority for
+	// -serve-addrs dispatch (switches the wire client to HTTPS).
+	TLSCA *string
+}
+
+// AddFleetFlags registers the shared dispatch-topology flags on the
+// default flag set.
+func AddFleetFlags() *FleetFlags {
+	return &FleetFlags{
+		Fleet:   flag.String("fleet", "", "run as a pull-queue leader on this listen address; bpserve -pull workers claim the specs (mutually exclusive with -serve-addrs)"),
+		Lease:   flag.Duration("fleet-lease", fleet.DefaultLease, "with -fleet: claim lease; a worker silent this long forfeits its batch"),
+		Route:   flag.String("route", "", "with -serve-addrs: routing policy ("+strings.Join(fleet.ScorerNames(), ", ")+"; default round-robin)"),
+		TLSCert: flag.String("tls-cert", "", "with -fleet: serve the leader endpoint over TLS with this certificate"),
+		TLSKey:  flag.String("tls-key", "", "with -fleet: private key for -tls-cert"),
+		TLSCA:   flag.String("tls-ca", "", "with -serve-addrs: PEM CA bundle to pin; dispatch switches to HTTPS"),
+	}
+}
+
+// Conn is a connected execution topology: the backend the executor
+// should run over, how wide to fan out, and the bookkeeping the final
+// summary wants. Close releases whatever the topology started (the
+// leader listener, the statz poller).
+type Conn struct {
+	// Backend executes specs; nil selects the in-process pool.
+	Backend experiment.Backend
+	// Client is the push-mode wire client (nil in local and pull modes).
+	Client *wire.Client
+	// PoolSize is the executor fan-out width.
+	PoolSize int
+	// Name labels the topology in the summary record: "local",
+	// "remote", or "pull".
+	Name string
+	// Policy is the dispatch policy in force ("" when local;
+	// "roundrobin" unless -route overrode it; "pull" for the queue).
+	Policy string
+
+	queue  *fleet.Queue
+	fb     *fleet.Backend
+	hs     *http.Server
+	cancel context.CancelFunc
+}
+
+// WorkerCached counts dispatched runs the fleet answered from
+// worker-side stores instead of simulating, whichever topology is in
+// force.
+func (c *Conn) WorkerCached() uint64 {
+	switch {
+	case c.Client != nil:
+		return c.Client.Replays()
+	case c.fb != nil:
+		return c.fb.Replays()
+	}
+	return 0
+}
+
+// Queue exposes the pull queue (nil outside pull mode) for end-of-run
+// reporting.
+func (c *Conn) Queue() *fleet.Queue { return c.queue }
+
+// Close stops whatever the topology started. Safe on every mode.
+func (c *Conn) Close() {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	if c.hs != nil {
+		_ = c.hs.Close()
+	}
+}
+
+// ConnectOptions names Connect's inputs; Fleet may be nil when the
+// caller registers no fleet surface.
+type ConnectOptions struct {
+	Prog       string
+	ServeAddrs string
+	Token      string
+	Workers    int
+	WorkersSet bool
+	Fleet      *FleetFlags
+}
+
+// Connect picks the execution topology: the in-process pool, a probed
+// push-mode wire.Client over -serve-addrs (optionally scorer-routed
+// and TLS-pinned), or a pull-queue leader on -fleet. Misconfiguration
+// exits — a sweep should fail fast, not at its first dispatched run.
+func Connect(opts ConnectOptions) *Conn {
+	var (
+		fleetAddr, route, tlsCert, tlsKey, tlsCA string
+		leaseDur                                 time.Duration
+	)
+	if f := opts.Fleet; f != nil {
+		fleetAddr, route, leaseDur = *f.Fleet, *f.Route, *f.Lease
+		tlsCert, tlsKey, tlsCA = *f.TLSCert, *f.TLSKey, *f.TLSCA
+	}
+	switch {
+	case fleetAddr != "" && opts.ServeAddrs != "":
+		fatal(opts.Prog, 2, "-fleet (pull dispatch) and -serve-addrs (push dispatch) are mutually exclusive")
+	case route != "" && opts.ServeAddrs == "":
+		fatal(opts.Prog, 2, "-route orders -serve-addrs workers; it needs -serve-addrs")
+	case (tlsCert != "") != (tlsKey != ""):
+		fatal(opts.Prog, 2, "-tls-cert and -tls-key come as a pair")
+	case tlsCert != "" && fleetAddr == "":
+		fatal(opts.Prog, 2, "-tls-cert/-tls-key secure the -fleet leader endpoint; they need -fleet")
+	}
+	if fleetAddr != "" {
+		return connectFleet(opts.Prog, fleetAddr, opts.Token, leaseDur,
+			tlsCert, tlsKey, opts.Workers, opts.WorkersSet)
+	}
+	if opts.ServeAddrs == "" {
+		return &Conn{PoolSize: opts.Workers, Name: "local"}
+	}
+	return connectPush(opts, route, tlsCA)
+}
+
+// connectPush probes a -serve-addrs fleet and installs the routing
+// policy.
+func connectPush(opts ConnectOptions, route, tlsCA string) *Conn {
+	client := wire.NewClient(strings.Split(opts.ServeAddrs, ","))
+	client.SetToken(opts.Token)
+	if tlsCA != "" {
+		pool, err := wire.LoadCertPool(tlsCA)
+		if err != nil {
+			fatal(opts.Prog, 1, "%v", err)
+		}
+		client.SetTLS(pool)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err := client.Probe(ctx)
+	cancel()
+	if err != nil {
+		fatal(opts.Prog, 1, "probing workers: %v", err)
+	}
+	poolSize := opts.Workers
+	if !opts.WorkersSet {
+		poolSize = client.Workers()
+	}
+	conn := &Conn{Backend: client, Client: client, PoolSize: poolSize,
+		Name: "remote", Policy: "roundrobin"}
+	if route != "" {
+		scorer, ok := fleet.ScorerByName(route)
+		if !ok {
+			fatal(opts.Prog, 2, "unknown -route %q (want one of %s)",
+				route, strings.Join(fleet.ScorerNames(), ", "))
+		}
+		router := fleet.NewRouter(client, scorer)
+		router.Install()
+		conn.Policy = route
+		if _, needsStatz := scorer.(fleet.LeastLoaded); needsStatz {
+			pctx, stop := context.WithCancel(context.Background())
+			conn.cancel = stop
+			go router.Poll(pctx, 0)
+		}
+	}
+	return conn
+}
+
+// connectFleet starts a pull-queue leader and returns its submitting
+// backend.
+func connectFleet(prog, addr, token string, leaseDur time.Duration,
+	tlsCert, tlsKey string, workers int, workersSet bool) *Conn {
+	// The wall clock drives real lease expiry here; it never reaches a
+	// result or cache key (tests inject fake clocks instead).
+	q := fleet.NewQueue(leaseDur, time.Now)
+	leader := fleet.NewLeader(q, token)
+	hs := &http.Server{Handler: leader.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(prog, 1, "fleet leader: %v", err)
+	}
+	go func() {
+		var serr error
+		if tlsCert != "" {
+			serr = hs.ServeTLS(ln, tlsCert, tlsKey)
+		} else {
+			serr = hs.Serve(ln)
+		}
+		if serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "%s: fleet leader: %v\n", prog, serr)
+		}
+	}()
+	scheme := "http"
+	if tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(os.Stderr, "%s: fleet leader listening on %s://%s (lease %v); start workers with: bpserve -pull %s\n",
+		prog, scheme, ln.Addr(), q.Lease(), ln.Addr())
+	poolSize := workers
+	if !workersSet {
+		poolSize = defaultFleetPool
+	}
+	fb := leader.Backend()
+	return &Conn{Backend: fb, PoolSize: poolSize, Name: "pull", Policy: "pull",
+		queue: q, fb: fb, hs: hs}
+}
+
+// fatal prints one driver-level configuration error and exits.
+func fatal(prog string, code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+	StopProfiles()
+	os.Exit(code)
+}

@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xorbp/internal/core"
+	"xorbp/internal/cpu"
+	"xorbp/internal/experiment"
+	"xorbp/internal/runcache"
+	"xorbp/internal/wire"
+)
+
+// simScale is MicroScale, shrunk a further 4x under -short, matching
+// the serve package's test scale so CI stays fast.
+func simScale() experiment.Scale {
+	s := experiment.MicroScale()
+	if testing.Short() {
+		s.WarmupInstr /= 4
+		s.MeasureInstr /= 4
+		s.SMTWarmupInstr /= 4
+		s.SMTMeasureInstr /= 4
+		for i := range s.TimerPeriods {
+			s.TimerPeriods[i] /= 4
+		}
+	}
+	return s
+}
+
+// simSpec builds a real runnable spec (unlike qspec, which only the
+// queue's key function ever touches); i varies the timer period so
+// each spec is distinct.
+func simSpec(i int) wire.Spec {
+	o := core.OptionsFor(core.Baseline).Normalized()
+	spec := wire.Spec{
+		Opts:      o,
+		Codec:     o.Codec.Name(),
+		Scrambler: o.Scrambler.Name(),
+		Pred:      "tage",
+		Cfg:       cpu.FPGAConfig(),
+		Timer:     uint64(50_000 + 1000*i),
+		Threads:   []string{"gcc", "calculix"},
+		Scale:     simScale(),
+	}
+	spec.Opts.Codec, spec.Opts.Scrambler = nil, nil
+	return spec
+}
+
+// startLeader exposes a queue over the real HTTP protocol and returns
+// the host:port a bpserve -pull worker would be pointed at.
+func startLeader(t *testing.T, q *Queue) string {
+	t.Helper()
+	ts := httptest.NewServer(NewLeader(q, "").Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// serialResult runs one spec on the local backend, bypassing the fleet
+// entirely — the reference every fleet execution must match byte for
+// byte.
+func serialResult(t *testing.T, spec wire.Spec) wire.Result {
+	t.Helper()
+	res, err := experiment.LocalBackend{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPullMatchesSerial is the fleet's core guarantee: a figure
+// rendered through a pull-queue leader with two claiming workers is
+// byte-identical to the serial render, because dispatch order, worker
+// identity, and batch boundaries never touch the results.
+func TestPullMatchesSerial(t *testing.T) {
+	scale := simScale()
+	serial := experiment.NewSessionWith(scale, experiment.NewExecutor(1)).Figure1().Render()
+
+	q := NewQueue(0, time.Now)
+	leader := NewLeader(q, "")
+	ts := httptest.NewServer(leader.Handler())
+	t.Cleanup(ts.Close)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	workers := make([]*PullWorker, 2)
+	for i := range workers {
+		w := NewPullWorker(addr, fmt.Sprintf("w%d", i), experiment.LocalBackend{}, nil, 0, 2)
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+
+	exec := experiment.NewExecutorWith(4, leader.Backend())
+	pull := experiment.NewSessionWith(scale, exec).Figure1().Render()
+	cancel()
+	wg.Wait()
+
+	if serial != pull {
+		t.Fatalf("pull Figure 1 differs from serial:\n--- serial ---\n%s\n--- pull ---\n%s",
+			serial, pull)
+	}
+	if err := exec.Err(); err != nil {
+		t.Fatalf("pull executor poisoned: %v", err)
+	}
+	st := q.Stats()
+	if st.Done == 0 || st.Done != st.Submitted {
+		t.Fatalf("queue did not drain: %+v", st)
+	}
+	if int(workers[0].Runs()+workers[1].Runs()) != st.Done {
+		t.Fatalf("workers simulated %d+%d specs, queue completed %d",
+			workers[0].Runs(), workers[1].Runs(), st.Done)
+	}
+}
+
+// blockBackend parks every Run until the worker's context dies —
+// the stand-in for a wedged or crashed worker process.
+type blockBackend struct{}
+
+func (blockBackend) Run(ctx context.Context, _ wire.Spec) (experiment.RunResult, error) {
+	<-ctx.Done()
+	return wire.Result{}, ctx.Err()
+}
+
+// TestPullWorkStealing kills a worker mid-batch and checks the fleet's
+// recovery story end to end over real HTTP: the lease expires, a
+// second worker steals the whole batch, the merged results are
+// byte-identical to serial, and no spec lands in the cache twice.
+func TestPullWorkStealing(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(10*time.Second, clk.Now)
+	addr := startLeader(t, q)
+
+	const n = 4
+	var resc [n]<-chan wire.Result
+	var errc [n]<-chan error
+	for i := 0; i < n; i++ {
+		resc[i], errc[i] = submitAsync(q, simSpec(i))
+	}
+	waitPending(t, q, n)
+
+	// The doomed worker claims the whole batch and wedges. Its sleeper
+	// blocks forever, so it never heartbeats — exactly a hung process.
+	ctxA, killA := context.WithCancel(context.Background())
+	doomed := NewPullWorker(addr, "doomed", blockBackend{}, nil, n, n)
+	doomed.SetSleep(func(ctx context.Context, _ time.Duration) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	aDone := make(chan error, 1)
+	go func() { aDone <- doomed.Run(ctxA) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Leased < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("doomed worker never claimed the batch: %+v", q.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	killA()
+	if err := <-aDone; err != nil {
+		t.Fatalf("killed worker returned %v, want nil", err)
+	}
+	if doomed.Runs() != 0 {
+		t.Fatalf("doomed worker claims %d completed runs", doomed.Runs())
+	}
+	clk.Advance(11 * time.Second)
+
+	// The successor steals the expired lease and finishes the job,
+	// writing each spec into the shared cache exactly once.
+	st, err := runcache.Open(t.TempDir(), wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB, stopB := context.WithCancel(context.Background())
+	defer stopB()
+	thief := NewPullWorker(addr, "thief", experiment.LocalBackend{}, st, n, 2)
+	bDone := make(chan error, 1)
+	go func() { bDone <- thief.Run(ctxB) }()
+
+	for i := 0; i < n; i++ {
+		if err := <-errc[i]; err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		got := <-resc[i]
+		want := serialResult(t, simSpec(i))
+		if !bytes.Equal(got.Encode(), want.Encode()) {
+			t.Fatalf("spec %d: stolen result differs from serial:\n%s\nvs\n%s",
+				i, got.Encode(), want.Encode())
+		}
+	}
+	stopB()
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+
+	stats := q.Stats()
+	if stats.Stolen != n {
+		t.Fatalf("stats.Stolen = %d, want %d (%+v)", stats.Stolen, n, stats)
+	}
+	if thief.Runs() != n {
+		t.Fatalf("thief simulated %d specs, want %d", thief.Runs(), n)
+	}
+	if st.Len() != n {
+		t.Fatalf("cache holds %d entries for %d distinct specs — a spec was simulated twice into the cache", st.Len(), n)
+	}
+}
+
+// gatedBackend signals when its first simulation starts and holds it
+// until the gate opens, then behaves like the local backend.
+type gatedBackend struct {
+	started chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedBackend) Run(ctx context.Context, spec wire.Spec) (experiment.RunResult, error) {
+	g.once.Do(func() { close(g.started) })
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return wire.Result{}, ctx.Err()
+	}
+	return experiment.LocalBackend{}.Run(ctx, spec)
+}
+
+// TestPullDrainNacks is the graceful-shutdown contract: a draining
+// worker finishes the spec it already started, nacks the unstarted
+// remainder back to the leader immediately (no lease-expiry wait), and
+// a successor picks them up — results still byte-identical to serial.
+func TestPullDrainNacks(t *testing.T) {
+	q := NewQueue(0, time.Now)
+	addr := startLeader(t, q)
+
+	const n = 4
+	var resc [n]<-chan wire.Result
+	var errc [n]<-chan error
+	for i := 0; i < n; i++ {
+		resc[i], errc[i] = submitAsync(q, simSpec(i))
+	}
+	waitPending(t, q, n)
+
+	gb := &gatedBackend{started: make(chan struct{}), gate: make(chan struct{})}
+	w := NewPullWorker(addr, "drainer", gb, nil, n, 1)
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+
+	<-gb.started // one spec is mid-simulation; three are unstarted
+	w.Drain()    // the SIGTERM path: stop claiming, finish, hand back
+	close(gb.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("draining worker returned %v, want nil", err)
+	}
+	if w.Runs() != 1 || w.Nacked() != n-1 {
+		t.Fatalf("drainer ran %d and nacked %d, want 1 and %d", w.Runs(), w.Nacked(), n-1)
+	}
+	if st := q.Stats(); st.Nacked != n-1 || st.Pending != n-1 || st.Leased != 0 {
+		t.Fatalf("queue after drain: %+v", st)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	successor := NewPullWorker(addr, "successor", experiment.LocalBackend{}, nil, n, 2)
+	sDone := make(chan error, 1)
+	go func() { sDone <- successor.Run(ctx) }()
+
+	for i := 0; i < n; i++ {
+		if err := <-errc[i]; err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		got := <-resc[i]
+		want := serialResult(t, simSpec(i))
+		if !bytes.Equal(got.Encode(), want.Encode()) {
+			t.Fatalf("spec %d: drained+resumed result differs from serial", i)
+		}
+	}
+	cancel()
+	if err := <-sDone; err != nil {
+		t.Fatal(err)
+	}
+	if successor.Runs() != n-1 {
+		t.Fatalf("successor simulated %d specs, want the %d nacked ones", successor.Runs(), n-1)
+	}
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorbp/internal/wire"
+)
+
+// DefaultStatzInterval paces the Router's background /statz polling:
+// fast enough that least-loaded sees a forming backlog within a few
+// dispatches, slow enough that the polling traffic is noise.
+const DefaultStatzInterval = 500 * time.Millisecond
+
+// Router glues a Scorer into a wire.Client: it snapshots the fleet
+// view (addresses, probed capacities, polled /statz samples), numbers
+// each dispatch, and installs itself as the client's picker. One
+// router serves one client.
+type Router struct {
+	client *wire.Client
+	scorer Scorer
+	seq    atomic.Uint64
+
+	// sleep paces Poll; injectable so tests run on a fake clock.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu    sync.RWMutex
+	statz []wire.Statz
+}
+
+// NewRouter wraps client with scorer-driven routing. Call Install to
+// take over the client's dispatch order, and (for statz-driven scorers
+// like leastloaded) run Poll in the background.
+func NewRouter(client *wire.Client, scorer Scorer) *Router {
+	return &Router{
+		client: client,
+		scorer: scorer,
+		sleep:  sleepWall,
+		statz:  make([]wire.Statz, len(client.Addrs())),
+	}
+}
+
+// Scorer returns the routing policy in force.
+func (r *Router) Scorer() Scorer { return r.scorer }
+
+// SetSleep replaces the polling sleeper (tests inject a fake).
+func (r *Router) SetSleep(sleep func(ctx context.Context, d time.Duration) error) {
+	if sleep != nil {
+		r.sleep = sleep
+	}
+}
+
+// Install points the client's dispatch order at this router.
+func (r *Router) Install() {
+	r.client.SetPicker(r.pick)
+}
+
+// pick is the wire.Client picker: build the current view, stamp the
+// dispatch number, and let the scorer order the fleet.
+func (r *Router) pick(spec wire.Spec, n int) []int {
+	_ = n // the view carries the fleet size
+	seq := r.seq.Add(1) - 1
+	r.mu.RLock()
+	statz := append([]wire.Statz(nil), r.statz...)
+	r.mu.RUnlock()
+	return r.scorer.Order(spec, View{
+		Addrs: r.client.Addrs(),
+		Caps:  r.client.Capacities(),
+		Statz: statz,
+	}, seq)
+}
+
+// Refresh samples every worker's /statz once. A worker that fails to
+// answer keeps its previous sample — momentarily stale routing beats
+// dropping the worker from consideration.
+func (r *Router) Refresh(ctx context.Context) {
+	addrs := r.client.Addrs()
+	fresh := make([]wire.Statz, len(addrs))
+	ok := make([]bool, len(addrs))
+	for i := range addrs {
+		if st, err := r.client.Statz(ctx, i); err == nil {
+			fresh[i], ok[i] = st, true
+		}
+	}
+	r.mu.Lock()
+	if len(r.statz) != len(addrs) {
+		r.statz = make([]wire.Statz, len(addrs))
+	}
+	for i := range addrs {
+		if ok[i] {
+			r.statz[i] = fresh[i]
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Poll refreshes /statz samples every interval (<= 0 selects
+// DefaultStatzInterval) until ctx cancels. Run it in the background
+// for statz-driven scorers; rotation and hash scorers don't need it.
+func (r *Router) Poll(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultStatzInterval
+	}
+	for {
+		r.Refresh(ctx)
+		if err := r.sleep(ctx, interval); err != nil {
+			return
+		}
+	}
+}

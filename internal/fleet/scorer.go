@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"xorbp/internal/wire"
+)
+
+// View is the fleet snapshot a Scorer ranks against: worker addresses
+// (stable identities for affinity hashing), probed capacities, and the
+// latest /statz sample per worker (zero value when none has been
+// fetched). Index-aligned with the wire.Client's address list.
+type View struct {
+	Addrs []string
+	Caps  []int
+	Statz []wire.Statz
+}
+
+// cap returns worker i's capacity, defaulting to one slot when the
+// fleet has not been probed.
+func (v View) cap(i int) int {
+	if i < len(v.Caps) && v.Caps[i] > 0 {
+		return v.Caps[i]
+	}
+	return 1
+}
+
+// statz returns worker i's latest load sample (zero value when none).
+func (v View) statz(i int) wire.Statz {
+	if i < len(v.Statz) {
+		return v.Statz[i]
+	}
+	return wire.Statz{}
+}
+
+// addr returns worker i's identity for hashing, falling back to the
+// index when the view carries no addresses.
+func (v View) addr(i int) string {
+	if i < len(v.Addrs) && v.Addrs[i] != "" {
+		return v.Addrs[i]
+	}
+	return "worker-" + strconv.Itoa(i)
+}
+
+// Scorer orders the workers a push-mode dispatch should try for one
+// spec, best first (wire.Client failover walks the order). Scorers are
+// stateless and deterministic: the order is a pure function of the
+// spec, the view, and seq — the dispatch sequence number that stands
+// in for mutable rotation state. Routing only chooses where a spec
+// executes; results are pure functions of the spec, so every scorer
+// yields byte-identical merged tables.
+type Scorer interface {
+	Name() string
+	Order(spec wire.Spec, v View, seq uint64) []int
+}
+
+// RoundRobin is the naive baseline (and the wire.Client default):
+// rotate the starting worker per dispatch, ignore the spec and the
+// view. On a uniform fleet it is hard to beat — the ledger says so.
+type RoundRobin struct{}
+
+// Name returns the registry key.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Order rotates the fleet by the dispatch sequence number.
+func (RoundRobin) Order(_ wire.Spec, v View, seq uint64) []int {
+	n := len(v.Addrs)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	start := int(seq % uint64(n))
+	for k := range out {
+		out[k] = (start + k) % n
+	}
+	return out
+}
+
+// LeastLoaded routes each spec to the worker with the smallest
+// outstanding-work-to-capacity ratio in the latest /statz sample —
+// the policy that steers around a slow or backlogged node. Samples
+// are polled (Router.Poll), so the view lags reality by the polling
+// interval; ties fall back to a seq rotation so an idle uniform fleet
+// still spreads.
+type LeastLoaded struct{}
+
+// Name returns the registry key.
+func (LeastLoaded) Name() string { return "leastloaded" }
+
+// Order sorts workers by (inflight+queued)/capacity ascending,
+// comparing cross-multiplied so the ratio stays exact integer math.
+func (LeastLoaded) Order(_ wire.Spec, v View, seq uint64) []int {
+	n := len(v.Addrs)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	rot := make([]int, n) // tie-break: position in the seq rotation
+	start := int(seq % uint64(n))
+	for k := range out {
+		out[k] = k
+		rot[k] = (k - start + n) % n
+	}
+	load := func(i int) int {
+		st := v.statz(i)
+		return st.Inflight + st.Queued
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ia, ib := out[a], out[b]
+		la, lb := load(ia)*v.cap(ib), load(ib)*v.cap(ia)
+		if la != lb {
+			return la < lb
+		}
+		return rot[ia] < rot[ib]
+	})
+	return out
+}
+
+// Capacity weights dispatch by probed capacity: a 16-slot worker gets
+// four times the traffic of a 4-slot one, via a deterministic weighted
+// schedule indexed by seq. The static analog of leastloaded — right
+// when the fleet is heterogeneous by construction and idle otherwise.
+type Capacity struct{}
+
+// Name returns the registry key.
+func (Capacity) Name() string { return "capacity" }
+
+// Order picks the lead worker from the capacity-expanded schedule at
+// seq, then fails over through the rest by capacity descending.
+func (Capacity) Order(_ wire.Spec, v View, seq uint64) []int {
+	n := len(v.Addrs)
+	if n == 0 {
+		return nil
+	}
+	var slots []int
+	for i := 0; i < n; i++ {
+		for k := 0; k < v.cap(i); k++ {
+			slots = append(slots, i)
+		}
+	}
+	lead := slots[int(seq%uint64(len(slots)))]
+	out := make([]int, 0, n)
+	out = append(out, lead)
+	rest := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != lead {
+			rest = append(rest, i)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		ca, cb := v.cap(rest[a]), v.cap(rest[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return rest[a] < rest[b]
+	})
+	return append(out, rest...)
+}
+
+// Affinity routes each spec to the worker that owns it under
+// rendezvous (highest-random-weight) hashing of (worker address, spec
+// wire key): re-dispatching a spec always lands on the worker whose
+// run-cache already holds it, so warm re-runs and re-key sweeps replay
+// instead of re-simulating. Failover follows descending hash weight —
+// the same worker sequence every time, so even the fallback cache
+// placement is stable. Adding or removing one worker remaps only the
+// specs that hashed to it.
+type Affinity struct{}
+
+// Name returns the registry key.
+func (Affinity) Name() string { return "affinity" }
+
+// Order ranks workers by descending rendezvous weight for the spec.
+func (Affinity) Order(spec wire.Spec, v View, _ uint64) []int {
+	n := len(v.Addrs)
+	if n == 0 {
+		return nil
+	}
+	key := spec.Key()
+	weights := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = rendezvousWeight(v.addr(i), key)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if weights[out[a]] != weights[out[b]] {
+			return weights[out[a]] > weights[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// rendezvousWeight hashes one (worker, spec-key) pair to its
+// highest-random-weight score.
+func rendezvousWeight(addr, key string) uint64 {
+	h := sha256.New()
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// ScorerByName returns the routing scorer registered under name. The
+// bpvet exhaustive analyzer holds this switch, ScorerNames, and
+// STRATEGY_LEDGER.md's policy list mutually complete.
+func ScorerByName(name string) (Scorer, bool) {
+	switch name {
+	case RoundRobin{}.Name():
+		return RoundRobin{}, true
+	case LeastLoaded{}.Name():
+		return LeastLoaded{}, true
+	case Capacity{}.Name():
+		return Capacity{}, true
+	case Affinity{}.Name():
+		return Affinity{}, true
+	}
+	return nil, false
+}
+
+// ScorerNames lists every registered routing policy, sorted — the
+// -route flag's vocabulary.
+func ScorerNames() []string {
+	return []string{"affinity", "capacity", "leastloaded", "roundrobin"}
+}
+
+// LedgerPolicies lists every dispatch strategy STRATEGY_LEDGER.md must
+// benchmark: the serial and static-shard baselines, every push-mode
+// scorer, and the pull queue. The exhaustive analyzer pins this list
+// to the scorer registry, so adding a scorer without extending the
+// ledger is a build error.
+func LedgerPolicies() []string {
+	return []string{"serial", "shard", "roundrobin", "leastloaded", "capacity", "affinity", "pull"}
+}

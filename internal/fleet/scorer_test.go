@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"xorbp/internal/wire"
+)
+
+func testView(n int) View {
+	v := View{}
+	for i := 0; i < n; i++ {
+		v.Addrs = append(v.Addrs, "10.0.0.1:"+string(rune('a'+i)))
+		v.Caps = append(v.Caps, 1)
+		v.Statz = append(v.Statz, wire.Statz{})
+	}
+	return v
+}
+
+func sspec(i int) wire.Spec {
+	return wire.Spec{Pred: "scorer-test", Timer: uint64(2000 + i)}
+}
+
+// TestScorerRegistryRoundTrip: every listed policy constructs, reports
+// its own name, and the ledger covers scorers, baselines and pull.
+func TestScorerRegistryRoundTrip(t *testing.T) {
+	names := ScorerNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ScorerNames not sorted: %v", names)
+	}
+	for _, name := range names {
+		s, ok := ScorerByName(name)
+		if !ok {
+			t.Fatalf("ScorerByName(%q) missing", name)
+		}
+		if s.Name() != name {
+			t.Fatalf("ScorerByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, ok := ScorerByName("nope"); ok {
+		t.Fatal("ScorerByName accepted an unknown policy")
+	}
+	ledger := make(map[string]bool)
+	for _, p := range LedgerPolicies() {
+		ledger[p] = true
+	}
+	for _, want := range append(names, "serial", "shard", "pull") {
+		if !ledger[want] {
+			t.Fatalf("LedgerPolicies misses %q: %v", want, LedgerPolicies())
+		}
+	}
+}
+
+// TestScorerOrdersArePermutations: every scorer returns each worker
+// exactly once, for a spread of specs and sequence numbers — failover
+// must be able to reach the whole fleet.
+func TestScorerOrdersArePermutations(t *testing.T) {
+	v := testView(5)
+	v.Caps = []int{4, 1, 2, 8, 1}
+	v.Statz[2] = wire.Statz{Inflight: 3, Queued: 7}
+	for _, name := range ScorerNames() {
+		s, _ := ScorerByName(name)
+		for seq := uint64(0); seq < 12; seq++ {
+			order := s.Order(sspec(int(seq%3)), v, seq)
+			seen := make([]bool, 5)
+			for _, i := range order {
+				if i < 0 || i >= 5 || seen[i] {
+					t.Fatalf("%s: order %v is not a permutation (seq %d)", name, order, seq)
+				}
+				seen[i] = true
+			}
+			if len(order) != 5 {
+				t.Fatalf("%s: order %v misses workers (seq %d)", name, order, seq)
+			}
+		}
+	}
+}
+
+// TestScorersDeterministic: identical inputs yield identical orders —
+// the property the byte-identity guarantee and the ledger's
+// reproducibility both lean on.
+func TestScorersDeterministic(t *testing.T) {
+	v := testView(4)
+	v.Caps = []int{2, 5, 1, 3}
+	v.Statz[1] = wire.Statz{Inflight: 2, Queued: 1}
+	for _, name := range ScorerNames() {
+		s, _ := ScorerByName(name)
+		for seq := uint64(0); seq < 8; seq++ {
+			a := s.Order(sspec(1), v, seq)
+			b := s.Order(sspec(1), v, seq)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: order not deterministic at seq %d: %v vs %v", name, seq, a, b)
+			}
+		}
+	}
+}
+
+// TestRoundRobinRotates: dispatch k leads with worker k mod n.
+func TestRoundRobinRotates(t *testing.T) {
+	v := testView(3)
+	for seq := uint64(0); seq < 9; seq++ {
+		order := RoundRobin{}.Order(sspec(0), v, seq)
+		if order[0] != int(seq%3) {
+			t.Fatalf("seq %d leads with %d, want %d", seq, order[0], seq%3)
+		}
+	}
+}
+
+// TestLeastLoadedSteersAroundBacklog: the deepest queue goes last, the
+// idle worker first, with capacity normalizing the comparison.
+func TestLeastLoadedSteersAroundBacklog(t *testing.T) {
+	v := testView(3)
+	v.Statz = []wire.Statz{{Inflight: 5}, {}, {Inflight: 2}}
+	order := LeastLoaded{}.Order(sspec(0), v, 0)
+	if order[0] != 1 || order[2] != 0 {
+		t.Fatalf("loads [5 0 2] ordered %v, want idle first and the backlog last", order)
+	}
+
+	// Same absolute load, different capacity: 4-in-flight on an 8-slot
+	// worker is lighter than 1-in-flight on a 1-slot worker.
+	v = testView(2)
+	v.Caps = []int{8, 1}
+	v.Statz = []wire.Statz{{Inflight: 4}, {Inflight: 1}}
+	order = LeastLoaded{}.Order(sspec(0), v, 0)
+	if order[0] != 0 {
+		t.Fatalf("capacity-normalized order %v, want the wide worker first", order)
+	}
+}
+
+// TestCapacityWeightsDispatch: over one full schedule, each worker
+// leads in proportion to its probed capacity.
+func TestCapacityWeightsDispatch(t *testing.T) {
+	v := testView(2)
+	v.Caps = []int{3, 1}
+	leads := map[int]int{}
+	for seq := uint64(0); seq < 4; seq++ {
+		leads[Capacity{}.Order(sspec(0), v, seq)[0]]++
+	}
+	if leads[0] != 3 || leads[1] != 1 {
+		t.Fatalf("capacity 3:1 led %v, want 3:1", leads)
+	}
+}
+
+// TestAffinityStableAndSpread: one spec always routes to one worker
+// (regardless of seq), different specs spread over the fleet, and
+// removing a worker only remaps the specs that hashed to it.
+func TestAffinityStableAndSpread(t *testing.T) {
+	v := testView(4)
+	lead := make(map[int]int)
+	for i := 0; i < 32; i++ {
+		first := Affinity{}.Order(sspec(i), v, 0)[0]
+		for seq := uint64(1); seq < 4; seq++ {
+			if got := (Affinity{}).Order(sspec(i), v, seq)[0]; got != first {
+				t.Fatalf("spec %d moved from worker %d to %d at seq %d", i, first, got, seq)
+			}
+		}
+		lead[first]++
+	}
+	if len(lead) < 2 {
+		t.Fatalf("32 specs all routed to %v — rendezvous hashing is not spreading", lead)
+	}
+
+	// Drop the last worker: specs that routed elsewhere must not move
+	// (the minimal-disruption property of rendezvous hashing).
+	small := testView(3)
+	small.Addrs = v.Addrs[:3]
+	for i := 0; i < 32; i++ {
+		before := Affinity{}.Order(sspec(i), v, 0)[0]
+		after := Affinity{}.Order(sspec(i), small, 0)[0]
+		if before != 3 && after != before {
+			t.Fatalf("spec %d moved %d -> %d when an unrelated worker left", i, before, after)
+		}
+	}
+}

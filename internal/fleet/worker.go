@@ -1,0 +1,355 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/runcache"
+	"xorbp/internal/wire"
+)
+
+// PullWorker is the bpserve `-pull` loop: claim a batch from the
+// leader, simulate it on the local backend (replaying from the shared
+// store where possible), heartbeat while working, report each result
+// as it lands, and go back for more. Pacing is implicit — a fast
+// worker simply claims more often — and a worker that dies mid-batch
+// loses its lease, so the fleet steals the stalled specs.
+type PullWorker struct {
+	leader string // leader host:port
+	scheme string // "http", or "https" after SetTLS
+	id     string // stable worker identity for lease bookkeeping
+	token  string
+	hc     *http.Client
+
+	backend experiment.Backend
+	store   *runcache.Store // may be nil (no replay / write-through)
+	batch   int             // max specs claimed per lease
+	slots   int             // concurrent simulations within a batch
+
+	// sleep paces the idle-poll and heartbeat loops; injectable so the
+	// package stays free of wall-clock reads and tests run fast.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	// draining stops the claim loop: started specs finish, unstarted
+	// ones are nacked back to the leader immediately.
+	draining atomic.Bool
+
+	claims  atomic.Uint64 // non-empty batches claimed
+	runs    atomic.Uint64 // specs simulated
+	replays atomic.Uint64 // specs answered from the store
+	nacked  atomic.Uint64 // specs handed back while draining
+}
+
+// NewPullWorker creates a worker that polls leader (host:port) under
+// the given stable identity, simulating up to slots specs concurrently
+// and claiming up to batch specs per lease (<= 0 selects slots*2, so a
+// claim keeps every slot busy with one spec of lookahead each).
+func NewPullWorker(leader, id string, backend experiment.Backend, store *runcache.Store, batch, slots int) *PullWorker {
+	if slots < 1 {
+		slots = 1
+	}
+	if batch < 1 {
+		batch = slots * 2
+	}
+	return &PullWorker{
+		leader:  leader,
+		scheme:  "http",
+		id:      id,
+		hc:      &http.Client{},
+		backend: backend,
+		store:   store,
+		batch:   batch,
+		slots:   slots,
+		sleep:   sleepWall,
+	}
+}
+
+// sleepWall is the default sleeper: a timer racing the context.
+func sleepWall(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SetToken attaches a shared bearer token to every leader request (the
+// counterpart of the leader's -token).
+func (w *PullWorker) SetToken(token string) { w.token = token }
+
+// SetSleep replaces the poll/heartbeat sleeper (tests inject a fake).
+func (w *PullWorker) SetSleep(sleep func(ctx context.Context, d time.Duration) error) {
+	if sleep != nil {
+		w.sleep = sleep
+	}
+}
+
+// SetTLS switches the worker to HTTPS with the fleet CA pinned — only
+// a leader presenting a chain to ca is trusted with this worker's
+// labor and results.
+func (w *PullWorker) SetTLS(ca *x509.CertPool) {
+	w.scheme = "https"
+	w.hc.Transport = &http.Transport{TLSClientConfig: &tls.Config{RootCAs: ca}}
+}
+
+// Drain stops the claim loop: the worker finishes the specs it has
+// already started, nacks the rest of its lease back to the leader, and
+// Run returns. Safe to call from a signal handler.
+func (w *PullWorker) Drain() { w.draining.Store(true) }
+
+// Runs returns how many specs this worker simulated.
+func (w *PullWorker) Runs() uint64 { return w.runs.Load() }
+
+// Replays returns how many claimed specs the worker answered from its
+// store without simulating.
+func (w *PullWorker) Replays() uint64 { return w.replays.Load() }
+
+// Nacked returns how many specs the worker handed back while draining.
+func (w *PullWorker) Nacked() uint64 { return w.nacked.Load() }
+
+// Claims returns how many non-empty batches the worker has claimed.
+func (w *PullWorker) Claims() uint64 { return w.claims.Load() }
+
+// Run polls the leader until ctx cancels or Drain is called. Transient
+// leader errors (leader not up yet, restarting) are retried behind the
+// idle-poll pace; only an unrecoverable protocol disagreement (schema
+// mismatch, bad token) returns an error.
+func (w *PullWorker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		if w.draining.Load() {
+			return nil
+		}
+		resp, err := w.claim(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if isFatal(err) {
+				return err
+			}
+			if err := w.sleep(ctx, idleWait); err != nil {
+				return nil
+			}
+			continue
+		}
+		if resp.Lease == 0 {
+			wait := time.Duration(resp.WaitMS) * time.Millisecond
+			if wait <= 0 {
+				wait = idleWait
+			}
+			if err := w.sleep(ctx, wait); err != nil {
+				return nil
+			}
+			continue
+		}
+		if resp.Schema != wire.SchemaVersion() {
+			// Never compute under a schema disagreement: hand the batch
+			// back and stop — rebuilding one side is the only fix.
+			_ = w.nack(ctx, resp.Lease, nil)
+			return fmt.Errorf("fleet: leader runs schema %q, this worker %q — rebuild one side",
+				resp.Schema, wire.SchemaVersion())
+		}
+		w.claims.Add(1)
+		w.processBatch(ctx, resp)
+	}
+}
+
+// fatalError marks a protocol disagreement no retry can fix.
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }
+
+func isFatal(err error) bool {
+	_, ok := err.(fatalError)
+	return ok
+}
+
+// processBatch simulates one claimed batch: slots concurrent workers
+// drain the spec list, a heartbeat loop keeps the lease alive, and a
+// drain request stops the intake so unstarted specs are nacked back.
+func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
+	leaseDur := time.Duration(claim.LeaseMS) * time.Millisecond
+	if leaseDur <= 0 {
+		leaseDur = DefaultLease
+	}
+
+	// Heartbeat at a third of the lease: two beats can be lost to a
+	// hiccup before the lease lapses.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		for {
+			if err := w.sleep(hbCtx, leaseDur/3); err != nil {
+				return
+			}
+			if !w.heartbeat(hbCtx, claim.Lease) {
+				return
+			}
+		}
+	}()
+
+	// Intake: each slot takes the next spec; a draining worker stops
+	// taking, so whatever is left in the channel gets nacked.
+	in := make(chan wire.Spec, len(claim.Specs))
+	for _, spec := range claim.Specs {
+		in <- spec
+	}
+	close(in)
+
+	var mu sync.Mutex
+	var leftover []string
+
+	var wg sync.WaitGroup
+	for range w.slots {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range in {
+				if w.draining.Load() || ctx.Err() != nil {
+					mu.Lock()
+					leftover = append(leftover, spec.Key())
+					mu.Unlock()
+					continue
+				}
+				w.runOne(ctx, claim.Lease, spec)
+			}
+		}()
+	}
+	wg.Wait()
+	stopHB()
+	hbDone.Wait()
+
+	if len(leftover) > 0 {
+		sort.Strings(leftover)
+		// Nack with a background-ish context: ctx may already be
+		// cancelled, but handing the batch back beats waiting out the
+		// lease. Bound it so a dead leader can't hang shutdown.
+		nctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		if err := w.nack(nctx, claim.Lease, leftover); err == nil {
+			w.nacked.Add(uint64(len(leftover)))
+		}
+	}
+}
+
+// runOne resolves one spec — store replay or local simulation — and
+// reports the outcome to the leader.
+func (w *PullWorker) runOne(ctx context.Context, leaseID uint64, spec wire.Spec) {
+	key := spec.Key()
+	if w.store != nil {
+		if raw, ok := w.store.Get(key); ok {
+			if res, err := wire.DecodeResult(raw); err == nil {
+				w.replays.Add(1)
+				_ = w.complete(ctx, leaseID, key, res, true)
+				return
+			}
+		}
+	}
+	res, err := w.backend.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled mid-run, not a verdict on the spec: say nothing
+			// and let the lease expire (or the nack path return it).
+			return
+		}
+		_ = w.fail(ctx, leaseID, key, err.Error())
+		return
+	}
+	w.runs.Add(1)
+	if w.store != nil {
+		_ = w.store.Put(key, res.Encode())
+	}
+	_ = w.complete(ctx, leaseID, key, res, false)
+}
+
+// post sends one queue-protocol request and decodes the reply into out.
+func (w *PullWorker) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.scheme+"://"+w.leader+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.token)
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return fatalError{fmt.Errorf("fleet: leader refused token: %s", readBody(resp.Body))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: leader %s: %s: %s", path, resp.Status, readBody(resp.Body))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func readBody(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4<<10))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var e wire.Error
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}
+
+func (w *PullWorker) claim(ctx context.Context) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := w.post(ctx, "/queue/claim", ClaimRequest{Worker: w.id, Max: w.batch}, &resp)
+	return resp, err
+}
+
+func (w *PullWorker) heartbeat(ctx context.Context, leaseID uint64) bool {
+	var resp HeartbeatResponse
+	if err := w.post(ctx, "/queue/heartbeat", HeartbeatRequest{Lease: leaseID}, &resp); err != nil {
+		// Transient leader trouble: keep beating — the next one may land
+		// before the lease lapses.
+		return ctx.Err() == nil
+	}
+	return resp.Live
+}
+
+func (w *PullWorker) complete(ctx context.Context, leaseID uint64, key string, res wire.Result, cached bool) error {
+	return w.post(ctx, "/queue/complete",
+		CompleteRequest{Lease: leaseID, Key: key, Result: res, Cached: cached}, nil)
+}
+
+func (w *PullWorker) fail(ctx context.Context, leaseID uint64, key, msg string) error {
+	return w.post(ctx, "/queue/complete",
+		CompleteRequest{Lease: leaseID, Key: key, Err: msg}, nil)
+}
+
+func (w *PullWorker) nack(ctx context.Context, leaseID uint64, keys []string) error {
+	return w.post(ctx, "/queue/nack", NackRequest{Lease: leaseID, Keys: keys}, nil)
+}

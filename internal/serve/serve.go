@@ -42,6 +42,7 @@ type Server struct {
 
 	draining atomic.Bool
 	inflight atomic.Int64
+	queued   atomic.Int64 // accepted requests waiting for a slot
 	runs     atomic.Uint64
 	replays  atomic.Uint64
 }
@@ -64,6 +65,16 @@ func New(capacity int, store *runcache.Store) *Server {
 
 // Capacity returns the concurrency limit.
 func (s *Server) Capacity() int { return s.capacity }
+
+// SetBackend replaces the execution backend (default: the in-process
+// LocalBackend). Benchmark fleets substitute a throttled backend to
+// model slow workers; results stay pure functions of the spec under
+// any backend. Call before the server starts handling requests.
+func (s *Server) SetBackend(b experiment.Backend) {
+	if b != nil {
+		s.backend = b
+	}
+}
 
 // SetToken requires every request to carry "Authorization: Bearer
 // <token>" (wire.Client.SetToken): mismatches and missing headers are
@@ -100,8 +111,35 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/run", s.handleRun)
 	return mux
+}
+
+// handleStatz reports the worker's live load and cache counters — the
+// inputs of the fleet routing scorers (least-loaded steers around deep
+// queues; affinity watches the cache hit rate it creates).
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeError(w, http.StatusUnauthorized, "missing or wrong bearer token")
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "statz is GET-only")
+		return
+	}
+	st := wire.Statz{
+		Capacity: s.capacity,
+		Inflight: int(s.inflight.Load()),
+		Queued:   int(s.queued.Load()),
+		Runs:     s.runs.Load(),
+		Replays:  s.replays.Load(),
+	}
+	if s.store != nil {
+		cs := s.store.Stats()
+		st.CacheHits, st.CacheMisses = uint64(cs.Hits), uint64(cs.Misses)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -200,10 +238,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Bounded simulation slot; a disconnecting client frees its place in
-	// line.
+	// line. The queued gauge counts the wait, so /statz exposes the
+	// backlog a least-loaded router steers around.
+	s.queued.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
 	case <-r.Context().Done():
+		s.queued.Add(-1)
 		return
 	}
 	s.inflight.Add(1)

@@ -1,0 +1,93 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xorbp/internal/runcache"
+	"xorbp/internal/serve"
+	"xorbp/internal/wire"
+)
+
+// startWorkerFrom serves an already-configured server (startWorker
+// always builds a fresh untokened one).
+func startWorkerFrom(t *testing.T, srv *serve.Server) (string, *serve.Server) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), srv
+}
+
+// TestStatzReportsLoadAndCache: /statz is the routing scorers' input —
+// it must reflect the worker's capacity, run count, and store hit/miss
+// counters, and honor the same bearer token as the other endpoints.
+func TestStatzReportsLoadAndCache(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runcache.Open(dir, wire.SchemaVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startWorker(t, 3, store)
+	client := probedClient(t, addr)
+
+	st, err := client.Statz(t.Context(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Capacity != 3 || st.Runs != 0 || st.Inflight != 0 {
+		t.Fatalf("fresh worker statz %+v, want idle capacity-3", st)
+	}
+
+	spec := specFor(t)
+	if _, err := client.Run(t.Context(), spec); err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.Statz(t.Context(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 1 || st.CacheMisses == 0 {
+		t.Fatalf("statz after one simulation %+v, want runs=1 and a store miss", st)
+	}
+
+	// The same spec again replays from the store: hits move, runs don't.
+	if _, err := client.Run(t.Context(), spec); err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.Statz(t.Context(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 1 || st.Replays != 1 || st.CacheHits == 0 {
+		t.Fatalf("statz after replay %+v, want runs=1 replays=1 and a store hit", st)
+	}
+
+	if _, err := client.Statz(t.Context(), 9); err == nil {
+		t.Fatal("statz accepted an out-of-range worker index")
+	}
+}
+
+// TestStatzRequiresToken: a token-protected worker refuses an
+// untokened statz poll — load telemetry is fleet-internal.
+func TestStatzRequiresToken(t *testing.T) {
+	srv := serve.New(2, nil)
+	srv.SetToken("hunter2")
+	addr, _ := startWorkerFrom(t, srv)
+
+	resp, err := http.Get("http://" + addr + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("untokened statz answered %s, want 401", resp.Status)
+	}
+
+	client := wire.NewClient([]string{addr})
+	client.SetToken("hunter2")
+	if _, err := client.Statz(t.Context(), 0); err != nil {
+		t.Fatalf("tokened statz failed: %v", err)
+	}
+}

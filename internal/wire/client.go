@@ -3,10 +3,13 @@ package wire
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -17,25 +20,48 @@ import (
 // (Run(ctx, Spec) (Result, error)), so a set of remote daemons is a
 // drop-in replacement for the in-process pool.
 //
-// Dispatch is round-robin with failover: a request that fails on one
-// worker (network error, 5xx) is retried on the others before the run
-// is reported failed. Results are pure functions of the spec, so which
-// worker computes a run never affects the rendered tables.
+// Dispatch order is round-robin by default, or whatever a routing hook
+// (SetPicker — the seam internal/fleet's scorers plug into) returns;
+// either way a request that fails on one worker (network error, 5xx)
+// fails over to the others, with a bounded deterministic backoff
+// between full rotations, before the run is reported failed. Results
+// are pure functions of the spec, so which worker computes a run never
+// affects the rendered tables.
 type Client struct {
-	addrs []string
-	hc    *http.Client
-	token string // shared bearer token ("" = none)
+	addrs  []string
+	scheme string // "http", or "https" after SetTLS
+	hc     *http.Client
+	token  string // shared bearer token ("" = none)
 	// caps holds per-worker capacities learned by Probe; zero before.
 	caps []int
 	next atomic.Uint64
+	// pick, when set, orders the workers to try for one spec (best
+	// first); nil is round-robin.
+	pick func(spec Spec, n int) []int
+	// sleep pauses between failover rotations; injectable so retry
+	// tests run on a fake clock instead of the wall.
+	sleep func(ctx context.Context, d time.Duration) error
 	// replays counts runs the fleet answered from its own stores
 	// (RunResponse.Cached) — work dispatched but not simulated.
 	replays atomic.Uint64
 }
 
 // retryPasses is how many full rotations over the worker set Run
-// attempts before giving up.
-const retryPasses = 2
+// attempts before giving up. Between rotations Run waits out the
+// corresponding retryBackoff step, so a transient blip — a worker
+// restart, a dropped connection — is retried for several seconds
+// before it poisons a multi-hour sweep.
+const retryPasses = 4
+
+// retryBackoff is the deterministic wait schedule between failover
+// rotations: after rotation k fails, Run sleeps retryBackoff[k-1].
+// The schedule is fixed (no jitter) so retry behavior is reproducible
+// and testable against an injected sleeper.
+var retryBackoff = [retryPasses - 1]time.Duration{
+	250 * time.Millisecond,
+	1 * time.Second,
+	4 * time.Second,
+}
 
 // NewClient creates a client over host:port worker addresses (as given
 // to bpsim -serve-addrs). Blank entries are dropped; whitespace is
@@ -48,21 +74,76 @@ func NewClient(addrs []string) *Client {
 		}
 	}
 	return &Client{
-		addrs: clean,
+		addrs:  clean,
+		scheme: "http",
 		// No overall timeout: a full-scale simulation can legitimately
 		// take minutes. Cancellation flows through the request context.
-		hc:   &http.Client{},
-		caps: make([]int, len(clean)),
+		hc:    &http.Client{},
+		caps:  make([]int, len(clean)),
+		sleep: sleepWall,
+	}
+}
+
+// sleepWall is the default sleeper: a timer racing the context.
+func sleepWall(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 // Addrs returns the worker addresses the client dispatches to.
 func (c *Client) Addrs() []string { return append([]string(nil), c.addrs...) }
 
+// Capacities returns the per-worker capacities learned by Probe (zero
+// before), index-aligned with Addrs.
+func (c *Client) Capacities() []int { return append([]int(nil), c.caps...) }
+
 // SetToken attaches a shared bearer token to every request (the
 // counterpart of bpserve -token). Set before Probe; an empty token
 // sends no Authorization header.
 func (c *Client) SetToken(token string) { c.token = token }
+
+// SetPicker installs a routing hook: for each dispatched spec it
+// returns the worker indices to try, best first (failover walks the
+// returned order). nil restores round-robin. Routing only chooses
+// where a spec executes — results are pure functions of the spec, so
+// every picker yields byte-identical tables.
+func (c *Client) SetPicker(pick func(spec Spec, n int) []int) { c.pick = pick }
+
+// SetSleep replaces the inter-rotation backoff sleeper (tests inject a
+// fake clock; the default waits out the wall).
+func (c *Client) SetSleep(sleep func(ctx context.Context, d time.Duration) error) {
+	if sleep != nil {
+		c.sleep = sleep
+	}
+}
+
+// SetTLS switches the client to HTTPS with the fleet's certificate
+// authority pinned: only workers presenting a chain to ca are trusted,
+// so a spoofed or man-in-the-middled worker fails the handshake
+// instead of feeding the sweep forged results. Combine with SetToken —
+// TLS authenticates the transport, the token authenticates the peer.
+func (c *Client) SetTLS(ca *x509.CertPool) {
+	c.scheme = "https"
+	c.hc.Transport = &http.Transport{TLSClientConfig: &tls.Config{RootCAs: ca}}
+}
+
+// LoadCertPool reads a PEM bundle (the -tls-ca flag) into a pinned
+// certificate pool for SetTLS.
+func LoadCertPool(path string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading CA bundle: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("wire: %s contains no usable CA certificates", path)
+	}
+	return pool, nil
+}
 
 // authorize stamps the bearer header onto a request.
 func (c *Client) authorize(req *http.Request) {
@@ -103,7 +184,7 @@ func (c *Client) Probe(ctx context.Context) error {
 func (c *Client) health(ctx context.Context, addr string) (Health, error) {
 	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.scheme+"://"+addr+"/healthz", nil)
 	if err != nil {
 		return Health{}, err
 	}
@@ -121,6 +202,34 @@ func (c *Client) health(ctx context.Context, addr string) (Health, error) {
 		return Health{}, fmt.Errorf("healthz: %w", err)
 	}
 	return h, nil
+}
+
+// Statz fetches one worker's live load counters (GET /statz) — the
+// inputs of a least-loaded routing scorer. i indexes Addrs.
+func (c *Client) Statz(ctx context.Context, i int) (Statz, error) {
+	if i < 0 || i >= len(c.addrs) {
+		return Statz{}, fmt.Errorf("wire: statz index %d out of range", i)
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.scheme+"://"+c.addrs[i]+"/statz", nil)
+	if err != nil {
+		return Statz{}, err
+	}
+	c.authorize(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Statz{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Statz{}, fmt.Errorf("statz: %s", resp.Status)
+	}
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Statz{}, fmt.Errorf("statz: %w", err)
+	}
+	return st, nil
 }
 
 // Workers returns the fleet's total capacity — the fan-out width an
@@ -143,39 +252,74 @@ func (c *Client) Workers() int {
 // or report this to account for worker-side cache hits.
 func (c *Client) Replays() uint64 { return c.replays.Load() }
 
-// Run resolves one spec on the worker fleet. Transient failures rotate
-// to the next worker; protocol failures (schema mismatch, invalid spec)
-// abort immediately — retrying cannot fix them.
+// order returns the worker indices to try for one spec, best first.
+// With a picker installed its order is used (padded with any indices
+// it omitted, so failover always reaches the whole fleet); otherwise
+// round-robin rotation.
+func (c *Client) order(spec Spec) []int {
+	n := len(c.addrs)
+	out := make([]int, 0, n)
+	seen := make([]bool, n)
+	if c.pick != nil {
+		for _, i := range c.pick(spec, n) {
+			if i >= 0 && i < n && !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	} else {
+		start := int(c.next.Add(1) % uint64(n))
+		for k := 0; k < n; k++ {
+			i := (start + k) % n
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run resolves one spec on the worker fleet. Transient failures fail
+// over along the routing order, then retry whole rotations behind the
+// deterministic retryBackoff schedule; protocol failures (schema
+// mismatch, invalid spec) abort immediately — retrying cannot fix
+// them.
 func (c *Client) Run(ctx context.Context, spec Spec) (Result, error) {
 	if len(c.addrs) == 0 {
 		return Result{}, fmt.Errorf("wire: no worker addresses")
 	}
-	start := c.next.Add(1)
+	order := c.order(spec)
 	var lastErr error
-	for attempt := 0; attempt < len(c.addrs)*retryPasses; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
+	for pass := 0; pass < retryPasses; pass++ {
+		if pass > 0 {
+			// All workers just failed; back off before the next rotation
+			// so a momentarily-restarting fleet is not burned through
+			// instantly.
+			if err := c.sleep(ctx, retryBackoff[pass-1]); err != nil {
+				return Result{}, err
+			}
 		}
-		addr := c.addrs[(int(start)+attempt)%len(c.addrs)]
-		res, retry, err := c.runOn(ctx, addr, spec)
-		if err == nil {
-			return res, nil
-		}
-		lastErr = fmt.Errorf("worker %s: %w", addr, err)
-		if !retry {
-			return Result{}, fmt.Errorf("wire: %w", lastErr)
-		}
-		// Brief pause between full rotations so a momentarily-restarting
-		// fleet is not burned through instantly.
-		if (attempt+1)%len(c.addrs) == 0 {
-			select {
-			case <-time.After(500 * time.Millisecond):
-			case <-ctx.Done():
-				return Result{}, ctx.Err()
+		for _, w := range order {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			addr := c.addrs[w]
+			res, retry, err := c.runOn(ctx, addr, spec)
+			if err == nil {
+				return res, nil
+			}
+			lastErr = fmt.Errorf("worker %s: %w", addr, err)
+			if !retry {
+				return Result{}, fmt.Errorf("wire: %w", lastErr)
 			}
 		}
 	}
-	return Result{}, fmt.Errorf("wire: all %d workers failed; last: %w", len(c.addrs), lastErr)
+	return Result{}, fmt.Errorf("wire: all %d workers failed over %d rotations; last: %w",
+		len(c.addrs), retryPasses, lastErr)
 }
 
 // runOn POSTs one spec to one worker. retry reports whether the failure
@@ -185,7 +329,7 @@ func (c *Client) runOn(ctx context.Context, addr string, spec Spec) (res Result,
 	if err != nil {
 		return Result{}, false, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/run", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.scheme+"://"+addr+"/run", bytes.NewReader(body))
 	if err != nil {
 		return Result{}, false, err
 	}

@@ -1,0 +1,166 @@
+package wire_test
+
+import (
+	"context"
+	"crypto/x509"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xorbp/internal/wire"
+)
+
+// flakyWorker is a /run endpoint that fails its first failures
+// requests with 503 and then serves a fixed result — the shape of a
+// worker mid-restart.
+type flakyWorker struct {
+	failures int64
+	hits     atomic.Int64
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.hits.Add(1)
+	if n <= f.failures {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(wire.Error{Error: "restarting"})
+		return
+	}
+	var req wire.RunRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	_ = json.NewEncoder(w).Encode(wire.RunResponse{
+		Schema: wire.SchemaVersion(),
+		Result: wire.Result{Cycles: 7},
+	})
+}
+
+// sleepRecorder is the injected backoff sleeper: it records each
+// requested duration and returns instantly, so the retry schedule is
+// asserted, not waited out.
+func sleepRecorder(into *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*into = append(*into, d)
+		return ctx.Err()
+	}
+}
+
+func flakyClient(t *testing.T, fw *flakyWorker) (*wire.Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(fw)
+	t.Cleanup(ts.Close)
+	c := wire.NewClient([]string{strings.TrimPrefix(ts.URL, "http://")})
+	var sleeps []time.Duration
+	c.SetSleep(sleepRecorder(&sleeps))
+	return c, &sleeps
+}
+
+// TestRunRetriesWithBackoff: a worker that 503s three times is retried
+// behind the deterministic 250ms/1s/4s schedule and the fourth rotation
+// lands the result.
+func TestRunRetriesWithBackoff(t *testing.T) {
+	fw := &flakyWorker{failures: 3}
+	c, sleeps := flakyClient(t, fw)
+
+	res, err := c.Run(context.Background(), wire.Spec{Pred: "retry-test", Timer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 7 {
+		t.Fatalf("cycles = %d, want 7", res.Cycles)
+	}
+	want := []time.Duration{250 * time.Millisecond, time.Second, 4 * time.Second}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("backoff sleeps %v, want %v", *sleeps, want)
+	}
+	for i, d := range want {
+		if (*sleeps)[i] != d {
+			t.Fatalf("backoff sleeps %v, want %v", *sleeps, want)
+		}
+	}
+	if fw.hits.Load() != 4 {
+		t.Fatalf("worker saw %d requests, want 4", fw.hits.Load())
+	}
+}
+
+// TestRunExhaustsRotations: a worker that never recovers consumes
+// exactly retryPasses rotations and the full backoff schedule, then
+// Run reports the last failure.
+func TestRunExhaustsRotations(t *testing.T) {
+	fw := &flakyWorker{failures: 1 << 30}
+	c, sleeps := flakyClient(t, fw)
+
+	_, err := c.Run(context.Background(), wire.Spec{Pred: "retry-test", Timer: 2})
+	if err == nil || !strings.Contains(err.Error(), "4 rotations") {
+		t.Fatalf("err = %v, want an all-rotations-failed report", err)
+	}
+	if fw.hits.Load() != 4 {
+		t.Fatalf("worker saw %d requests, want 4 (one per rotation)", fw.hits.Load())
+	}
+	if len(*sleeps) != 3 {
+		t.Fatalf("slept %v, want the full 3-step schedule", *sleeps)
+	}
+}
+
+// TestRunAbortsOnNonRetryable: a 401 means the shared token is wrong
+// everywhere — no second attempt, no backoff.
+func TestRunAbortsOnNonRetryable(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusUnauthorized)
+		_ = json.NewEncoder(w).Encode(wire.Error{Error: "bad token"})
+	}))
+	t.Cleanup(ts.Close)
+	c := wire.NewClient([]string{strings.TrimPrefix(ts.URL, "http://")})
+	var sleeps []time.Duration
+	c.SetSleep(sleepRecorder(&sleeps))
+
+	_, err := c.Run(context.Background(), wire.Spec{Pred: "retry-test", Timer: 3})
+	if err == nil || !strings.Contains(err.Error(), "unauthorized") {
+		t.Fatalf("err = %v, want unauthorized", err)
+	}
+	if hits.Load() != 1 || len(sleeps) != 0 {
+		t.Fatalf("non-retryable failure got %d attempts and %v backoff, want 1 and none", hits.Load(), sleeps)
+	}
+}
+
+// TestClientTLSPinning: SetTLS pins the fleet CA — a client holding
+// the right CA probes a TLS worker fine, a client with an empty pool
+// (or none at all) is refused before any spec crosses the wire.
+func TestClientTLSPinning(t *testing.T) {
+	ts := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.Health{
+			Status: "ok", Schema: wire.SchemaVersion(), Capacity: 2,
+		})
+	}))
+	t.Cleanup(ts.Close)
+	addr := strings.TrimPrefix(ts.URL, "https://")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	pinned := wire.NewClient([]string{addr})
+	pool := x509.NewCertPool()
+	pool.AddCert(ts.Certificate())
+	pinned.SetTLS(pool)
+	if err := pinned.Probe(ctx); err != nil {
+		t.Fatalf("CA-pinned probe failed: %v", err)
+	}
+	if pinned.Workers() != 2 {
+		t.Fatalf("probed capacity %d, want 2", pinned.Workers())
+	}
+
+	wrongCA := wire.NewClient([]string{addr})
+	wrongCA.SetTLS(x509.NewCertPool())
+	if err := wrongCA.Probe(ctx); err == nil {
+		t.Fatal("probe with an empty CA pool trusted an unknown certificate")
+	}
+
+	plain := wire.NewClient([]string{addr})
+	plain.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	if err := plain.Probe(ctx); err == nil {
+		t.Fatal("plain-HTTP probe succeeded against a TLS worker")
+	}
+}

@@ -319,6 +319,28 @@ type Health struct {
 	Replays  uint64 `json:"replays"`
 }
 
+// Statz is the body of GET /statz on a bpserve worker: the live load
+// and cache counters routing scorers decide on (internal/fleet). It is
+// telemetry, not schema — adding fields never invalidates caches.
+type Statz struct {
+	// Capacity is the worker's concurrency limit (as in Health).
+	Capacity int `json:"capacity"`
+	// Inflight counts simulations holding a slot right now.
+	Inflight int `json:"inflight"`
+	// Queued counts accepted requests waiting for a simulation slot —
+	// the backlog a least-loaded scorer steers around.
+	Queued int `json:"queued"`
+	// Runs and Replays mirror Health: simulations executed vs answered
+	// from the worker's store.
+	Runs    uint64 `json:"runs"`
+	Replays uint64 `json:"replays"`
+	// CacheHits/CacheMisses are the worker store's Get counters; an
+	// affinity router sending specs to the right worker drives the hit
+	// rate up.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
 // Error is the JSON error body returned by a worker for non-2xx
 // statuses.
 type Error struct {
