@@ -10,6 +10,7 @@
 //	          [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N]
 //	          [-token T] [-route POLICY] [-tls-ca FILE]
 //	          [-fleet HOST:PORT] [-fleet-lease D] [-tls-cert FILE] [-tls-key FILE]
+//	          [-journal FILE] [-resume] [-chaos PLAN] [-degrade=false]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without a selector flag the PoC accuracy and Table 1 experiments run
@@ -30,7 +31,11 @@
 // processes (tables suppressed; an unsharded run afterwards renders
 // from the shared cache), -progress reports done/planned with a
 // session-wide ETA over the pre-planned grid, and -json streams
-// per-cell records, JSON tables and a final summary record. Tables are
+// per-cell records, JSON tables and a final summary record. -journal
+// FILE records every resolved cell in a crash-safe WAL so a killed
+// sweep restarts with -resume and simulates only the remainder; -chaos
+// PLAN arms deterministic fault injection (see internal/chaos and the
+// bpsim doc — the robustness machinery is shared). Tables are
 // byte-identical for every worker count, backend, routing policy and
 // shard split.
 package main
@@ -72,6 +77,9 @@ func main() {
 	token := flag.String("token", "", "bearer token for -serve-addrs workers (bpserve -token)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	journalPath := flag.String("journal", "", "append-only sweep journal (WAL): crash-safe record of planned and completed cells")
+	resume := flag.Bool("resume", false, "resume from -journal: replay its completed cells and simulate only the remainder")
+	chaosPlan := flag.String("chaos", "", "arm deterministic fault injection from this FaultPlan JSON file (hardening tests)")
 	fleetFlags := driver.AddFleetFlags()
 	flag.Parse()
 
@@ -122,9 +130,11 @@ func main() {
 	// fleet, or a pull-queue leader.
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+	ch := driver.LoadChaos("attacksim", *chaosPlan)
 	conn := driver.Connect(driver.ConnectOptions{
 		Prog: "attacksim", ServeAddrs: *serveAddrs, Token: *token,
 		Workers: *workers, WorkersSet: workersSet, Fleet: fleetFlags,
+		Transport: ch.Transport(),
 	})
 	defer conn.Close()
 
@@ -141,6 +151,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "attacksim: disabling run cache: %v\n", err)
 		} else {
 			exec.SetStore(st)
+			ch.ArmStore(st)
 		}
 	}
 	if *asJSON {
@@ -163,6 +174,11 @@ func main() {
 		e.run(planner)
 	}
 	exec.Plan(planner)
+
+	jnl := driver.AttachJournal("attacksim", exec, *journalPath, *resume)
+	if jnl != nil {
+		defer jnl.Close()
+	}
 
 	wallStart := time.Now()
 	var shardProg driver.ShardProgress
@@ -204,4 +220,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[cache %s: %d replayed, %d simulated, %d entries]\n",
 			st.Dir(), cs.Hits, exec.Runs(), st.Len())
 	}
+	if jnl != nil {
+		if err := jnl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "attacksim: warning: sweep journal went bad mid-run (resume may re-simulate): %v\n", err)
+		}
+	}
+	ch.Report("attacksim")
 }

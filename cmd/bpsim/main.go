@@ -7,6 +7,7 @@
 //	      [-cache DIR] [-serve-addrs HOST:PORT,...] [-shard I/N] [-token T]
 //	      [-route POLICY] [-tls-ca FILE]
 //	      [-fleet HOST:PORT] [-fleet-lease D] [-tls-cert FILE] [-tls-key FILE]
+//	      [-journal FILE] [-resume] [-chaos PLAN] [-degrade=false]
 //	      [-cache-gc] [-gc-age D] [-gc-max-bytes N]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -33,6 +34,22 @@
 // cells. -tls-cert/-tls-key serve the leader endpoint over TLS.
 // Mutually exclusive with -serve-addrs; tables stay byte-identical to
 // a serial run under every topology.
+//
+// -journal FILE makes the sweep crash-safe: every planned wire key and
+// every resolved result is appended (fsynced) to an append-only WAL, so
+// a run killed mid-sweep can be restarted with -resume — the journal's
+// completed cells are replayed without simulating and only the
+// remainder runs, in every topology. Tables are byte-identical to an
+// uninterrupted run.
+//
+// -chaos PLAN arms deterministic fault injection from a FaultPlan JSON
+// file (see internal/chaos): seeded faults fire at the transport, run
+// cache and fleet seams, and a run is exactly replayable from its plan.
+// With -serve-addrs, a per-worker circuit breaker rides out injected
+// (or real) outages, and -degrade (default true) falls back to
+// in-process simulation when every circuit is open instead of failing
+// the sweep. -chaos is for hardening tests; results stay correct under
+// it or the run fails loudly.
 //
 // -shard I/N statically partitions the grid: this process simulates only
 // the cells whose key hashes to shard I of N, skips the rest, and
@@ -144,6 +161,9 @@ func main() {
 	gcMaxBytes := flag.Int64("gc-max-bytes", 4<<30, "with -cache-gc: evict oldest entries until the cache fits this many bytes (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the invocation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+	journalPath := flag.String("journal", "", "append-only sweep journal (WAL): crash-safe record of planned and completed cells")
+	resume := flag.Bool("resume", false, "resume from -journal: replay its completed cells and simulate only the remainder")
+	chaosPlan := flag.String("chaos", "", "arm deterministic fault injection from this FaultPlan JSON file (hardening tests)")
 	fleetFlags := driver.AddFleetFlags()
 	flag.Parse()
 
@@ -202,9 +222,11 @@ func main() {
 	// fleet, or a pull-queue leader.
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+	ch := driver.LoadChaos("bpsim", *chaosPlan)
 	conn := driver.Connect(driver.ConnectOptions{
 		Prog: "bpsim", ServeAddrs: *serveAddrs, Token: *token,
 		Workers: *workers, WorkersSet: workersSet, Fleet: fleetFlags,
+		Transport: ch.Transport(),
 	})
 	defer conn.Close()
 
@@ -221,6 +243,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bpsim: disabling run cache: %v\n", err)
 		} else {
 			exec.SetStore(st)
+			ch.ArmStore(st)
 		}
 	}
 	if *asJSON {
@@ -249,6 +272,11 @@ func main() {
 		}
 	}
 	exec.Plan(planner)
+
+	jnl := driver.AttachJournal("bpsim", exec, *journalPath, *resume)
+	if jnl != nil {
+		defer jnl.Close()
+	}
 
 	wallStart := time.Now()
 	var shardProg driver.ShardProgress
@@ -291,4 +319,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[cache %s: %d replayed, %d simulated, %d entries]\n",
 			st.Dir(), cs.Hits, exec.Runs(), st.Len())
 	}
+	if jnl != nil {
+		if err := jnl.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "bpsim: warning: sweep journal went bad mid-run (resume may re-simulate): %v\n", err)
+		}
+	}
+	ch.Report("bpsim")
 }

@@ -44,6 +44,7 @@ var wirePathSuffixes = []string{
 	"internal/serve",
 	"internal/driver",
 	"internal/fleet",
+	"internal/chaos",
 }
 
 func run(pass *analysis.Pass) error {

@@ -23,7 +23,11 @@
 //     case set, and LedgerPolicies() — the strategies
 //     STRATEGY_LEDGER.md must benchmark — contains every scorer name
 //     plus "pull": a routing policy cannot ship without its committed
-//     ledger row.
+//     ledger row;
+//  5. in internal/chaos, every Fault implementation appears in
+//     FaultByName (rule 2's shape) and FaultNames() equals the registry
+//     case set — the FaultPlan rule vocabulary may not drift from the
+//     kinds an injector can actually fire.
 //
 // The anchors are recognized by shape (package path suffix, type and
 // function names); an anchor that exists but no longer parses as the
@@ -60,6 +64,10 @@ func run(pass *analysis.Pass) error {
 	if strings.HasSuffix(pass.Path, "internal/fleet") {
 		checkRegistry(pass, "Scorer", "ScorerByName")
 		checkScorerLists(pass)
+	}
+	if strings.HasSuffix(pass.Path, "internal/chaos") {
+		checkRegistry(pass, "Fault", "FaultByName")
+		checkFaultLists(pass)
 	}
 	return nil
 }
@@ -518,6 +526,44 @@ func recvTypeName(recv *ast.FieldList) string {
 		return id.Name
 	}
 	return ""
+}
+
+// --- rule 5: chaos fault lists ----------------------------------------
+
+// checkFaultLists holds the chaos vocabulary mutually complete:
+// FaultNames (the FaultPlan rule vocabulary) must equal the FaultByName
+// case set, so a documented fault name always resolves to a kind the
+// injector can fire and every registered kind is plannable.
+func checkFaultLists(pass *analysis.Pass) {
+	names := findFunc(pass, "FaultNames")
+	ctor := findFunc(pass, "FaultByName")
+	if names == nil || ctor == nil {
+		var missing []string
+		for _, m := range []struct {
+			fd   *ast.FuncDecl
+			name string
+		}{{names, "FaultNames"}, {ctor, "FaultByName"}} {
+			if m.fd == nil {
+				missing = append(missing, m.name)
+			}
+		}
+		pass.Reportf(pass.Files[0].Pos(), "chaos fault anchor functions missing: %s; the exhaustive analyzer cannot verify the fault registry", strings.Join(missing, ", "))
+		return
+	}
+
+	listed := stringLiteralSet(pass, names.Body)
+	registered := scorerCaseSet(pass, ctor)
+	if listed == nil || registered == nil {
+		pass.Reportf(names.Pos(), "chaos fault anchors did not parse as a string-literal list / a T{}.Name() switch; the exhaustive analyzer cannot verify the fault registry")
+		return
+	}
+
+	for _, n := range sortedDiff(listed, registered) {
+		pass.Reportf(names.Pos(), "FaultNames lists %q but FaultByName has no case for it (a plan scheduling it would never fire)", n)
+	}
+	for _, n := range sortedDiff(registered, listed) {
+		pass.Reportf(names.Pos(), "FaultByName resolves %q but FaultNames does not list it; the FaultPlan vocabulary drifted from the registry", n)
+	}
 }
 
 // findFunc returns the package-level function declaration named name.

@@ -49,6 +49,7 @@ var roots = map[string][]string{
 	"internal/experiment": {"runKey", "specKey", "specToWire", "specFromWire", "attackSpecFromWire"},
 	"internal/wire":       {"(Spec).Encode", "(Spec).Key", "(Result).Encode", "DecodeSpec", "DecodeResult", "SchemaVersion", "typeSig"},
 	"internal/runcache":   {"Key", "schemaID", "(Store).Key"},
+	"internal/chaos":      {"(FaultPlan).Encode", "DecodePlan"},
 }
 
 // rootKeys returns the purity-root FuncKeys for the pass's package.

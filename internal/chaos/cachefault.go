@@ -1,0 +1,48 @@
+package chaos
+
+import "fmt"
+
+// CacheFaults implements runcache.FileFault: it perturbs cache entry
+// bytes on their way to disk (the in-memory copy is untouched). Attach
+// with runcache.Store.SetFileFault. The flip/trunc/full fields name
+// which plan rules drive each failure mode, so the same implementation
+// serves both the result cache (BitFlip/Truncate/ENOSPC) and the
+// snapshot store (SnapCorrupt) — see NewCacheFaults and NewSnapFaults.
+type CacheFaults struct {
+	inj   *Injector
+	flip  Fault // bit-flip rule; nil disables
+	trunc Fault // truncation rule; nil disables
+	full  Fault // write-error rule; nil disables
+}
+
+// NewCacheFaults drives a result cache's write path from the plan's
+// bitflip/truncate/enospc rules.
+func NewCacheFaults(inj *Injector) *CacheFaults {
+	return &CacheFaults{inj: inj, flip: BitFlip{}, trunc: Truncate{}, full: ENOSPC{}}
+}
+
+// NewSnapFaults drives a snapshot store's write path from the plan's
+// snapcorrupt rule (corruption only — a snapshot write error already
+// degrades to a cold run upstream).
+func NewSnapFaults(inj *Injector) *CacheFaults {
+	return &CacheFaults{inj: inj, flip: SnapCorrupt{}}
+}
+
+// WriteEntry applies at most one fault to the bytes about to be
+// written for key: an outright write error (ENOSPC), truncation to
+// half length, or a single deterministic bit flip. The returned slice
+// is a copy; the caller's buffer is never aliased.
+func (c *CacheFaults) WriteEntry(key string, raw []byte) ([]byte, error) {
+	switch {
+	case c.full != nil && c.inj.Hit(c.full):
+		return nil, fmt.Errorf("chaos: injected write failure (no space left on device)")
+	case c.trunc != nil && c.inj.Hit(c.trunc):
+		return append([]byte(nil), raw[:len(raw)/2]...), nil
+	case c.flip != nil && c.inj.Hit(c.flip) && len(raw) > 0:
+		out := append([]byte(nil), raw...)
+		bit := c.inj.Draw(c.flip) % uint64(len(out)*8)
+		out[bit/8] ^= 1 << (bit % 8)
+		return out, nil
+	}
+	return raw, nil
+}

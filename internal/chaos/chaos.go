@@ -1,0 +1,179 @@
+// Package chaos is the seeded, fully deterministic fault-injection
+// layer behind `bpsim/attacksim -chaos` and cmd/chaosbench. It threads
+// synthetic failures through the engine's existing seams — the wire
+// client's HTTP transport (timeouts, connection resets, 5xx, slow
+// responses), the run cache's file writes (bit flips, truncation,
+// ENOSPC), the snapshot store's prefix blobs (corruption), and the
+// pull fleet's worker loop (crash mid-lease, heartbeat loss, duplicate
+// completions, leader restart) — without those packages ever importing
+// this one: each seam exposes a small hook interface (http.RoundTripper,
+// runcache.FileFault, fleet.WorkerFaults) that chaos implements.
+//
+// Every decision flows from a FaultPlan: a seed plus per-fault rules.
+// Each rule owns an independent SplitMix64 stream derived from the plan
+// seed and the fault's name, and consumes exactly one draw per decision
+// point, so a failure run replays bit-for-bit from its plan — no wall
+// clock, no global randomness. The point of the whole layer is the
+// invariant it gates: tables rendered under faults must be
+// byte-identical to the fault-free serial run.
+package chaos
+
+// Seam names group the fault kinds by the subsystem they perturb. They
+// appear in reports and documentation; injection sites consult concrete
+// fault kinds, not seams.
+const (
+	SeamTransport = "transport" // wire.Client HTTP dispatch
+	SeamCacheFile = "cachefile" // runcache entry writes
+	SeamSnapshot  = "snapshot"  // snapshot-store prefix blobs
+	SeamFleet     = "fleet"     // pull-queue worker/leader lifecycle
+)
+
+// Fault is one injectable fault kind. Implementations are stateless
+// markers; the Injector owns all state. Name is the wire vocabulary of
+// FaultPlan rules; Seam names the subsystem the fault perturbs.
+type Fault interface {
+	Name() string
+	Seam() string
+}
+
+// Timeout makes a dispatched request fail with a timeout-shaped
+// network error before reaching the worker.
+type Timeout struct{}
+
+func (Timeout) Name() string { return "timeout" }
+func (Timeout) Seam() string { return SeamTransport }
+
+// Reset makes a dispatched request fail as if the peer reset the
+// connection mid-exchange.
+type Reset struct{}
+
+func (Reset) Name() string { return "reset" }
+func (Reset) Seam() string { return SeamTransport }
+
+// HTTP500 answers a dispatched request with a synthesized 500 instead
+// of forwarding it — the worker never sees the spec.
+type HTTP500 struct{}
+
+func (HTTP500) Name() string { return "http500" }
+func (HTTP500) Seam() string { return SeamTransport }
+
+// Slow delays a dispatched request before forwarding it, modeling a
+// straggling worker or congested link. The response is otherwise
+// untouched.
+type Slow struct{}
+
+func (Slow) Name() string { return "slow" }
+func (Slow) Seam() string { return SeamTransport }
+
+// BitFlip flips one deterministic bit in a cache entry on its way to
+// disk: the in-memory copy stays good, and the next Open must detect
+// the corruption by checksum and quarantine the file.
+type BitFlip struct{}
+
+func (BitFlip) Name() string { return "bitflip" }
+func (BitFlip) Seam() string { return SeamCacheFile }
+
+// Truncate cuts a cache entry's file to half its length mid-write,
+// modeling a crash between write and rename being made visible.
+type Truncate struct{}
+
+func (Truncate) Name() string { return "truncate" }
+func (Truncate) Seam() string { return SeamCacheFile }
+
+// ENOSPC fails a cache entry write outright, as a full disk would. The
+// store keeps the entry in memory and counts the put error.
+type ENOSPC struct{}
+
+func (ENOSPC) Name() string { return "enospc" }
+func (ENOSPC) Seam() string { return SeamCacheFile }
+
+// SnapCorrupt flips one deterministic bit in a snapshot-store prefix
+// blob on its way to disk; restore-from-prefix must fall back to a
+// cold simulation with identical results.
+type SnapCorrupt struct{}
+
+func (SnapCorrupt) Name() string { return "snapcorrupt" }
+func (SnapCorrupt) Seam() string { return SeamSnapshot }
+
+// WorkerCrash kills a pull worker mid-batch: unfinished specs are
+// neither completed nor nacked, the heartbeat stops, and the fleet
+// must steal the stalled lease.
+type WorkerCrash struct{}
+
+func (WorkerCrash) Name() string { return "workercrash" }
+func (WorkerCrash) Seam() string { return SeamFleet }
+
+// HeartbeatLoss suppresses one heartbeat post, modeling a dropped
+// packet; enough in a row and the lease lapses.
+type HeartbeatLoss struct{}
+
+func (HeartbeatLoss) Name() string { return "heartbeatloss" }
+func (HeartbeatLoss) Seam() string { return SeamFleet }
+
+// DupComplete reports one completion twice, exercising the queue's
+// first-wins idempotency.
+type DupComplete struct{}
+
+func (DupComplete) Name() string { return "dupcomplete" }
+func (DupComplete) Seam() string { return SeamFleet }
+
+// LeaderRestart tells an orchestrating harness (cmd/chaosbench) to
+// kill and restart the pull-queue leader at this decision point; the
+// restarted sweep must resume from its journal with workers rejoining.
+type LeaderRestart struct{}
+
+func (LeaderRestart) Name() string { return "leaderrestart" }
+func (LeaderRestart) Seam() string { return SeamFleet }
+
+// FaultByName resolves a FaultPlan rule's fault name to its kind.
+// bpvet's exhaustive analyzer holds this registry and FaultNames
+// mutually complete.
+func FaultByName(name string) (Fault, bool) {
+	switch name {
+	case Timeout{}.Name():
+		return Timeout{}, true
+	case Reset{}.Name():
+		return Reset{}, true
+	case HTTP500{}.Name():
+		return HTTP500{}, true
+	case Slow{}.Name():
+		return Slow{}, true
+	case BitFlip{}.Name():
+		return BitFlip{}, true
+	case Truncate{}.Name():
+		return Truncate{}, true
+	case ENOSPC{}.Name():
+		return ENOSPC{}, true
+	case SnapCorrupt{}.Name():
+		return SnapCorrupt{}, true
+	case WorkerCrash{}.Name():
+		return WorkerCrash{}, true
+	case HeartbeatLoss{}.Name():
+		return HeartbeatLoss{}, true
+	case DupComplete{}.Name():
+		return DupComplete{}, true
+	case LeaderRestart{}.Name():
+		return LeaderRestart{}, true
+	default:
+		return nil, false
+	}
+}
+
+// FaultNames lists every registered fault kind — the FaultPlan rule
+// vocabulary, in documentation order.
+func FaultNames() []string {
+	return []string{
+		"timeout",
+		"reset",
+		"http500",
+		"slow",
+		"bitflip",
+		"truncate",
+		"enospc",
+		"snapcorrupt",
+		"workercrash",
+		"heartbeatloss",
+		"dupcomplete",
+		"leaderrestart",
+	}
+}

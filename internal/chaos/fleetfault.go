@@ -1,0 +1,24 @@
+package chaos
+
+// FleetFaults implements fleet.WorkerFaults: it drives a pull worker's
+// failure modes from the plan's fleet rules. Attach with
+// fleet.PullWorker.SetFaults.
+type FleetFaults struct {
+	inj *Injector
+}
+
+// NewFleetFaults builds the worker-fault hook over inj.
+func NewFleetFaults(inj *Injector) *FleetFaults { return &FleetFaults{inj: inj} }
+
+// CrashBatch reports whether the worker should die mid-batch here:
+// abandon unfinished specs without completing or nacking them, and
+// stop heartbeating, so the lease lapses and the fleet steals the
+// remainder.
+func (f *FleetFaults) CrashBatch() bool { return f.inj.Hit(WorkerCrash{}) }
+
+// DropHeartbeat reports whether to suppress this heartbeat post.
+func (f *FleetFaults) DropHeartbeat() bool { return f.inj.Hit(HeartbeatLoss{}) }
+
+// DuplicateComplete reports whether to report this completion a second
+// time, exercising the queue's first-wins idempotency.
+func (f *FleetFaults) DuplicateComplete() bool { return f.inj.Hit(DupComplete{}) }

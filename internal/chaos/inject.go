@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xorbp/internal/rng"
+)
+
+// Injector makes the plan's injection decisions. Each rule owns an
+// independent SplitMix64 stream seeded from the plan seed and the
+// fault's name, and consumes exactly one draw per decision point —
+// so given the same plan and the same per-seam decision ordering, two
+// runs inject identically. Safe for concurrent use; concurrency can
+// reorder which decision point gets which draw, but the decision
+// *sequence* per fault is fixed by the plan, which is what replaying
+// a failure needs.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string]*ruleState
+}
+
+// ruleState is one rule's live decision stream.
+type ruleState struct {
+	rule  Rule
+	src   *rng.SplitMix64
+	calls uint64 // decision points consumed
+	fired uint64 // injections granted
+}
+
+// NewInjector builds an injector over a validated plan. Faults without
+// a rule never fire, so a nil-safe "no chaos" injector is simply one
+// built from an empty plan.
+func NewInjector(plan FaultPlan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{rules: make(map[string]*ruleState, len(plan.Rules))}
+	for _, r := range plan.Rules {
+		in.rules[r.Fault] = &ruleState{
+			rule: r,
+			src:  rng.NewSplitMix64(plan.Seed ^ rng.Mix64(fnv64(r.Fault))),
+		}
+	}
+	return in, nil
+}
+
+// fnv64 hashes a fault name (FNV-1a) to decorrelate rule streams
+// sharing one plan seed.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Hit consumes one decision point for f and reports whether the fault
+// fires there. A nil injector (chaos disabled) never fires.
+func (in *Injector) Hit(f Fault) bool {
+	if in == nil {
+		return false
+	}
+	name := f.Name()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.rules[name]
+	if st == nil {
+		return false
+	}
+	st.calls++
+	if st.calls <= uint64(st.rule.After) {
+		return false
+	}
+	if st.rule.Count > 0 && st.fired >= uint64(st.rule.Count) {
+		return false
+	}
+	// Top 53 bits give a uniform draw in [0, 1); Rate 1 always fires
+	// and Rate 0 never does.
+	draw := float64(st.src.Next()>>11) / (1 << 53)
+	if st.rule.Rate < 1 && draw >= st.rule.Rate {
+		return false
+	}
+	st.fired++
+	return true
+}
+
+// Draw returns the next value of f's stream — the deterministic
+// entropy an injection site needs beyond the fire/skip decision (e.g.
+// which bit a BitFlip flips). Call only after Hit granted the fault.
+func (in *Injector) Draw(f Fault) uint64 {
+	if in == nil {
+		return 0
+	}
+	name := f.Name()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.rules[name]
+	if st == nil {
+		return 0
+	}
+	return st.src.Next()
+}
+
+// Counts reports injections granted so far, one "seam/name" line key
+// per fault that fired — chaosbench's report of what the plan actually
+// did.
+func (in *Injector) Counts() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	fired := make(map[string]uint64)
+	for name, st := range in.rules {
+		if st.fired > 0 {
+			fired[name] = st.fired
+		}
+	}
+	in.mu.Unlock()
+	out := make(map[string]uint64, len(fired))
+	for name, n := range fired {
+		f, _ := FaultByName(name)
+		out[f.Seam()+"/"+name] = n
+	}
+	return out
+}
+
+// CountLines renders Counts as sorted "seam/name=N" strings for
+// deterministic display.
+func (in *Injector) CountLines() []string {
+	counts := in.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"xorbp/internal/experiment"
+	"xorbp/internal/wire"
+)
+
+// Fallback is the graceful-degradation backend: it dispatches through
+// the primary (a push-mode wire.Client), and when the primary reports
+// the whole fleet undispatchable — every worker's circuit breaker open
+// (wire.ErrFleetDown) — it simulates the spec on the in-process
+// LocalBackend instead of poisoning the sweep. Results are pure
+// functions of the spec, so degraded cells are byte-identical to what
+// the fleet would have computed; only the wall clock suffers. The
+// first degradation warns once on stderr; every degraded run is
+// counted into the summary record.
+type Fallback struct {
+	prog     string
+	primary  experiment.Backend
+	local    experiment.LocalBackend
+	warn     sync.Once
+	degraded atomic.Uint64
+}
+
+// NewFallback wraps primary with local-simulation degradation.
+func NewFallback(prog string, primary experiment.Backend) *Fallback {
+	return &Fallback{prog: prog, primary: primary}
+}
+
+// Run dispatches through the primary, degrading to local simulation
+// only on a fleet-down verdict. Every other failure — including
+// protocol errors and exhausted retries against a partially-live
+// fleet — propagates unchanged.
+func (f *Fallback) Run(ctx context.Context, spec wire.Spec) (experiment.RunResult, error) {
+	res, err := f.primary.Run(ctx, spec)
+	if err != nil && errors.Is(err, wire.ErrFleetDown) {
+		f.warn.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"%s: every worker's circuit is open; degrading to in-process simulation (results are unaffected; see -degrade)\n",
+				f.prog)
+		})
+		f.degraded.Add(1)
+		return f.local.Run(ctx, spec)
+	}
+	return res, err
+}
+
+// Degraded counts runs simulated in-process because the fleet was
+// down.
+func (f *Fallback) Degraded() uint64 { return f.degraded.Load() }

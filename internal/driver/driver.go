@@ -26,12 +26,17 @@ type Summary struct {
 	// WorkerCached counts dispatched runs the remote fleet answered
 	// from its own stores (a subset of Simulated, which tallies
 	// dispatches — the driver cannot see inside the backend).
-	WorkerCached uint64  `json:"worker_cached,omitempty"`
-	WallMS       float64 `json:"wall_ms"`
-	Backend      string  `json:"backend"`          // "local", "remote" or "pull"
-	Policy       string  `json:"policy,omitempty"` // dispatch policy in force
-	Workers      int     `json:"workers"`
-	Shard        string  `json:"shard,omitempty"`
+	WorkerCached uint64 `json:"worker_cached,omitempty"`
+	// Resumed counts cells pre-resolved from the sweep journal
+	// (-resume); Degraded counts push-mode runs simulated in-process
+	// because every worker's circuit was open.
+	Resumed  int     `json:"resumed,omitempty"`
+	Degraded uint64  `json:"degraded,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	Backend  string  `json:"backend"`          // "local", "remote" or "pull"
+	Policy   string  `json:"policy,omitempty"` // dispatch policy in force
+	Workers  int     `json:"workers"`
+	Shard    string  `json:"shard,omitempty"`
 }
 
 // Summarize assembles the summary record from the executor's counters
@@ -50,6 +55,8 @@ func Summarize(exec *experiment.Executor, conn *Conn,
 		Workers:   exec.Workers(),
 	}
 	rec.WorkerCached = conn.WorkerCached()
+	rec.Resumed = exec.Primed()
+	rec.Degraded = conn.Degraded()
 	if shardN > 1 {
 		rec.Shard = fmt.Sprintf("%d/%d", shardI, shardN)
 	}

@@ -38,6 +38,10 @@ type FleetFlags struct {
 	// TLSCA pins the worker fleet's certificate authority for
 	// -serve-addrs dispatch (switches the wire client to HTTPS).
 	TLSCA *string
+	// Degrade controls push-mode graceful degradation: when every
+	// worker's circuit breaker is open, fall back to in-process
+	// simulation instead of failing the sweep.
+	Degrade *bool
 }
 
 // AddFleetFlags registers the shared dispatch-topology flags on the
@@ -50,6 +54,7 @@ func AddFleetFlags() *FleetFlags {
 		TLSCert: flag.String("tls-cert", "", "with -fleet: serve the leader endpoint over TLS with this certificate"),
 		TLSKey:  flag.String("tls-key", "", "with -fleet: private key for -tls-cert"),
 		TLSCA:   flag.String("tls-ca", "", "with -serve-addrs: PEM CA bundle to pin; dispatch switches to HTTPS"),
+		Degrade: flag.Bool("degrade", true, "with -serve-addrs: when every worker's circuit is open, simulate in-process instead of failing the sweep"),
 	}
 }
 
@@ -71,10 +76,20 @@ type Conn struct {
 	// "roundrobin" unless -route overrode it; "pull" for the queue).
 	Policy string
 
-	queue  *fleet.Queue
-	fb     *fleet.Backend
-	hs     *http.Server
-	cancel context.CancelFunc
+	queue    *fleet.Queue
+	fb       *fleet.Backend
+	fallback *Fallback
+	hs       *http.Server
+	cancel   context.CancelFunc
+}
+
+// Degraded counts push-mode runs simulated in-process because every
+// worker's circuit was open (0 outside push mode or with -degrade=false).
+func (c *Conn) Degraded() uint64 {
+	if c.fallback == nil {
+		return 0
+	}
+	return c.fallback.Degraded()
 }
 
 // WorkerCached counts dispatched runs the fleet answered from
@@ -113,6 +128,9 @@ type ConnectOptions struct {
 	Workers    int
 	WorkersSet bool
 	Fleet      *FleetFlags
+	// Transport, when set, replaces the push-mode wire client's HTTP
+	// transport — the chaos layer's fault-injection seam (-chaos).
+	Transport http.RoundTripper
 }
 
 // Connect picks the execution topology: the in-process pool, a probed
@@ -153,6 +171,12 @@ func Connect(opts ConnectOptions) *Conn {
 func connectPush(opts ConnectOptions, route, tlsCA string) *Conn {
 	client := wire.NewClient(strings.Split(opts.ServeAddrs, ","))
 	client.SetToken(opts.Token)
+	if opts.Transport != nil {
+		if tlsCA != "" {
+			fatal(opts.Prog, 2, "-chaos and -tls-ca are mutually exclusive: the fault-injecting transport would bypass the pinned CA")
+		}
+		client.SetTransport(opts.Transport)
+	}
 	if tlsCA != "" {
 		pool, err := wire.LoadCertPool(tlsCA)
 		if err != nil {
@@ -172,6 +196,14 @@ func connectPush(opts ConnectOptions, route, tlsCA string) *Conn {
 	}
 	conn := &Conn{Backend: client, Client: client, PoolSize: poolSize,
 		Name: "remote", Policy: "roundrobin"}
+	degrade := true
+	if opts.Fleet != nil && opts.Fleet.Degrade != nil {
+		degrade = *opts.Fleet.Degrade
+	}
+	if degrade {
+		conn.fallback = NewFallback(opts.Prog, client)
+		conn.Backend = conn.fallback
+	}
 	if route != "" {
 		scorer, ok := fleet.ScorerByName(route)
 		if !ok {

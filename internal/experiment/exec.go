@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -99,6 +100,16 @@ type Executor struct {
 	store  *runcache.Store
 	record func(RunRecord)
 	rmu    sync.Mutex // serializes record-hook invocations
+
+	// journal, when set, receives every resolved (key, result) pair —
+	// the crash-safe sweep WAL's feed (driver.Journal). The sink
+	// serializes its own writes.
+	journal JournalSink
+	// primed holds results pre-resolved from a sweep journal (Prime):
+	// consulted like the store, counted as replays. Written only
+	// before the first batch, read-only afterward, so batches read it
+	// without locking.
+	primed map[string]RunResult
 
 	// snaps backs cross-cell prefix sharing (see fork.go): misses that
 	// differ only in re-key period are chained so each extends the
@@ -240,6 +251,50 @@ func (e *Executor) SetSnapshots(ss *SnapStore) { e.snaps = ss }
 // Snapshots returns the divergence-snapshot store (nil when forking is
 // disabled).
 func (e *Executor) Snapshots() *SnapStore { return e.snaps }
+
+// JournalSink receives every resolved spec — executed, replayed from
+// the store, or primed — keyed by canonical wire key. driver.Journal
+// implements it as an append-only WAL so a killed sweep can resume
+// simulating only the remainder. Implementations must tolerate
+// duplicate keys (idempotent append) and serialize their own writes.
+type JournalSink interface {
+	Completed(key string, res RunResult)
+}
+
+// SetJournal attaches the sweep journal sink. Install before the first
+// batch runs.
+func (e *Executor) SetJournal(j JournalSink) { e.journal = j }
+
+// Prime pre-resolves a wire key with a result replayed from a sweep
+// journal: a planned cell whose wire key is primed replays instead of
+// simulating, exactly like a persistent-store hit (counted as a
+// replay). Call before the first batch runs — priming is not safe
+// concurrently with batches.
+func (e *Executor) Prime(key string, res RunResult) {
+	if e.primed == nil {
+		e.primed = make(map[string]RunResult)
+	}
+	e.primed[key] = res
+}
+
+// Primed returns how many wire keys have been pre-resolved via Prime.
+func (e *Executor) Primed() int { return len(e.primed) }
+
+// PlannedKeys returns the wire keys of every planned spec whose key is
+// known (Plan records them; specs first seen by a live batch before
+// planning have none yet), sorted for deterministic journaling.
+func (e *Executor) PlannedKeys() []string {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.planned))
+	for _, dk := range e.planned {
+		if dk != "" {
+			keys = append(keys, dk)
+		}
+	}
+	e.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
 
 // SetRecord installs a hook receiving one RunRecord per resolved spec —
 // each executed simulation and each persistent-store replay.
@@ -433,7 +488,8 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	// keys the store, and assigns shards) and consult the persistent
 	// store — all outside e.mu, so neither the marshal+SHA-256 nor the
 	// store's own lock extends the executor's critical section.
-	hashKeys := e.store != nil || e.record != nil || e.shardN > 1
+	hashKeys := e.store != nil || e.record != nil || e.shardN > 1 ||
+		e.journal != nil || len(e.primed) > 0
 	for c := range cands {
 		cands[c].w = specToWire(specs[cands[c].i])
 		if hashKeys {
@@ -447,13 +503,17 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 	// ahead between the phases. Misses already claimed by a
 	// concurrently-running batch are not simulated again; we wait for
 	// their channels before assembling.
+	type replayed struct {
+		rec RunRecord
+		r   RunResult
+	}
 	var (
 		missSpecs []runSpec
 		missKeys  []runKey
 		missDKs   []string
 		missWire  []wire.Spec
 		waits     []chan struct{}
-		replays   []RunRecord
+		replays   []replayed
 	)
 	e.mu.Lock()
 	for _, c := range cands {
@@ -468,7 +528,7 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 			e.cache[c.k] = c.r
 			e.replays++
 			delete(e.warm, c.k)
-			replays = append(replays, recordFor(specs[c.i], c.dk, c.r, 0, true))
+			replays = append(replays, replayed{recordFor(specs[c.i], c.dk, c.r, 0, true), c.r})
 			continue
 		}
 		if e.shardN > 1 && shardOf(c.dk, e.shardN) != e.shardI {
@@ -483,8 +543,14 @@ func (e *Executor) RunBatch(specs []runSpec) []RunResult {
 		missWire = append(missWire, c.w)
 	}
 	e.mu.Unlock()
-	for _, rec := range replays {
-		e.emit(rec)
+	for _, rep := range replays {
+		// Journal replays too (the sink dedups): a resumed or warm sweep
+		// leaves a journal complete enough to resume from on its own,
+		// whatever mix of cache, journal and simulation resolved it.
+		if e.journal != nil {
+			e.journal.Completed(rep.rec.Key, rep.r)
+		}
+		e.emit(rep.rec)
 	}
 
 	// Execute: fan the misses out across the backend as units. With the
@@ -608,7 +674,15 @@ func (e *Executor) publish(s runSpec, k runKey, dk string, r RunResult, start ti
 	if e.store != nil {
 		e.storePut(dk, r)
 	}
+	e.journalDone(dk, r)
 	e.emit(recordFor(s, dk, r, float64(dur)/float64(time.Millisecond), false))
+}
+
+// journalDone forwards one completion to the journal sink, if any.
+func (e *Executor) journalDone(dk string, r RunResult) {
+	if e.journal != nil {
+		e.journal.Completed(dk, r)
+	}
 }
 
 // fail records the first backend error; the executor is poisoned from
@@ -633,12 +707,19 @@ func (e *Executor) release(k runKey) {
 	e.mu.Unlock()
 }
 
-// decodeStored consults the persistent store for a wire key. The
-// store's content is memory-resident after Open, so this is a map
-// lookup plus a decode. An undecodable value (which load-time validation
-// makes unlikely) is treated as a miss and overwritten by the re-run.
+// decodeStored consults the journal-primed results, then the
+// persistent store, for a wire key. The store's content is
+// memory-resident after Open, so this is a map lookup plus a decode.
+// An undecodable value (which load-time validation makes unlikely) is
+// treated as a miss and overwritten by the re-run.
 func (e *Executor) decodeStored(dk string) (RunResult, bool) {
-	if e.store == nil || dk == "" {
+	if dk == "" {
+		return RunResult{}, false
+	}
+	if r, ok := e.primed[dk]; ok {
+		return r, true
+	}
+	if e.store == nil {
 		return RunResult{}, false
 	}
 	raw, ok := e.store.Get(dk)

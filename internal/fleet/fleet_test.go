@@ -3,10 +3,14 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -293,5 +297,268 @@ func TestPullDrainNacks(t *testing.T) {
 	}
 	if successor.Runs() != n-1 {
 		t.Fatalf("successor simulated %d specs, want the %d nacked ones", successor.Runs(), n-1)
+	}
+}
+
+// workerFaultStub drives PullWorker's fault hooks from plain counters —
+// the unit-test stand-in for chaos.FleetFaults.
+type workerFaultStub struct {
+	crashLeft atomic.Int64 // CrashBatch fires while positive
+	dup       bool         // DuplicateComplete fires on every completion
+}
+
+func (f *workerFaultStub) CrashBatch() bool        { return f.crashLeft.Add(-1) >= 0 }
+func (f *workerFaultStub) DropHeartbeat() bool     { return false }
+func (f *workerFaultStub) DuplicateComplete() bool { return f.dup }
+
+// TestPullWorkerCrashFaultAbandonsBatch: an injected mid-batch crash
+// abandons the whole claimed batch — nothing completed, nothing nacked —
+// and once the lease lapses the same (restarted) worker steals it back
+// and finishes, results byte-identical to serial.
+func TestPullWorkerCrashFaultAbandonsBatch(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(10*time.Second, clk.Now)
+	addr := startLeader(t, q)
+
+	const n = 2
+	var resc [n]<-chan wire.Result
+	var errc [n]<-chan error
+	for i := 0; i < n; i++ {
+		resc[i], errc[i] = submitAsync(q, simSpec(i))
+	}
+	waitPending(t, q, n)
+
+	faults := &workerFaultStub{}
+	faults.crashLeft.Store(1)
+	w := NewPullWorker(addr, "crashy", experiment.LocalBackend{}, nil, n, 1)
+	w.SetFaults(faults)
+	w.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	// Wait for the injected crash, then let the lease lapse so the
+	// worker's next claim steals its own abandoned batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Crashes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("crash fault never fired: %+v", q.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if w.Runs() != 0 {
+		t.Fatalf("crashed worker completed %d specs, want 0", w.Runs())
+	}
+	clk.Advance(11 * time.Second)
+
+	for i := 0; i < n; i++ {
+		if err := <-errc[i]; err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		got := <-resc[i]
+		want := serialResult(t, simSpec(i))
+		if !bytes.Equal(got.Encode(), want.Encode()) {
+			t.Fatalf("spec %d: post-crash result differs from serial", i)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if w.Crashes() != 1 || w.Runs() != n {
+		t.Fatalf("crashes = %d, runs = %d; want 1 and %d", w.Crashes(), w.Runs(), n)
+	}
+	if st := q.Stats(); st.Stolen != n || st.Nacked != 0 {
+		t.Fatalf("queue after crash recovery: %+v, want %d stolen and nothing nacked", st, n)
+	}
+}
+
+// TestPullWorkerDuplicateCompletesDropped: a worker that reports every
+// completion twice exercises the queue's first-wins idempotency — all
+// specs resolve once, the extras are counted and dropped.
+func TestPullWorkerDuplicateCompletesDropped(t *testing.T) {
+	q := NewQueue(0, time.Now)
+	addr := startLeader(t, q)
+
+	const n = 2
+	var resc [n]<-chan wire.Result
+	var errc [n]<-chan error
+	for i := 0; i < n; i++ {
+		resc[i], errc[i] = submitAsync(q, simSpec(i))
+	}
+	waitPending(t, q, n)
+
+	w := NewPullWorker(addr, "stutter", experiment.LocalBackend{}, nil, n, 1)
+	w.SetFaults(&workerFaultStub{dup: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	for i := 0; i < n; i++ {
+		if err := <-errc[i]; err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		<-resc[i]
+	}
+	// The last spec's duplicate completion may still be in flight when
+	// its submitter returns; give the worker a moment to post it.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Duplicates < n {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Done != n || st.Duplicates != n {
+		t.Fatalf("queue stats = %+v, want %d done and %d duplicates dropped", st, n, n)
+	}
+}
+
+// TestClaimSchemaMismatch covers both halves of the schema handshake:
+// the leader 409s a claim from a worker on another schema, and a worker
+// receiving that 409 stops for good instead of retrying forever.
+func TestClaimSchemaMismatch(t *testing.T) {
+	// Leader side: a real leader refuses a mismatched ClaimRequest.
+	q := NewQueue(0, time.Now)
+	addr := startLeader(t, q)
+	body, _ := json.Marshal(ClaimRequest{Worker: "w9", Schema: "bogus-schema/0"})
+	resp, err := http.Post("http://"+addr+"/queue/claim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched claim got %s, want 409", resp.Status)
+	}
+
+	// Worker side: a 409 from the leader is fatal — one request, a
+	// clear error, no retry loop.
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(wire.Error{Error: "worker w9 runs schema \"a\", this leader \"b\" — rebuild one side"})
+	}))
+	t.Cleanup(ts.Close)
+	w := NewPullWorker(strings.TrimPrefix(ts.URL, "http://"), "w9", experiment.LocalBackend{}, nil, 1, 1)
+	w.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	err = w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "rebuild one side") {
+		t.Fatalf("worker returned %v, want the leader's rebuild-one-side error", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("worker retried a fatal 409 (%d requests)", hits.Load())
+	}
+}
+
+// TestPullLeaderRestartWorkerRejoins: the leader process dies and comes
+// back on the same address with a fresh queue (as the journal-recovery
+// path restarts it); a running worker rides out the outage on its retry
+// loop and picks up the resubmitted work without being restarted itself.
+func TestPullLeaderRestartWorkerRejoins(t *testing.T) {
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	q1 := NewQueue(0, time.Now)
+	srv1 := &http.Server{Handler: NewLeader(q1, "").Handler()}
+	go func() { _ = srv1.Serve(l1) }()
+
+	const n = 2
+	collect := func(q *Queue, base int) {
+		t.Helper()
+		var resc [n]<-chan wire.Result
+		var errc [n]<-chan error
+		for i := 0; i < n; i++ {
+			resc[i], errc[i] = submitAsync(q, simSpec(base+i))
+		}
+		for i := 0; i < n; i++ {
+			if err := <-errc[i]; err != nil {
+				t.Fatalf("spec %d: %v", base+i, err)
+			}
+			got := <-resc[i]
+			want := serialResult(t, simSpec(base+i))
+			if !bytes.Equal(got.Encode(), want.Encode()) {
+				t.Fatalf("spec %d: fleet result differs from serial", base+i)
+			}
+		}
+	}
+
+	w := NewPullWorker(addr, "survivor", experiment.LocalBackend{}, nil, n, 1)
+	w.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	collect(q1, 0)
+	_ = srv1.Close() // the leader dies; the worker starts seeing claim errors
+
+	// A recovered leader binds the same address with a rebuilt queue.
+	var l2 net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if l2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	q2 := NewQueue(0, time.Now)
+	srv2 := &http.Server{Handler: NewLeader(q2, "").Handler()}
+	t.Cleanup(func() { _ = srv2.Close() })
+	go func() { _ = srv2.Serve(l2) }()
+
+	collect(q2, n)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("worker did not survive the leader restart: %v", err)
+	}
+	if w.Runs() != 2*n {
+		t.Fatalf("worker simulated %d specs across the restart, want %d", w.Runs(), 2*n)
+	}
+}
+
+// TestPollWaitJitter: the idle-poll jitter is seeded by worker id —
+// reproducible per worker, different across workers, and always within
+// [base/2, 3*base/2).
+func TestPollWaitJitter(t *testing.T) {
+	mk := func(id string) *PullWorker {
+		return NewPullWorker("127.0.0.1:0", id, experiment.LocalBackend{}, nil, 1, 1)
+	}
+	const base = 100 * time.Millisecond
+	a, b, c := mk("w0"), mk("w0"), mk("w1")
+	same, allSame := true, true
+	for i := 0; i < 32; i++ {
+		wa, wb, wc := a.pollWait(base), b.pollWait(base), c.pollWait(base)
+		if wa != wb {
+			same = false
+		}
+		if wa != wc {
+			allSame = false
+		}
+		for _, d := range []time.Duration{wa, wc} {
+			if d < base/2 || d >= base/2+base {
+				t.Fatalf("pollWait(%v) = %v, outside [base/2, 3*base/2)", base, d)
+			}
+		}
+	}
+	if !same {
+		t.Fatal("two workers with the same id jitter differently")
+	}
+	if allSame {
+		t.Fatal("workers w0 and w1 share an identical 32-poll jitter sequence")
+	}
+	if got := a.pollWait(0); got < idleWait/2 || got >= idleWait/2+idleWait {
+		t.Fatalf("pollWait(0) = %v, want an idleWait-based default", got)
 	}
 }

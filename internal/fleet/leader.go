@@ -26,6 +26,12 @@ type ClaimRequest struct {
 	Worker string `json:"worker"`
 	// Max bounds the batch size handed out under one lease.
 	Max int `json:"max"`
+	// Schema is the worker's wire schema version. The leader refuses a
+	// mismatched claim outright (409) so an incompatible worker fails
+	// its first poll with a clear "rebuild one side" error instead of
+	// computing results nobody can decode. Empty skips the check (the
+	// worker-side check in Run still applies).
+	Schema string `json:"schema,omitempty"`
 }
 
 // ClaimResponse is the reply to a claim.
@@ -181,6 +187,12 @@ func (l *Leader) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ClaimRequest
 	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Schema != "" && req.Schema != wire.SchemaVersion() {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("worker %s runs schema %q, this leader %q — rebuild one side",
+				req.Worker, req.Schema, wire.SchemaVersion()))
 		return
 	}
 	id, specs := l.q.Claim(req.Worker, req.Max)

@@ -15,9 +15,30 @@ import (
 	"time"
 
 	"xorbp/internal/experiment"
+	"xorbp/internal/rng"
 	"xorbp/internal/runcache"
 	"xorbp/internal/wire"
 )
+
+// WorkerFaults is the chaos layer's worker-lifecycle hook (implemented
+// by chaos.FleetFaults; nil in production). Each method is one
+// injection decision point.
+type WorkerFaults interface {
+	// CrashBatch, answered true, kills the worker mid-batch: remaining
+	// specs are neither completed nor nacked and the heartbeat stops,
+	// so the lease lapses and the fleet steals them.
+	CrashBatch() bool
+	// DropHeartbeat suppresses one heartbeat post.
+	DropHeartbeat() bool
+	// DuplicateComplete reports one completion a second time.
+	DuplicateComplete() bool
+}
+
+// claimTimeout bounds one leader round-trip (claim, health probe): a
+// hung leader connection must surface as a retryable error, not wedge
+// the poll loop — a draining worker checks its flag between polls, so
+// an unbounded poll would also wedge drain.
+const claimTimeout = 10 * time.Second
 
 // PullWorker is the bpserve `-pull` loop: claim a batch from the
 // leader, simulate it on the local backend (replaying from the shared
@@ -41,6 +62,16 @@ type PullWorker struct {
 	// package stays free of wall-clock reads and tests run fast.
 	sleep func(ctx context.Context, d time.Duration) error
 
+	// jitter drives the idle-poll jitter: a per-worker seeded stream
+	// (from the worker id), so poll pacing is deterministic per worker
+	// yet decorrelated across the fleet. Only the claim-loop goroutine
+	// touches it.
+	jitter *rng.SplitMix64
+
+	// faults, when set, injects worker-lifecycle failures (chaos
+	// testing only).
+	faults WorkerFaults
+
 	// draining stops the claim loop: started specs finish, unstarted
 	// ones are nacked back to the leader immediately.
 	draining atomic.Bool
@@ -49,6 +80,7 @@ type PullWorker struct {
 	runs    atomic.Uint64 // specs simulated
 	replays atomic.Uint64 // specs answered from the store
 	nacked  atomic.Uint64 // specs handed back while draining
+	crashes atomic.Uint64 // injected mid-batch crashes (chaos)
 }
 
 // NewPullWorker creates a worker that polls leader (host:port) under
@@ -72,7 +104,18 @@ func NewPullWorker(leader, id string, backend experiment.Backend, store *runcach
 		batch:   batch,
 		slots:   slots,
 		sleep:   sleepWall,
+		jitter:  rng.NewSplitMix64(rng.Mix64(fnv64a(id))),
 	}
+}
+
+// fnv64a hashes s (FNV-1a) to seed the per-worker jitter stream.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // sleepWall is the default sleeper: a timer racing the context.
@@ -104,6 +147,10 @@ func (w *PullWorker) SetTLS(ca *x509.CertPool) {
 	w.hc.Transport = &http.Transport{TLSClientConfig: &tls.Config{RootCAs: ca}}
 }
 
+// SetFaults arms the chaos layer's worker-lifecycle faults (tests and
+// chaosbench only; nil in production).
+func (w *PullWorker) SetFaults(f WorkerFaults) { w.faults = f }
+
 // Drain stops the claim loop: the worker finishes the specs it has
 // already started, nacks the rest of its lease back to the leader, and
 // Run returns. Safe to call from a signal handler.
@@ -121,6 +168,10 @@ func (w *PullWorker) Nacked() uint64 { return w.nacked.Load() }
 
 // Claims returns how many non-empty batches the worker has claimed.
 func (w *PullWorker) Claims() uint64 { return w.claims.Load() }
+
+// Crashes returns how many injected mid-batch crashes this worker has
+// suffered (always 0 outside chaos runs).
+func (w *PullWorker) Crashes() uint64 { return w.crashes.Load() }
 
 // Run polls the leader until ctx cancels or Drain is called. Transient
 // leader errors (leader not up yet, restarting) are retried behind the
@@ -142,17 +193,14 @@ func (w *PullWorker) Run(ctx context.Context) error {
 			if isFatal(err) {
 				return err
 			}
-			if err := w.sleep(ctx, idleWait); err != nil {
+			if err := w.sleep(ctx, w.pollWait(idleWait)); err != nil {
 				return nil
 			}
 			continue
 		}
 		if resp.Lease == 0 {
 			wait := time.Duration(resp.WaitMS) * time.Millisecond
-			if wait <= 0 {
-				wait = idleWait
-			}
-			if err := w.sleep(ctx, wait); err != nil {
+			if err := w.sleep(ctx, w.pollWait(wait)); err != nil {
 				return nil
 			}
 			continue
@@ -167,6 +215,17 @@ func (w *PullWorker) Run(ctx context.Context) error {
 		w.claims.Add(1)
 		w.processBatch(ctx, resp)
 	}
+}
+
+// pollWait jitters an idle-poll wait: uniform in [base/2, 3*base/2)
+// from the worker's seeded stream, so workers started on the same beat
+// spread their polls instead of thundering the leader together — and
+// the spread is reproducible per worker id, not wall-clock dependent.
+func (w *PullWorker) pollWait(base time.Duration) time.Duration {
+	if base <= 0 {
+		base = idleWait
+	}
+	return base/2 + time.Duration(w.jitter.Next()%uint64(base))
 }
 
 // fatalError marks a protocol disagreement no retry can fix.
@@ -189,6 +248,12 @@ func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
 		leaseDur = DefaultLease
 	}
 
+	// crashed simulates a worker dying mid-batch (chaos only): the
+	// intake stops taking specs, nothing is completed or nacked, and
+	// the heartbeat goes silent so the lease lapses and the fleet
+	// steals the remainder.
+	var crashed atomic.Bool
+
 	// Heartbeat at a third of the lease: two beats can be lost to a
 	// hiccup before the lease lapses.
 	hbCtx, stopHB := context.WithCancel(ctx)
@@ -199,6 +264,12 @@ func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
 		for {
 			if err := w.sleep(hbCtx, leaseDur/3); err != nil {
 				return
+			}
+			if crashed.Load() {
+				return
+			}
+			if w.faults != nil && w.faults.DropHeartbeat() {
+				continue
 			}
 			if !w.heartbeat(hbCtx, claim.Lease) {
 				return
@@ -223,6 +294,16 @@ func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
 		go func() {
 			defer wg.Done()
 			for spec := range in {
+				if crashed.Load() {
+					// A crashed worker reports nothing — not even a nack.
+					// Its specs sit out the lease and get stolen.
+					continue
+				}
+				if w.faults != nil && w.faults.CrashBatch() {
+					crashed.Store(true)
+					w.crashes.Add(1)
+					continue
+				}
 				if w.draining.Load() || ctx.Err() != nil {
 					mu.Lock()
 					leftover = append(leftover, spec.Key())
@@ -237,7 +318,7 @@ func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
 	stopHB()
 	hbDone.Wait()
 
-	if len(leftover) > 0 {
+	if len(leftover) > 0 && !crashed.Load() {
 		sort.Strings(leftover)
 		// Nack with a background-ish context: ctx may already be
 		// cancelled, but handing the batch back beats waiting out the
@@ -254,11 +335,19 @@ func (w *PullWorker) processBatch(ctx context.Context, claim ClaimResponse) {
 // reports the outcome to the leader.
 func (w *PullWorker) runOne(ctx context.Context, leaseID uint64, spec wire.Spec) {
 	key := spec.Key()
+	report := func(res wire.Result, cached bool) {
+		_ = w.complete(ctx, leaseID, key, res, cached)
+		if w.faults != nil && w.faults.DuplicateComplete() {
+			// Chaos: report the same completion twice — the queue must
+			// absorb the echo as a duplicate, not double-count or error.
+			_ = w.complete(ctx, leaseID, key, res, cached)
+		}
+	}
 	if w.store != nil {
 		if raw, ok := w.store.Get(key); ok {
 			if res, err := wire.DecodeResult(raw); err == nil {
 				w.replays.Add(1)
-				_ = w.complete(ctx, leaseID, key, res, true)
+				report(res, true)
 				return
 			}
 		}
@@ -277,7 +366,7 @@ func (w *PullWorker) runOne(ctx context.Context, leaseID uint64, spec wire.Spec)
 	if w.store != nil {
 		_ = w.store.Put(key, res.Encode())
 	}
-	_ = w.complete(ctx, leaseID, key, res, false)
+	report(res, false)
 }
 
 // post sends one queue-protocol request and decodes the reply into out.
@@ -303,6 +392,11 @@ func (w *PullWorker) post(ctx context.Context, path string, body, out any) error
 	if resp.StatusCode == http.StatusUnauthorized {
 		return fatalError{fmt.Errorf("fleet: leader refused token: %s", readBody(resp.Body))}
 	}
+	if resp.StatusCode == http.StatusConflict {
+		// The leader refused this worker outright (schema mismatch at
+		// registration): no retry can fix a build disagreement.
+		return fatalError{fmt.Errorf("fleet: %s", readBody(resp.Body))}
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("fleet: leader %s: %s: %s", path, resp.Status, readBody(resp.Body))
 	}
@@ -325,8 +419,14 @@ func readBody(r io.Reader) string {
 }
 
 func (w *PullWorker) claim(ctx context.Context) (ClaimResponse, error) {
+	// A per-poll deadline keeps a hung leader connection from wedging
+	// the claim loop (and with it, Drain, which is checked between
+	// polls).
+	cctx, cancel := context.WithTimeout(ctx, claimTimeout)
+	defer cancel()
 	var resp ClaimResponse
-	err := w.post(ctx, "/queue/claim", ClaimRequest{Worker: w.id, Max: w.batch}, &resp)
+	err := w.post(cctx, "/queue/claim",
+		ClaimRequest{Worker: w.id, Max: w.batch, Schema: wire.SchemaVersion()}, &resp)
 	return resp, err
 }
 

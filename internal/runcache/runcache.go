@@ -15,9 +15,12 @@
 //     invalidated by construction and can never alias a current key.
 //   - All entries load at Open; Get and Put are memory-speed afterward
 //     (Put additionally writes through to disk).
-//   - Files that fail to parse, or whose recorded schema or key does not
-//     match, are quarantined (renamed with a ".corrupt" suffix) rather
-//     than trusted or deleted.
+//   - Files that fail to parse, whose recorded schema or key does not
+//     match, or whose value fails its CRC-32 checksum, are quarantined
+//     (renamed with a ".corrupt" suffix) rather than trusted or deleted.
+//     The checksum catches silent corruption that still parses as JSON —
+//     a flipped bit inside a number would otherwise replay a wrong
+//     result forever.
 package runcache
 
 import (
@@ -25,8 +28,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -49,17 +54,40 @@ type Store struct {
 	dir    string // per-schema subdirectory actually holding entries
 	schema string
 
+	// fault, when set, intercepts entry bytes on their way to disk —
+	// the chaos layer's corruption/ENOSPC seam. Never touches the
+	// in-memory copy. Set once before concurrent use (SetFileFault).
+	fault FileFault
+
 	mu      sync.Mutex
 	entries map[string]json.RawMessage
 	stats   Stats
 }
 
+// FileFault intercepts an entry's serialized bytes just before the
+// write-temp+rename. It may return altered bytes (simulated
+// corruption: the checksum must catch it at the next Open) or an error
+// (simulated full disk: counted as a PutError, entry kept in memory).
+// chaos.CacheFaults implements it; production stores never set one.
+type FileFault interface {
+	WriteEntry(key string, raw []byte) ([]byte, error)
+}
+
+// entryFormat versions the on-disk entry file format. It is folded
+// into schemaID, so bumping it supersedes every directory written
+// under the old format — Open starts them empty and `-cache-gc` sweeps
+// them, exactly like a schema change. Format 2 added the CRC field.
+const entryFormat = 2
+
 // entry is the on-disk file format. Schema and Key are recorded
 // redundantly (the subdirectory and filename imply them) so a misplaced
-// or tampered file is detected and quarantined at load.
+// or tampered file is detected and quarantined at load; CRC is the
+// IEEE CRC-32 of Value, verified at load so silent corruption that
+// still parses as JSON cannot replay as a wrong result.
 type entry struct {
 	Schema string          `json:"schema"`
 	Key    string          `json:"key"`
+	CRC    uint32          `json:"crc"`
 	Value  json.RawMessage `json:"value"`
 }
 
@@ -86,9 +114,13 @@ func Key(schema string, payload []byte) string {
 }
 
 // schemaID is the directory-name-safe digest of a schema string (the
-// full string can be hundreds of characters of type signature).
+// full string can be hundreds of characters of type signature). The
+// entry file format version is folded in, so an entry-format change
+// invalidates old directories exactly like a schema change: Open never
+// sees old-format files, and GC treats their directories as
+// superseded.
 func schemaID(schema string) string {
-	sum := sha256.Sum256([]byte(schema))
+	sum := sha256.Sum256([]byte("fmt" + strconv.Itoa(entryFormat) + "\x00" + schema))
 	return "v-" + hex.EncodeToString(sum[:8])
 }
 
@@ -124,7 +156,8 @@ func Open(dir, schema string) (*Store, error) {
 		}
 		var e entry
 		key := strings.TrimSuffix(name, ".json")
-		if json.Unmarshal(raw, &e) != nil || e.Schema != schema || e.Key != key || len(e.Value) == 0 {
+		if json.Unmarshal(raw, &e) != nil || e.Schema != schema || e.Key != key || len(e.Value) == 0 ||
+			e.CRC != crc32.ChecksumIEEE(e.Value) {
 			s.quarantine(path)
 			continue
 		}
@@ -171,7 +204,8 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // write fails — the caller already paid for the result — and the failure
 // is reported and counted.
 func (s *Store) Put(key string, value []byte) error {
-	raw, err := json.Marshal(entry{Schema: s.schema, Key: key, Value: value})
+	raw, err := json.Marshal(entry{Schema: s.schema, Key: key,
+		CRC: crc32.ChecksumIEEE(value), Value: value})
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)
 	}
@@ -188,7 +222,17 @@ func (s *Store) Put(key string, value []byte) error {
 	return nil
 }
 
+// SetFileFault installs a write-path fault hook (chaos testing only).
+// Set before the store sees concurrent traffic.
+func (s *Store) SetFileFault(f FileFault) { s.fault = f }
+
 func (s *Store) writeFile(key string, raw []byte) error {
+	if s.fault != nil {
+		var err error
+		if raw, err = s.fault.WriteEntry(key, raw); err != nil {
+			return fmt.Errorf("runcache: %w", err)
+		}
+	}
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)

@@ -168,6 +168,174 @@ func TestConcurrentStores(t *testing.T) {
 	}
 }
 
+// TestCRCMismatchQuarantined: an entry whose value was altered on disk
+// but still parses as valid JSON under the right schema and key — the
+// silent-corruption case only the checksum can catch — is quarantined
+// at the next Open instead of replaying as a wrong result.
+func TestCRCMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.Key([]byte("payload"))
+	if err := s.Put(key, []byte(`{"cycles":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the file with a different value under the stale CRC:
+	// schema, key, and JSON shape all stay valid.
+	path := filepath.Join(s.Dir(), key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `{"cycles":42}`, `{"cycles":43}`, 1)
+	if tampered == string(raw) {
+		t.Fatalf("tampering found nothing to replace in %q", raw)
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("a CRC-mismatched entry replayed")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+// TestBinaryEntriesChecksummed: PutBinary blobs ride the same entry
+// format, so they round-trip across Opens and corrupting one on disk
+// quarantines it like any result entry.
+func TestBinaryEntriesChecksummed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte{0x00, 0x01, 0xFE, 0xFF, 0x42}
+	key := s.Key([]byte("snap"))
+	if err := s.PutBinary(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.GetBinary(key)
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("GetBinary = %v, %v", got, ok)
+	}
+
+	// Swap the base64 payload for a different valid one under the stale
+	// CRC; the checksum, not the decoder, must reject it.
+	path := filepath.Join(s.Dir(), key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := `"AAH+/0I="`
+	if !strings.Contains(string(raw), old) {
+		t.Fatalf("entry %q does not contain the expected base64 value", raw)
+	}
+	tampered := strings.Replace(string(raw), old, `"AAH+/0M="`, 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.GetBinary(key); ok {
+		t.Fatal("a tampered binary entry replayed")
+	}
+	if st := s3.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+// faultStub is a test FileFault: it errors when failing is set, and
+// otherwise flips the last byte of every entry on its way to disk.
+type faultStub struct {
+	failing bool
+	writes  int
+}
+
+func (f *faultStub) WriteEntry(key string, raw []byte) ([]byte, error) {
+	f.writes++
+	if f.failing {
+		return nil, fmt.Errorf("stub: no space left on device")
+	}
+	out := append([]byte(nil), raw...)
+	out[len(out)-1] ^= 0xFF
+	return out, nil
+}
+
+// TestFileFaultWriteError: a failed entry write is counted, reported,
+// and does not evict the in-memory copy — but the entry is gone after a
+// reopen (it never reached disk).
+func TestFileFaultWriteError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFileFault(&faultStub{failing: true})
+	key := s.Key([]byte("k"))
+	if err := s.Put(key, []byte(`1`)); err == nil {
+		t.Fatal("Put under an erroring fault succeeded")
+	}
+	if v, ok := s.Get(key); !ok || string(v) != `1` {
+		t.Fatalf("in-memory copy after failed write = %q, %v", v, ok)
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 put error", st)
+	}
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("reopened store holds %d entries, want 0", s2.Len())
+	}
+}
+
+// TestFileFaultCorruptionCaught: bytes perturbed by the fault hook land
+// on disk (the write itself succeeds) and the next Open quarantines
+// them — the end-to-end contract chaosbench's cache scenario rides.
+func TestFileFaultCorruptionCaught(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &faultStub{}
+	s.SetFileFault(fs)
+	key := s.Key([]byte("k"))
+	if err := s.Put(key, []byte(`{"cycles":7}`)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.writes != 1 {
+		t.Fatalf("fault hook saw %d writes, want 1", fs.writes)
+	}
+	if v, ok := s.Get(key); !ok || string(v) != `{"cycles":7}` {
+		t.Fatalf("in-memory copy = %q, %v", v, ok)
+	}
+	s2, err := Open(dir, "schema-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 || s2.Stats().Quarantined != 1 {
+		t.Fatalf("reopened store: %d entries, stats %+v; want the corrupt entry quarantined",
+			s2.Len(), s2.Stats())
+	}
+}
+
 func TestKeyDeterministic(t *testing.T) {
 	if Key("s", []byte("p")) != Key("s", []byte("p")) {
 		t.Fatal("Key is not deterministic")

@@ -1,0 +1,152 @@
+package wire
+
+import "errors"
+
+// ErrFleetDown is returned (wrapped) by Client.Run when every worker's
+// circuit breaker is open: nothing is dispatchable right now. Callers
+// that can degrade — the driver falls back to the in-process backend —
+// test for it with errors.Is; everything else should treat it like any
+// other backend failure.
+var ErrFleetDown = errors.New("every worker's circuit is open")
+
+// Breaker tuning. All thresholds are counted in events, never in wall
+// time, so breaker behavior is deterministic and testable without a
+// clock: a circuit opens after breakerFailThreshold consecutive
+// retryable failures, waits out a cooldown counted in Run admissions,
+// then half-opens for a single hedged probe. A failed probe reopens
+// the circuit with the cooldown doubled (capped); a success closes it.
+//
+// The threshold equals retryPasses so a single Run never trips the
+// breaker before its own final rotation: one spec's retries keep their
+// full schedule, and only once a worker has failed a whole Run's worth
+// of attempts do later Runs start skipping it.
+const (
+	breakerFailThreshold = retryPasses
+	breakerCooldown      = 8
+	breakerCooldownMax   = 64
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one worker address's circuit state. Guarded by Client.bmu.
+type breaker struct {
+	state    int
+	fails    int // consecutive retryable failures while closed
+	cooldown int // admissions left before an open circuit half-opens
+	opens    int // times opened since last success; scales the cooldown
+	probing  bool
+}
+
+// admit partitions a dispatch order into the addresses worth trying
+// now: closed circuits in routing order, then at most one half-open
+// probe per address appended last — the probe is hedged behind every
+// healthy worker, so a recovering address cannot stall a spec that a
+// healthy one would have answered. Open circuits tick their cooldown
+// (one tick per admission) and are skipped until it lapses.
+func (c *Client) admit(order []int) []int {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	var healthy, probes []int
+	for _, w := range order {
+		b := &c.brk[w]
+		switch b.state {
+		case breakerClosed:
+			healthy = append(healthy, w)
+		case breakerOpen:
+			b.cooldown--
+			if b.cooldown <= 0 {
+				b.state = breakerHalfOpen
+			}
+		}
+		// A fresh or lapsed circuit half-opens above; hand out one
+		// probe at a time so concurrent Runs don't stampede a worker
+		// that is quite possibly still down.
+		if b.state == breakerHalfOpen && !b.probing {
+			b.probing = true
+			probes = append(probes, w)
+		}
+	}
+	return append(healthy, probes...)
+}
+
+// markUp records a successful dispatch on worker w: the circuit closes
+// and its failure history clears.
+func (c *Client) markUp(w int) {
+	c.bmu.Lock()
+	b := &c.brk[w]
+	b.state = breakerClosed
+	b.fails, b.opens, b.cooldown = 0, 0, 0
+	b.probing = false
+	c.bmu.Unlock()
+}
+
+// markDown records a retryable dispatch failure on worker w. A closed
+// circuit opens after breakerFailThreshold consecutive failures; a
+// half-open circuit reopens immediately with its cooldown doubled
+// (capped at breakerCooldownMax), so a persistently dead worker is
+// probed geometrically less often instead of burning every Run's
+// retry rotations.
+func (c *Client) markDown(w int) {
+	c.bmu.Lock()
+	b := &c.brk[w]
+	b.probing = false
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= breakerFailThreshold {
+		b.opens++
+		cd := breakerCooldown << (b.opens - 1)
+		if cd > breakerCooldownMax || cd <= 0 {
+			cd = breakerCooldownMax
+		}
+		b.state = breakerOpen
+		b.cooldown = cd
+		b.fails = 0
+	}
+	c.bmu.Unlock()
+}
+
+// releaseProbes clears the probe claims a Run was handed by admit but
+// never issued — a spec answered by an earlier worker (or aborted) must
+// not leave a half-open circuit permanently claimed, or the recovering
+// worker would never be probed again.
+func (c *Client) releaseProbes(rest []int) {
+	if len(rest) == 0 {
+		return
+	}
+	c.bmu.Lock()
+	for _, w := range rest {
+		if c.brk[w].state == breakerHalfOpen {
+			c.brk[w].probing = false
+		}
+	}
+	c.bmu.Unlock()
+}
+
+// breakerStates snapshots per-address circuit states, index-aligned
+// with Addrs — observability for tests and end-of-run reporting.
+func (c *Client) breakerStates() []int {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	out := make([]int, len(c.brk))
+	for i := range c.brk {
+		out[i] = c.brk[i].state
+	}
+	return out
+}
+
+// OpenCircuits counts workers whose circuit is currently open or
+// half-open — the fleet-health figure the driver's degradation warning
+// and chaosbench's report print.
+func (c *Client) OpenCircuits() int {
+	n := 0
+	for _, st := range c.breakerStates() {
+		if st != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package wire_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+import "xorbp/internal/wire"
+
+// switchableWorker serves /run, failing with 503 while down.
+type switchableWorker struct {
+	down atomic.Bool
+	hits atomic.Int64
+}
+
+func (s *switchableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits.Add(1)
+	if s.down.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(wire.Error{Error: "down"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(wire.RunResponse{
+		Schema: wire.SchemaVersion(),
+		Result: wire.Result{Cycles: 9},
+	})
+}
+
+func breakerClient(t *testing.T, workers ...*switchableWorker) *wire.Client {
+	t.Helper()
+	addrs := make([]string, len(workers))
+	for i, sw := range workers {
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	c := wire.NewClient(addrs)
+	c.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	return c
+}
+
+// TestBreakerOpensAfterConsecutiveFailures: a full Run's worth of
+// consecutive retryable failures opens the circuit; once every circuit
+// is open the next Run returns ErrFleetDown without touching the
+// worker again.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	sw := &switchableWorker{}
+	sw.down.Store(true)
+	c := breakerClient(t, sw)
+
+	_, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: 1})
+	if err == nil {
+		t.Fatal("run against a dead worker succeeded")
+	}
+	if got := sw.hits.Load(); got != 4 {
+		t.Fatalf("worker saw %d requests, want the full 4 rotations before the circuit opened", got)
+	}
+	if c.OpenCircuits() != 1 {
+		t.Fatalf("OpenCircuits = %d, want 1", c.OpenCircuits())
+	}
+
+	// While open, further Runs are refused without a dispatch.
+	before := sw.hits.Load()
+	if _, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: 2}); !errors.Is(err, wire.ErrFleetDown) {
+		t.Fatalf("open-circuit Run returned %v, want ErrFleetDown", err)
+	}
+	if sw.hits.Load() != before {
+		t.Fatal("an open circuit still dispatched to the worker")
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers: once the admission-counted cooldown
+// lapses the circuit half-opens, a single probe lands on the healed
+// worker, and the circuit closes again.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	sw := &switchableWorker{}
+	sw.down.Store(true)
+	c := breakerClient(t, sw)
+
+	if _, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: 1}); err == nil {
+		t.Fatal("priming run against a dead worker succeeded")
+	}
+	sw.down.Store(false)
+	probed := sw.hits.Load()
+
+	// The cooldown ticks once per admission; keep running until the
+	// half-open probe lands. 8 admissions at up to 4 per Run is at most
+	// a handful of Runs — cap generously.
+	for i := 0; i < 8; i++ {
+		res, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: uint64(2 + i)})
+		if err == nil {
+			if res.Cycles != 9 {
+				t.Fatalf("probe result = %+v", res)
+			}
+			if got := sw.hits.Load(); got != probed+1 {
+				t.Fatalf("recovery took %d dispatches, want exactly 1 probe", got-probed)
+			}
+			if c.OpenCircuits() != 0 {
+				t.Fatalf("OpenCircuits = %d after a successful probe, want 0", c.OpenCircuits())
+			}
+			return
+		}
+		if !errors.Is(err, wire.ErrFleetDown) {
+			t.Fatalf("cooldown run %d returned %v", i, err)
+		}
+	}
+	t.Fatal("circuit never half-opened within the cooldown budget")
+}
+
+// TestBreakerFailedProbeReopens: a probe that fails reopens the circuit
+// immediately (no three-strikes grace) — the worker sees exactly one
+// request per half-open window while it stays down.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	sw := &switchableWorker{}
+	sw.down.Store(true)
+	c := breakerClient(t, sw)
+
+	if _, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: 1}); err == nil {
+		t.Fatal("priming run against a dead worker succeeded")
+	}
+	opened := sw.hits.Load()
+
+	// Drive enough admissions for at least one half-open probe; the
+	// worker stays down, so every probe fails and the circuit reopens
+	// with a doubled cooldown.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: uint64(10 + i)}); !errors.Is(err, wire.ErrFleetDown) {
+			t.Fatalf("run %d returned %v, want ErrFleetDown", i, err)
+		}
+	}
+	probes := sw.hits.Load() - opened
+	if probes < 1 || probes > 2 {
+		t.Fatalf("dead worker saw %d probes over 12 open-circuit runs, want 1-2 (geometric cooldown)", probes)
+	}
+	if c.OpenCircuits() != 1 {
+		t.Fatalf("OpenCircuits = %d, want 1", c.OpenCircuits())
+	}
+}
+
+// TestBreakerFailsOverAroundOpenCircuit: with one worker dead and one
+// healthy, the sweep keeps running on the healthy worker and the dead
+// one is skipped once its circuit opens.
+func TestBreakerFailsOverAroundOpenCircuit(t *testing.T) {
+	dead, alive := &switchableWorker{}, &switchableWorker{}
+	dead.down.Store(true)
+	c := breakerClient(t, dead, alive)
+	// Deterministic routing: always try the dead worker first so the
+	// breaker, not round-robin luck, is what protects the sweep.
+	c.SetPicker(func(wire.Spec, int) []int { return []int{0, 1} })
+
+	for i := 0; i < 12; i++ {
+		res, err := c.Run(context.Background(), wire.Spec{Pred: "brk", Timer: uint64(i + 1)})
+		if err != nil || res.Cycles != 9 {
+			t.Fatalf("run %d: %+v, %v", i, res, err)
+		}
+	}
+	if got := dead.hits.Load(); got >= 6 {
+		t.Fatalf("dead worker saw %d dispatches over 12 runs; breaker never engaged", got)
+	}
+	if alive.hits.Load() != 12 {
+		t.Fatalf("healthy worker served %d runs, want 12", alive.hits.Load())
+	}
+	if c.OpenCircuits() == 0 {
+		t.Fatal("dead worker's circuit is not open")
+	}
+}

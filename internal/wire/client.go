@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -44,6 +45,11 @@ type Client struct {
 	// replays counts runs the fleet answered from its own stores
 	// (RunResponse.Cached) — work dispatched but not simulated.
 	replays atomic.Uint64
+	// brk holds one circuit breaker per address (index-aligned with
+	// addrs): a worker that keeps failing is skipped for a cooldown
+	// instead of burning every Run's retry rotations. See breaker.go.
+	bmu sync.Mutex
+	brk []breaker
 }
 
 // retryPasses is how many full rotations over the worker set Run
@@ -80,6 +86,7 @@ func NewClient(addrs []string) *Client {
 		// take minutes. Cancellation flows through the request context.
 		hc:    &http.Client{},
 		caps:  make([]int, len(clean)),
+		brk:   make([]breaker, len(clean)),
 		sleep: sleepWall,
 	}
 }
@@ -120,6 +127,12 @@ func (c *Client) SetSleep(sleep func(ctx context.Context, d time.Duration) error
 		c.sleep = sleep
 	}
 }
+
+// SetTransport replaces the client's HTTP transport — the seam the
+// chaos layer's fault-injecting RoundTripper plugs into (and tests
+// inject stubs through). Call before SetTLS or not at all with TLS:
+// SetTLS installs its own transport.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
 
 // SetTLS switches the client to HTTPS with the fleet's certificate
 // authority pinned: only workers presenting a chain to ca are trusted,
@@ -284,10 +297,13 @@ func (c *Client) order(spec Spec) []int {
 }
 
 // Run resolves one spec on the worker fleet. Transient failures fail
-// over along the routing order, then retry whole rotations behind the
-// deterministic retryBackoff schedule; protocol failures (schema
+// over along the routing order (trailed by at most one hedged
+// half-open probe — see breaker.go), then retry whole rotations behind
+// the deterministic retryBackoff schedule; protocol failures (schema
 // mismatch, invalid spec) abort immediately — retrying cannot fix
-// them.
+// them. When every circuit is open the spec is undispatchable right
+// now: Run returns a wrapped ErrFleetDown without burning rotations,
+// and the driver may degrade to the in-process backend.
 func (c *Client) Run(ctx context.Context, spec Spec) (Result, error) {
 	if len(c.addrs) == 0 {
 		return Result{}, fmt.Errorf("wire: no worker addresses")
@@ -296,26 +312,43 @@ func (c *Client) Run(ctx context.Context, spec Spec) (Result, error) {
 	var lastErr error
 	for pass := 0; pass < retryPasses; pass++ {
 		if pass > 0 {
-			// All workers just failed; back off before the next rotation
-			// so a momentarily-restarting fleet is not burned through
-			// instantly.
+			// All admitted workers just failed; back off before the next
+			// rotation so a momentarily-restarting fleet is not burned
+			// through instantly.
 			if err := c.sleep(ctx, retryBackoff[pass-1]); err != nil {
 				return Result{}, err
 			}
 		}
-		for _, w := range order {
+		// Re-admit each rotation: circuits opened by this pass's
+		// failures are skipped on the next, and lapsed cooldowns
+		// re-enter as probes.
+		try := c.admit(order)
+		if len(try) == 0 {
+			if lastErr != nil {
+				return Result{}, fmt.Errorf("wire: %w; last failure: %w", ErrFleetDown, lastErr)
+			}
+			return Result{}, fmt.Errorf("wire: %w", ErrFleetDown)
+		}
+		for ti, w := range try {
 			if err := ctx.Err(); err != nil {
+				c.releaseProbes(try[ti:])
 				return Result{}, err
 			}
 			addr := c.addrs[w]
 			res, retry, err := c.runOn(ctx, addr, spec)
 			if err == nil {
+				c.markUp(w)
+				c.releaseProbes(try[ti+1:])
 				return res, nil
 			}
 			lastErr = fmt.Errorf("worker %s: %w", addr, err)
 			if !retry {
+				// Protocol disagreement, not worker health: leave the
+				// breaker alone (beyond releasing probe claims).
+				c.releaseProbes(try[ti:])
 				return Result{}, fmt.Errorf("wire: %w", lastErr)
 			}
+			c.markDown(w)
 		}
 	}
 	return Result{}, fmt.Errorf("wire: all %d workers failed over %d rotations; last: %w",
